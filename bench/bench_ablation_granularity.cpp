@@ -1,0 +1,58 @@
+// Ablation: weight-scaling granularity (per-tensor vs per-channel vs
+// per-group) -- the design choice behind paper section 3.1's "per-channel
+// scaling reduces rounding errors by effectively utilizing the full
+// encoding space for each channel".
+#include <cmath>
+#include <cstdio>
+
+#include "metrics/metrics.h"
+#include "quant/quantizer.h"
+#include "tensor/rng.h"
+#include "tensor/stats.h"
+
+using namespace fp8q;
+
+int main() {
+  // A weight matrix with widely spread per-channel ranges (2^0 .. 2^8) --
+  // the depthwise / EfficientNet-style regime.
+  Rng rng(77);
+  const std::int64_t out = 64;
+  const std::int64_t in = 256;
+  Tensor w = randn(rng, {out, in});
+  for (std::int64_t o = 0; o < out; ++o) {
+    const float gain = std::exp2(rng.uniform(0.0f, 8.0f));
+    for (std::int64_t i = 0; i < in; ++i) w.at({o, i}) *= gain;
+  }
+
+  std::printf("Weight-scaling granularity ablation (weight [64, 256], channel ranges\n"
+              "spread over 8 octaves). SQNR in dB per format; scale count in braces.\n\n");
+  std::printf("%-26s %10s %10s %10s %10s\n", "granularity", "E5M2", "E4M3", "E3M4",
+              "INT8");
+
+  auto row = [&](const char* name, auto make) {
+    std::printf("%-26s", name);
+    for (DType dt : {DType::kE5M2, DType::kE4M3, DType::kE3M4, DType::kINT8}) {
+      const Tensor q = apply_quant(w, make(dt));
+      std::printf(" %10.2f", sqnr_db(w.flat(), q.flat()));
+    }
+    std::printf("\n");
+  };
+
+  row("per-tensor {1}", [&](DType dt) {
+    return make_weight_params(w, dt, Granularity::kPerTensor);
+  });
+  row("per-channel {64}", [&](DType dt) {
+    return make_weight_params(w, dt, Granularity::kPerChannel);
+  });
+  row("per-group(1024) {16}", [&](DType dt) { return make_group_weight_params(w, dt, 1024); });
+  row("per-group(256) {64}", [&](DType dt) { return make_group_weight_params(w, dt, 256); });
+  row("per-group(64) {256}", [&](DType dt) { return make_group_weight_params(w, dt, 64); });
+
+  std::printf("\nshape: per-channel scaling decisively rescues INT8 (fixed step, so the\n"
+              "small channels need their own scale) and is cheap insurance for FP8,\n"
+              "whose exponent already absorbs most of the spread (section 3.1 notes\n"
+              "the FP8 benefit is in encoding-space utilization, i.e. smaller).\n"
+              "Finer groups buy little beyond per-channel -- the paper's standard\n"
+              "scheme stops there.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Appendix A.1 study: range-calibration algorithms (max / percentile / KL /
+// MSE) across formats and distribution regimes. The paper's finding: max
+// scaling is sufficient for FP8; the clipping calibrators that help INT8
+// provide no additional benefit for FP8.
+#include <cstdio>
+
+#include <cmath>
+
+#include "quant/calibrate.h"
+#include "quant/observer.h"
+#include "quant/quantizer.h"
+#include "metrics/metrics.h"
+#include "tensor/rng.h"
+#include "tensor/stats.h"
+
+using namespace fp8q;
+
+namespace {
+
+void study(const char* title, const Tensor& x) {
+  Observer obs(static_cast<size_t>(x.numel()));
+  obs.observe(x);
+  std::printf("%s\n", title);
+  std::printf("  %-12s | %12s %12s | %12s %12s\n", "method", "E4M3 clip", "E4M3 MSE",
+              "INT8 clip", "INT8 MSE");
+  for (CalibMethod m : {CalibMethod::kAbsMax, CalibMethod::kPercentile,
+                        CalibMethod::kKlDivergence, CalibMethod::kMseSweep}) {
+    std::printf("  %-12s |", std::string(to_string(m)).c_str());
+    for (DType dt : {DType::kE4M3, DType::kINT8}) {
+      const float clip = calibrate_clip(obs, m, dt, 0.999);
+      std::printf(" %12.3f %12.3e", clip, clip_quantization_mse(x.flat(), clip, dt));
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Appendix A.1: range-calibration method comparison\n\n");
+  Rng rng(2024);
+
+  Tensor clean = randn(rng, {100000});
+  study("Gaussian activations (CV-like, precision-bound):", clean);
+
+  Tensor mild = randn(rng, {100000}, 0.0f, std::sqrt(0.5f));
+  inject_outliers(mild, rng, 0.01, -6.0f, 6.0f);
+  study("Figure-1 tensor (1% outliers at +/-6):", mild);
+
+  Tensor llm = randn(rng, {100000});
+  inject_outliers(llm, rng, 0.0002, -60.0f, 60.0f);
+  study("LLM-like tensor (0.02% outliers at +/-60, range-bound):", llm);
+
+  std::printf("paper shape: for E4M3 every method lands at (or near) the absmax clip\n"
+              "with no MSE win -- max scaling suffices for FP8. For INT8 the clipping\n"
+              "methods pick smaller clips on the outlier-heavy tensors.\n");
+  return 0;
+}

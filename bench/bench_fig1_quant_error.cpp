@@ -1,0 +1,78 @@
+// Reproduces paper Figure 1: the tensor X ~ N(0, 0.5) with 1% outliers
+// uniform in [-6, 6]; (center) the distribution of quantized values per
+// format; (right) the overall quantization MSE per format.
+//
+// A second panel repeats the experiment with LLM-scale outliers (+/-20),
+// where INT8's stretched grid loses to every calibrated FP8 format.
+#include <cstdio>
+
+#include <cmath>
+
+#include "fp8/cast.h"
+#include "metrics/metrics.h"
+#include "quant/quantizer.h"
+#include "tensor/rng.h"
+#include "tensor/stats.h"
+
+using namespace fp8q;
+
+namespace {
+
+void run_panel(const char* title, float outlier_mag, double outlier_frac) {
+  Rng rng(20240707);
+  Tensor x = randn(rng, {200000}, 0.0f, std::sqrt(0.5f));
+  inject_outliers(x, rng, outlier_frac, -outlier_mag, outlier_mag);
+  const float amax = absmax(x);
+  const auto [lo, hi] = minmax(x);
+  const auto stats = summarize(x);
+
+  std::printf("%s\n", title);
+  std::printf("  tensor: n=%lld absmax=%.3f stddev=%.3f kurtosis=%.2f  "
+              "(%.2f%% of mass within 3 sigma)\n",
+              static_cast<long long>(x.numel()), amax, stats.stddev, stats.kurtosis,
+              100.0 * fraction_within_sigma(x.flat(), 3.0));
+
+  std::printf("  %-6s %14s %14s %22s\n", "format", "MSE", "SQNR (dB)",
+              "grid pts in +/-3sigma");
+  struct Config {
+    const char* name;
+    DType dtype;
+  };
+  for (const Config& c : {Config{"E5M2", DType::kE5M2}, Config{"E4M3", DType::kE4M3},
+                          Config{"E3M4", DType::kE3M4}, Config{"INT8", DType::kINT8}}) {
+    QuantParams p = c.dtype == DType::kINT8
+                        ? make_activation_params(c.dtype, lo, hi)
+                        : make_activation_params(c.dtype, amax);
+    const Tensor q = apply_quant(x, p);
+    // Count distinct representable values inside the 3-sigma band (the
+    // Figure 1 center-panel density effect).
+    const float band = 3.0f * static_cast<float>(stats.stddev);
+    int grid_points = 0;
+    if (is_fp8(c.dtype)) {
+      for (float v : representable_values(fp8_spec(c.dtype))) {
+        const float real = v / p.scale;
+        if (std::fabs(real) <= band) ++grid_points;
+      }
+    } else {
+      for (int k = p.int8.qmin; k <= p.int8.qmax; ++k) {
+        const float real = int8_decode(static_cast<std::int8_t>(k), p.int8);
+        if (std::fabs(real) <= band) ++grid_points;
+      }
+    }
+    std::printf("  %-6s %14.3e %14.2f %22d\n", c.name, mse(x, q),
+                sqnr_db(x.flat(), q.flat()), grid_points);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 1: quantization error on N(0, 0.5) + outliers\n\n");
+  run_panel("(paper protocol) 1% outliers uniform in [-6, 6]:", 6.0f, 0.01);
+  run_panel("(LLM-scale outliers) 0.2% outliers uniform in [-20, 20]:", 20.0f, 0.002);
+  std::printf("paper shape: E4M3/E3M4 MSE well below INT8, E5M2 worst; FP8 formats\n"
+              "concentrate far more grid points inside the 3-sigma band than INT8,\n"
+              "whose fixed step is stretched by the outliers.\n");
+  return 0;
+}

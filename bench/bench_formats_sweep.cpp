@@ -1,0 +1,58 @@
+// Extension study: the full EeMm design space (Kuzmin et al. 2022 /
+// Noune et al. 2022 from the paper's related work) plus exponent-bias
+// shifting (Sun et al. 2019). Quantization MSE of every legal 8-bit split
+// on the three distribution regimes of the study.
+#include <cstdio>
+
+#include <cmath>
+
+#include "fp8/cast.h"
+#include "metrics/metrics.h"
+#include "tensor/rng.h"
+#include "tensor/stats.h"
+
+using namespace fp8q;
+
+namespace {
+
+double max_scaled_mse(const Tensor& x, const FormatSpec& spec) {
+  const float amax = absmax(x);
+  const float scale = amax > 0.0f ? spec.max_value() / amax : 1.0f;
+  Tensor q = x;
+  fp8_quantize_scaled(q.flat(), q.flat(), spec, scale);
+  return mse(x, q);
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(4242);
+  Tensor gauss = randn(rng, {100000});
+  Tensor outlier = randn(rng, {100000});
+  inject_outliers(outlier, rng, 0.001, -80.0f, 80.0f);
+  Tensor heavy = rand_student_t(rng, {100000}, 3.0f);
+
+  std::printf("EeMm design-space sweep (max-scaled quantization MSE; lower = better)\n\n");
+  std::printf("%-8s %14s %14s %14s\n", "format", "Gaussian", "outlier(80x)", "student-t(3)");
+  for (int e = 1; e <= 6; ++e) {
+    const int m = 7 - e;
+    const FormatSpec spec = make_format(e, m);
+    std::printf("E%dM%d     %14.4e %14.4e %14.4e\n", e, m, max_scaled_mse(gauss, spec),
+                max_scaled_mse(outlier, spec), max_scaled_mse(heavy, spec));
+  }
+
+  std::printf("\nExponent-bias shifting for E4M3 (Sun et al. 2019): MSE of the\n"
+              "outlier tensor under bias overrides (the shifted range trades top-end\n"
+              "headroom for more subnormal-free small-value coverage):\n");
+  for (int bias : {4, 5, 6, 7, 8, 9, 10}) {
+    const FormatSpec spec = make_format(4, 3, bias);
+    std::printf("  bias %2d (max %10.2f): MSE %12.4e\n", bias, spec.max_value(),
+                max_scaled_mse(outlier, spec));
+  }
+
+  std::printf("\npaper context: more mantissa wins on well-behaved tensors, more\n"
+              "exponent wins under outliers -- the E4M3/E3M4 trade-off the paper\n"
+              "resolves per domain (NLP vs CV). E2M5/E1M6 are too narrow-ranged and\n"
+              "E5M2/E6M1 too imprecise to win anywhere, matching Kuzmin et al.\n");
+  return 0;
+}

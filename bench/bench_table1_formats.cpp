@@ -1,0 +1,58 @@
+// Reproduces paper Table 1: the FP8 binary formats, their exponent bias,
+// max/min representable values, subnormal support and special-value
+// encoding -- verified against exhaustive enumeration of all 256 codes.
+#include <cstdio>
+
+#include "fp8/cast.h"
+#include "fp8/format.h"
+
+int main() {
+  using namespace fp8q;
+  std::printf("Table 1: FP8 binary formats\n");
+  std::printf("%-22s %12s %12s %12s\n", "", "E5M2", "E4M3", "E3M4");
+
+  auto row = [](const char* label, auto fn) {
+    std::printf("%-22s", label);
+    for (Fp8Kind kind : kAllFp8Kinds) std::printf(" %12s", fn(format_spec(kind)).c_str());
+    std::printf("\n");
+  };
+
+  row("Exponent bias (b)", [](const FormatSpec& f) { return std::to_string(f.bias); });
+  row("Max value", [](const FormatSpec& f) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1f", f.max_value());
+    return std::string(buf);
+  });
+  row("Min value", [](const FormatSpec& f) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2g", f.min_subnormal());
+    return std::string(buf);
+  });
+  row("Subnormals", [](const FormatSpec&) { return std::string("Yes"); });
+  row("NaNs", [](const FormatSpec& f) {
+    return std::string(f.family == EncodingFamily::kIeee ? "all" : "single");
+  });
+  row("Infinity", [](const FormatSpec& f) {
+    return std::string(f.has_infinity() ? "Yes" : "No");
+  });
+
+  std::printf("\nExhaustive code enumeration:\n");
+  for (Fp8Kind kind : kAllFp8Kinds) {
+    const auto& spec = format_spec(kind);
+    int nan = 0;
+    int inf = 0;
+    for (int c = 0; c < 256; ++c) {
+      const auto code = static_cast<std::uint8_t>(c);
+      nan += fp8_is_nan(code, spec) ? 1 : 0;
+      inf += fp8_is_inf(code, spec) ? 1 : 0;
+    }
+    const auto values = representable_values(spec);
+    std::printf("  %s: %3d finite codes, %zu distinct finite values, %d NaN codes, "
+                "%d Inf codes, grid density at 1.0 = %g per unit\n",
+                std::string(to_string(kind)).c_str(), spec.finite_code_count(),
+                values.size(), nan, inf, spec.grid_density_at(1.0));
+  }
+  std::printf("\npaper: E5M2 max 57344 / min 1.5e-5, E4M3 max 448 / min 1.9e-3, "
+              "E3M4 max 30 / min 1.5e-2\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Reproduces paper Table 3: per-model accuracy for the ten representative
+// workloads across FP32 / E5M2 / E4M3 / E3M4 / INT8. Bold in the paper
+// marks <= 1% relative loss; here passes are marked with '*'.
+#include <cstdio>
+
+#include <map>
+#include <string>
+
+#include "workloads/registry.h"
+
+int main() {
+  using namespace fp8q;
+  const auto suite = build_suite();
+  const EvalProtocol protocol;
+
+  struct PaperRow {
+    double fp32, e5m2, e4m3, e3m4, int8;
+  };
+  const std::map<std::string, PaperRow> paper = {
+      {"resnet50-ish", {0.7615, 0.7544, 0.7592, 0.7604, 0.7595}},
+      {"densenet121-ish", {0.7444, 0.7435, 0.7451, 0.7459, 0.7253}},
+      {"wav2vec2-ish", {0.9660, 0.9632, 0.9661, 0.9658, 0.9552}},
+      {"dlrm-ish", {0.8027, 0.8016, 0.8025, 0.8025, 0.8024}},
+      {"bert-base-stsb-ish", {0.8975, 0.8934, 0.8979, 0.8966, 0.8809}},
+      {"bert-large-cola-ish", {0.6257, 0.6238, 0.6257, 0.6282, 0.6389}},
+      {"distilbert-mrpc-ish", {0.8916, 0.8897, 0.8943, 0.8950, 0.9042}},
+      {"bloom7b-ish", {0.5764, 0.5424, 0.5748, 0.5824, 0.5977}},
+      {"bloom176b-ish", {0.6777, 0.6753, 0.6757, 0.6938, 0.6899}},
+      {"llama65b-ish", {0.7908, 0.7840, 0.7914, 0.7778, 0.7155}},
+  };
+
+  std::printf("Table 3: model accuracy (measured; '*' = <=1%% relative loss)\n\n");
+  std::printf("%-22s %8s %9s %9s %9s %9s   | paper fp32/e4m3/int8\n", "model", "FP32",
+              "E5M2", "E4M3", "E3M4", "INT8");
+  for (const auto& name : table3_workload_names()) {
+    const Workload& w = find_workload(suite, name);
+    std::printf("%-22s", name.c_str());
+
+    AccuracyRecord recs[4];
+    recs[0] = evaluate_workload(w, standard_fp8_scheme(DType::kE5M2), protocol);
+    recs[1] = evaluate_workload(w, standard_fp8_scheme(DType::kE4M3), protocol);
+    recs[2] = evaluate_workload(w, standard_fp8_scheme(DType::kE3M4), protocol);
+    recs[3] = evaluate_workload(w, int8_scheme(w.domain != "CV"), protocol);
+
+    std::printf(" %8.4f", recs[0].fp32_accuracy);
+    for (const auto& r : recs) {
+      std::printf(" %8.4f%s", r.quant_accuracy, r.passes() ? "*" : " ");
+    }
+    const auto it = paper.find(name);
+    if (it != paper.end()) {
+      std::printf("  | %.4f/%.4f/%.4f", it->second.fp32, it->second.e4m3,
+                  it->second.int8);
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  std::printf("\npaper shape: FP8 (especially E4M3/E3M4) within 1%% nearly everywhere;\n"
+              "INT8 fails DenseNet/Wav2Vec2/STS-B/LLaMA-class rows.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Reproduces paper Table 6: static vs dynamic activation quantization on
+// NLP workloads for E4M3 / E3M4. Dynamic per-batch ranges track the data
+// and give a small but consistent accuracy improvement.
+#include <cstdio>
+
+#include "workloads/registry.h"
+
+int main() {
+  using namespace fp8q;
+  const auto suite = build_suite();
+  const EvalProtocol protocol;
+
+  struct Row {
+    const char* workload;
+    DType fmt;
+    const char* paper;
+  };
+  const Row rows[] = {
+      {"distilbert-mrpc-ish", DType::kE4M3, "0.9151 vs 0.9072 (+0.87%)"},
+      {"nlp/bert-ish-1", DType::kE4M3, "0.6058 vs 0.6033 (+0.41%)"},
+      {"bert-large-cola-ish", DType::kE4M3, "0.7401 vs 0.7329 (+0.98%)"},
+      {"nlp/bert-outlier-0", DType::kE3M4, "0.8962 vs 0.8919 (+0.48%)"},
+  };
+
+  std::printf("Table 6: static vs dynamic activation quantization (measured)\n\n");
+  std::printf("%-22s %-6s | %10s %10s %12s | paper (dyn vs static)\n", "workload",
+              "fmt", "dynamic", "static", "improvement");
+  for (const Row& r : rows) {
+    const Workload& w = find_workload(suite, r.workload);
+    const auto stat = evaluate_workload(w, standard_fp8_scheme(r.fmt, false), protocol);
+    const auto dyn = evaluate_workload(w, standard_fp8_scheme(r.fmt, true), protocol);
+    const double improvement =
+        100.0 * (dyn.quant_accuracy - stat.quant_accuracy) /
+        (stat.quant_accuracy != 0.0 ? stat.quant_accuracy : 1.0);
+    std::printf("%-22s %-6s | %10.4f %10.4f %+11.2f%% | %s\n", r.workload,
+                std::string(to_string(r.fmt)).c_str(), dyn.quant_accuracy,
+                stat.quant_accuracy, improvement, r.paper);
+    std::fflush(stdout);
+  }
+  std::printf("\npaper shape: dynamic quantization gives small positive improvements\n"
+              "(+0.4%% to +1%%) for E4M3/E3M4 on NLP models.\n");
+  return 0;
+}

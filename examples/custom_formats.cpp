@@ -1,0 +1,53 @@
+// Exploring the FP8 design space: custom EeMm formats, exponent-bias
+// shifting, rounding modes and packed storage -- the knobs behind the
+// paper's E5M2 / E4M3 / E3M4 choices.
+#include <cstdio>
+
+#include "core/fp8q.h"
+
+using namespace fp8q;
+
+int main() {
+  // 1. Any 1+e+m == 8 split can be built (Kuzmin et al. explore these).
+  std::printf("custom formats:\n");
+  for (int e = 2; e <= 5; ++e) {
+    const FormatSpec spec = make_format(e, 7 - e);
+    std::printf("  E%dM%d: max %10.4g, min subnormal %10.4g, density@1.0 %g/unit\n", e,
+                7 - e, spec.max_value(), spec.min_subnormal(), spec.grid_density_at(1.0));
+  }
+
+  // 2. Exponent-bias shifting (Sun et al. 2019): trade top range for
+  // small-value coverage.
+  std::printf("\nE4M3 with shifted bias:\n");
+  for (int bias : {5, 7, 9}) {
+    const FormatSpec spec = make_format(4, 3, bias);
+    std::printf("  bias %d: range [%g, %g]\n", bias, spec.min_subnormal(),
+                spec.max_value());
+  }
+
+  // 3. Rounding modes on the same value.
+  const float x = 1.06f;
+  CastOptions rne;                                   // default: nearest-even
+  CastOptions rtz;
+  rtz.rounding = RoundingMode::kTowardZero;
+  CastOptions sr;
+  sr.rounding = RoundingMode::kStochastic;
+  std::uint64_t state = 7;
+  sr.rng_state = &state;
+  std::printf("\nrounding %g in E4M3: RNE=%g, toward-zero=%g, stochastic={", x,
+              fp8_quantize(x, Fp8Kind::E4M3, rne), fp8_quantize(x, Fp8Kind::E4M3, rtz));
+  for (int i = 0; i < 5; ++i) std::printf("%g ", fp8_quantize(x, Fp8Kind::E4M3, sr));
+  std::printf("}\n");
+
+  // 4. Packed storage: real FP8 bytes, 4x smaller than FP32.
+  Rng rng(3);
+  Tensor weights = randn(rng, {128, 128});
+  const auto packed = PackedFp8Tensor::pack_per_channel(weights, Fp8Kind::E4M3);
+  std::printf("\npacked [128,128] weight: %zu bytes vs %lld FP32 bytes (%.2fx smaller),"
+              "\nround-trip SQNR %.1f dB\n",
+              packed.storage_bytes(), static_cast<long long>(weights.numel() * 4),
+              static_cast<double>(weights.numel() * 4) /
+                  static_cast<double>(packed.storage_bytes()),
+              sqnr_db(weights.flat(), packed.unpack().flat()));
+  return 0;
+}

@@ -1,0 +1,61 @@
+// fp8q -- umbrella public header.
+//
+// A C++20 library reproducing "Efficient Post-training Quantization with
+// FP8 Formats" (MLSys 2024): software-emulated E5M2 / E4M3 / E3M4 (and
+// generic EeMm) casting, an INT8 baseline, a dataflow-graph NN substrate,
+// the paper's standard + extended post-training quantization schemes
+// (per-channel weights, per-tensor activations, SmoothQuant, BatchNorm
+// calibration, mixed formats, dynamic quantization), an accuracy-driven
+// auto-tuner and the 75-workload study suite.
+//
+// Quick start:
+//
+//   #include "core/fp8q.h"
+//   using namespace fp8q;
+//
+//   Graph model = make_transformer_encoder({});   // or your own Graph
+//   ModelQuantConfig cfg;
+//   cfg.scheme = standard_fp8_scheme(DType::kE4M3);
+//   QuantizedGraph qg(&model, cfg);
+//   qg.prepare(calibration_batches);              // PTQ pipeline
+//   Tensor logits = qg.forward(input);            // FP8 inference
+#pragma once
+
+#include "fp8/cast.h"      // IWYU pragma: export
+#include "fp8/format.h"    // IWYU pragma: export
+#include "fp8/int8.h"      // IWYU pragma: export
+#include "fp8/packed.h"    // IWYU pragma: export
+#include "io/serialize.h"   // IWYU pragma: export
+#include "metrics/metrics.h"   // IWYU pragma: export
+#include "metrics/passrate.h"  // IWYU pragma: export
+#include "models/generation.h"  // IWYU pragma: export
+#include "models/zoo.h"    // IWYU pragma: export
+#include "nn/conv.h"       // IWYU pragma: export
+#include "nn/elementwise.h"  // IWYU pragma: export
+#include "nn/embedding.h"  // IWYU pragma: export
+#include "nn/graph.h"      // IWYU pragma: export
+#include "nn/linear.h"     // IWYU pragma: export
+#include "nn/matmul.h"     // IWYU pragma: export
+#include "nn/norm.h"       // IWYU pragma: export
+#include "nn/shape_ops.h"  // IWYU pragma: export
+#include "quant/calibrate.h"       // IWYU pragma: export
+#include "quant/observer.h"        // IWYU pragma: export
+#include "quant/qconfig.h"         // IWYU pragma: export
+#include "quant/quantized_graph.h" // IWYU pragma: export
+#include "quant/quantizer.h"       // IWYU pragma: export
+#include "quant/smoothquant.h"     // IWYU pragma: export
+#include "tensor/rng.h"    // IWYU pragma: export
+#include "tensor/stats.h"  // IWYU pragma: export
+#include "tensor/tensor.h" // IWYU pragma: export
+#include "tune/tuner.h"    // IWYU pragma: export
+#include "workloads/registry.h"  // IWYU pragma: export
+#include "workloads/workload.h"  // IWYU pragma: export
+
+namespace fp8q {
+
+/// Library semantic version.
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionPatch = 0;
+
+}  // namespace fp8q

@@ -1,0 +1,224 @@
+#include "fp8/cast.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace fp8q {
+
+namespace {
+
+/// xorshift64* step for stochastic rounding; returns uniform double in [0,1).
+double next_uniform(std::uint64_t* state) {
+  std::uint64_t x = *state ? *state : 0x9E3779B97F4A7C15ull;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  *state = x;
+  return static_cast<double>((x * 0x2545F4914F6CDD1Dull) >> 11) * 0x1.0p-53;
+}
+
+/// Rounds a non-negative scaled significand to an integer per `opts`.
+/// `v` is always < 2^(m+1) + 1 <= 33, so the double arithmetic is exact.
+std::uint32_t round_significand(double v, const CastOptions& opts) {
+  const double f = std::floor(v);
+  const double frac = v - f;
+  auto fi = static_cast<std::uint32_t>(f);
+  switch (opts.rounding) {
+    case RoundingMode::kNearestEven:
+      if (frac > 0.5 || (frac == 0.5 && (fi & 1u))) ++fi;
+      return fi;
+    case RoundingMode::kTowardZero:
+      return fi;
+    case RoundingMode::kStochastic: {
+      std::uint64_t fallback = 0x1234567890ABCDEFull;
+      std::uint64_t* state = opts.rng_state ? opts.rng_state : &fallback;
+      if (frac > 0.0 && next_uniform(state) < frac) ++fi;
+      return fi;
+    }
+  }
+  return fi;
+}
+
+std::uint8_t max_finite_code(const FormatSpec& spec) {
+  const int m = spec.man_bits;
+  if (spec.family == EncodingFamily::kIeee) {
+    const int exp_field = (1 << spec.exp_bits) - 2;
+    const int mant = (1 << m) - 1;
+    return static_cast<std::uint8_t>((exp_field << m) | mant);
+  }
+  const int exp_field = (1 << spec.exp_bits) - 1;
+  const int mant = (1 << m) - 2;
+  return static_cast<std::uint8_t>((exp_field << m) | mant);
+}
+
+std::uint8_t infinity_code(const FormatSpec& spec) {
+  // Only meaningful for the IEEE family: top exponent, zero mantissa.
+  return static_cast<std::uint8_t>(((1 << spec.exp_bits) - 1) << spec.man_bits);
+}
+
+}  // namespace
+
+std::uint8_t fp8_nan_code(const FormatSpec& /*spec*/) {
+  // Exponent and mantissa fields all ones, sign clear: 0x7F for every
+  // 1-e-m split. For E5M2 this is the canonical (largest-payload) NaN; for
+  // the extended formats it is the single NaN encoding from Table 1.
+  return 0x7F;
+}
+
+bool fp8_is_nan(std::uint8_t code, const FormatSpec& spec) {
+  const int m = spec.man_bits;
+  const int exp_field = (code >> m) & ((1 << spec.exp_bits) - 1);
+  const int mant = code & ((1 << m) - 1);
+  if (spec.family == EncodingFamily::kIeee) {
+    return exp_field == (1 << spec.exp_bits) - 1 && mant != 0;
+  }
+  return (code & 0x7F) == 0x7F;
+}
+
+bool fp8_is_inf(std::uint8_t code, const FormatSpec& spec) {
+  if (spec.family != EncodingFamily::kIeee) return false;
+  const int m = spec.man_bits;
+  const int exp_field = (code >> m) & ((1 << spec.exp_bits) - 1);
+  const int mant = code & ((1 << m) - 1);
+  return exp_field == (1 << spec.exp_bits) - 1 && mant == 0;
+}
+
+std::uint8_t fp8_encode(float x, const FormatSpec& spec, const CastOptions& opts) {
+  const int m = spec.man_bits;
+  const std::uint8_t sign = std::signbit(x) ? 0x80 : 0x00;
+
+  if (std::isnan(x)) return static_cast<std::uint8_t>(sign | fp8_nan_code(spec));
+
+  if (std::isinf(x)) {
+    if (opts.overflow == OverflowPolicy::kInfinityNan) {
+      return static_cast<std::uint8_t>(
+          sign | (spec.has_infinity() ? infinity_code(spec) : fp8_nan_code(spec)));
+    }
+    return static_cast<std::uint8_t>(sign | max_finite_code(spec));
+  }
+
+  const double a = std::fabs(static_cast<double>(x));
+  if (a == 0.0) return sign;  // +/-0
+
+  // Pick the exponent of the grid the value falls on. Values below the
+  // normal range share the subnormal grid at min_unbiased_exp().
+  int e = std::max(std::ilogb(a), spec.min_unbiased_exp());
+  std::uint32_t k = round_significand(std::ldexp(a, m - e), opts);
+  if (k >= (2u << m)) {  // rounded up across a binade boundary
+    k >>= 1;
+    ++e;
+  }
+  if (k == 0) return sign;  // rounded to zero
+
+  std::uint8_t code;
+  if (k < (1u << m)) {
+    // Subnormal: exponent field zero (only reachable at the minimum grid).
+    code = static_cast<std::uint8_t>(k);
+  } else {
+    const int biased = e + spec.bias;
+    const int mant = static_cast<int>(k) - (1 << m);
+    const int max_field = (spec.family == EncodingFamily::kIeee)
+                              ? (1 << spec.exp_bits) - 2
+                              : (1 << spec.exp_bits) - 1;
+    bool overflow = biased > max_field;
+    if (!overflow && spec.family == EncodingFamily::kExtended &&
+        biased == max_field && mant == (1 << m) - 1) {
+      overflow = true;  // this code point is the NaN encoding
+    }
+    if (overflow) {
+      if (opts.overflow == OverflowPolicy::kInfinityNan) {
+        return static_cast<std::uint8_t>(
+            sign | (spec.has_infinity() ? infinity_code(spec) : fp8_nan_code(spec)));
+      }
+      return static_cast<std::uint8_t>(sign | max_finite_code(spec));
+    }
+    code = static_cast<std::uint8_t>((biased << m) | mant);
+  }
+  return static_cast<std::uint8_t>(sign | code);
+}
+
+float fp8_decode(std::uint8_t code, const FormatSpec& spec) {
+  const int m = spec.man_bits;
+  const bool negative = (code & 0x80) != 0;
+  const int exp_field = (code >> m) & ((1 << spec.exp_bits) - 1);
+  const int mant = code & ((1 << m) - 1);
+
+  if (fp8_is_nan(code, spec)) return std::numeric_limits<float>::quiet_NaN();
+  if (fp8_is_inf(code, spec)) {
+    const float inf = std::numeric_limits<float>::infinity();
+    return negative ? -inf : inf;
+  }
+
+  double value;
+  if (exp_field == 0) {
+    value = std::ldexp(static_cast<double>(mant), spec.min_unbiased_exp() - m);
+  } else {
+    value = std::ldexp(static_cast<double>((1 << m) + mant), exp_field - spec.bias - m);
+  }
+  const auto v = static_cast<float>(value);
+  return negative ? -v : v;
+}
+
+float fp8_quantize(float x, const FormatSpec& spec, const CastOptions& opts) {
+  const int m = spec.man_bits;
+
+  if (std::isnan(x)) return x;
+  if (std::isinf(x)) {
+    if (opts.overflow == OverflowPolicy::kInfinityNan) {
+      return spec.has_infinity() ? x : std::numeric_limits<float>::quiet_NaN();
+    }
+    return std::copysign(spec.max_value(), x);
+  }
+
+  const double a = std::fabs(static_cast<double>(x));
+  if (a == 0.0) return x;  // preserve signed zero
+
+  int e = std::max(std::ilogb(a), spec.min_unbiased_exp());
+  std::uint32_t k = round_significand(std::ldexp(a, m - e), opts);
+  if (k >= (2u << m)) {
+    k >>= 1;
+    ++e;
+  }
+  if (k == 0) return std::copysign(0.0f, x);
+
+  auto v = static_cast<float>(std::ldexp(static_cast<double>(k), e - m));
+  const float maxv = spec.max_value();
+  if (v > maxv) {
+    if (opts.overflow == OverflowPolicy::kInfinityNan) {
+      return spec.has_infinity() ? std::copysign(std::numeric_limits<float>::infinity(), x)
+                                 : std::numeric_limits<float>::quiet_NaN();
+    }
+    v = maxv;
+  }
+  return std::copysign(v, x);
+}
+
+void fp8_quantize(std::span<const float> in, std::span<float> out,
+                  const FormatSpec& spec, const CastOptions& opts) {
+  const size_t n = std::min(in.size(), out.size());
+  for (size_t i = 0; i < n; ++i) out[i] = fp8_quantize(in[i], spec, opts);
+}
+
+void fp8_quantize_scaled(std::span<const float> in, std::span<float> out,
+                         const FormatSpec& spec, float scale, const CastOptions& opts) {
+  if (!(scale > 0.0f) || !std::isfinite(scale)) scale = 1.0f;
+  const float inv = 1.0f / scale;
+  const size_t n = std::min(in.size(), out.size());
+  for (size_t i = 0; i < n; ++i) out[i] = fp8_quantize(in[i] * scale, spec, opts) * inv;
+}
+
+std::vector<float> representable_values(const FormatSpec& spec) {
+  std::vector<float> values;
+  values.reserve(256);
+  for (int c = 0; c < 256; ++c) {
+    const auto code = static_cast<std::uint8_t>(c);
+    if (fp8_is_nan(code, spec) || fp8_is_inf(code, spec)) continue;
+    values.push_back(fp8_decode(code, spec));
+  }
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
+
+}  // namespace fp8q

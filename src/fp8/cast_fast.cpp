@@ -1,0 +1,77 @@
+#include "fp8/cast_fast.h"
+
+#include <bit>
+#include <cmath>
+
+namespace fp8q {
+
+FastCastSpec::FastCastSpec(const FormatSpec& spec)
+    : man_bits(spec.man_bits),
+      min_unbiased_exp(spec.min_unbiased_exp()),
+      max_bits(std::bit_cast<std::uint32_t>(spec.max_value())),
+      half_min_sub(std::bit_cast<std::uint32_t>(spec.min_subnormal() * 0.5f)),
+      min_subnormal(spec.min_subnormal()) {}
+
+float fp8_quantize_fast(float x, const FastCastSpec& spec) {
+  std::uint32_t u = std::bit_cast<std::uint32_t>(x);
+  const std::uint32_t sign = u & 0x80000000u;
+  std::uint32_t au = u & 0x7FFFFFFFu;
+
+  if (au >= 0x7F800000u) {
+    // NaN passes through; +/-Inf saturates to +/-max.
+    if (au > 0x7F800000u) return x;
+    return std::bit_cast<float>(sign | spec.max_bits);
+  }
+  if (au <= spec.half_min_sub) {
+    // At or below half the smallest subnormal: rounds to (signed) zero.
+    // The exact tie (== half) goes to zero by round-to-even.
+    return std::bit_cast<float>(sign);
+  }
+
+  // Effective mantissa width shrinks by one bit per binade below the
+  // normal range (shared subnormal grid at min_unbiased_exp).
+  const int e32 = static_cast<int>(au >> 23) - 127;
+  int shift = 23 - spec.man_bits;
+  if (e32 < spec.min_unbiased_exp) shift += spec.min_unbiased_exp - e32;
+
+  if (shift >= 24) {
+    // Value in (half_min_sub, min_subnormal): rounds up to the smallest
+    // subnormal (the exact tie was handled above).
+    const float mag = spec.min_subnormal;
+    return sign ? -mag : mag;
+  }
+
+  // Round-to-nearest-even at `shift` dropped bits: add the rounding bias
+  // (carry propagates naturally into the exponent field). When the whole
+  // mantissa is dropped (shift == 23, the lowest subnormal binade with one
+  // effective bit), the kept LSB lies in the exponent field and no longer
+  // encodes grid parity; there the upper neighbour (2 ulp, even) always
+  // wins ties, which is exactly round-half-up.
+  const std::uint32_t bias = shift == 23
+                                 ? (1u << 22)
+                                 : ((1u << (shift - 1)) - 1u) + ((au >> shift) & 1u);
+  au += bias;
+  au &= ~((1u << shift) - 1u);
+
+  if (au > spec.max_bits) au = spec.max_bits;  // saturate
+  return std::bit_cast<float>(sign | au);
+}
+
+void fp8_quantize_scaled_fast(std::span<const float> in, std::span<float> out,
+                              const FastCastSpec& spec, float scale) {
+  if (!(scale > 0.0f) || !std::isfinite(scale)) scale = 1.0f;
+  const float inv = 1.0f / scale;
+  const size_t n = in.size() < out.size() ? in.size() : out.size();
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = fp8_quantize_fast(in[i] * scale, spec) * inv;
+  }
+}
+
+const FastCastSpec& fast_cast_spec(Fp8Kind kind) {
+  static const FastCastSpec specs[3] = {FastCastSpec(format_spec(Fp8Kind::E5M2)),
+                                        FastCastSpec(format_spec(Fp8Kind::E4M3)),
+                                        FastCastSpec(format_spec(Fp8Kind::E3M4))};
+  return specs[static_cast<int>(kind)];
+}
+
+}  // namespace fp8q

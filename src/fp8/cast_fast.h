@@ -1,0 +1,38 @@
+// Branch-light FP8 fake-quantization via float32 bit manipulation.
+//
+// Semantics: identical to fp8_quantize(x, spec) with the default options
+// (round-to-nearest-even, saturate-on-overflow) -- verified exhaustively
+// against the reference implementation in the test suite. This is the hot
+// path of the emulation framework: every activation element of every
+// quantized operator passes through it.
+#pragma once
+
+#include <span>
+
+#include "fp8/format.h"
+
+namespace fp8q {
+
+/// Precomputed per-format constants for the fast path.
+struct FastCastSpec {
+  explicit FastCastSpec(const FormatSpec& spec);
+
+  int man_bits;
+  int min_unbiased_exp;        ///< grid exponent floor (1 - bias)
+  std::uint32_t max_bits;      ///< bit pattern of the largest finite value
+  std::uint32_t half_min_sub;  ///< bit pattern of min_subnormal / 2
+  float min_subnormal;
+};
+
+/// RNE + saturating fake quantization; NaN passes through.
+[[nodiscard]] float fp8_quantize_fast(float x, const FastCastSpec& spec);
+
+/// Vector form: out[i] = fp8_quantize_fast(in[i] * scale) / scale.
+/// `out` may alias `in`. A non-finite or non-positive scale is treated as 1.
+void fp8_quantize_scaled_fast(std::span<const float> in, std::span<float> out,
+                              const FastCastSpec& spec, float scale);
+
+/// Cached FastCastSpec for one of the three paper formats.
+[[nodiscard]] const FastCastSpec& fast_cast_spec(Fp8Kind kind);
+
+}  // namespace fp8q

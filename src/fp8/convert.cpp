@@ -1,0 +1,26 @@
+#include "fp8/convert.h"
+
+#include <cmath>
+
+#include "fp8/cast.h"
+
+namespace fp8q {
+
+std::uint8_t fp8_convert(std::uint8_t code, const FormatSpec& from, const FormatSpec& to) {
+  const float v = fp8_decode(code, from);
+  if (std::isnan(v)) return fp8_nan_code(to) | static_cast<std::uint8_t>(code & 0x80);
+  return fp8_encode(v, to);  // default options: RNE + saturate
+}
+
+bool fp8_convert_lossless(const FormatSpec& from, const FormatSpec& to) {
+  for (int c = 0; c < 256; ++c) {
+    const auto code = static_cast<std::uint8_t>(c);
+    if (fp8_is_nan(code, from) || fp8_is_inf(code, from)) continue;
+    const float v = fp8_decode(code, from);
+    const float round_trip = fp8_decode(fp8_encode(v, to), to);
+    if (std::isnan(round_trip) || round_trip != v) return false;
+  }
+  return true;
+}
+
+}  // namespace fp8q

@@ -1,0 +1,23 @@
+// Cross-format FP8 conversion: re-encoding a tensor of one FP8 format's
+// codes into another format (mixed-format pipelines hand tensors between
+// E4M3 activations and E3M4 weights; a deployment runtime converts at the
+// boundary).
+#pragma once
+
+#include <cstdint>
+
+#include "fp8/format.h"
+
+namespace fp8q {
+
+/// Re-encodes a code of `from` into `to` (round-to-nearest-even,
+/// saturating). NaN maps to NaN; Inf (E5M2) saturates to the target max.
+[[nodiscard]] std::uint8_t fp8_convert(std::uint8_t code, const FormatSpec& from,
+                                       const FormatSpec& to);
+
+/// True if every finite value of `from` is exactly representable in `to`
+/// (i.e. conversion is lossless). E.g. no 8-bit pair satisfies this in
+/// both directions unless the formats are identical.
+[[nodiscard]] bool fp8_convert_lossless(const FormatSpec& from, const FormatSpec& to);
+
+}  // namespace fp8q

@@ -1,0 +1,91 @@
+#include "fp8/format.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fp8q {
+
+namespace {
+
+constexpr FormatSpec kE5M2{5, 2, 15, EncodingFamily::kIeee, "E5M2"};
+constexpr FormatSpec kE4M3{4, 3, 7, EncodingFamily::kExtended, "E4M3"};
+constexpr FormatSpec kE3M4{3, 4, 3, EncodingFamily::kExtended, "E3M4"};
+
+}  // namespace
+
+float FormatSpec::max_value() const {
+  // IEEE family: largest mantissa (all ones) at the top normal exponent.
+  // Extended family: mantissa all-ones at the top exponent is NaN, so the
+  // largest finite value uses mantissa all-ones-minus-one.
+  const double top_fraction = (family == EncodingFamily::kIeee)
+                                  ? 2.0 - std::ldexp(1.0, -man_bits)
+                                  : 2.0 - std::ldexp(2.0, -man_bits);
+  return static_cast<float>(std::ldexp(top_fraction, max_unbiased_exp()));
+}
+
+float FormatSpec::min_normal() const {
+  return static_cast<float>(std::ldexp(1.0, min_unbiased_exp()));
+}
+
+float FormatSpec::min_subnormal() const {
+  return static_cast<float>(std::ldexp(1.0, min_unbiased_exp() - man_bits));
+}
+
+int FormatSpec::finite_code_count() const {
+  if (family == EncodingFamily::kIeee) {
+    // Exclude the whole top exponent plane (Inf + NaNs) for both signs.
+    return 256 - 2 * (1 << man_bits);
+  }
+  // Extended: only the two all-ones-payload codes (0x7F-like and its
+  // negative counterpart) are NaN.
+  return 256 - 2;
+}
+
+double FormatSpec::grid_density_at(double magnitude) const {
+  if (!(magnitude > 0.0)) return 0.0;
+  const double n = std::floor(std::log2(magnitude));
+  return std::ldexp(1.0, man_bits - static_cast<int>(n));
+}
+
+const FormatSpec& format_spec(Fp8Kind kind) {
+  switch (kind) {
+    case Fp8Kind::E5M2:
+      return kE5M2;
+    case Fp8Kind::E4M3:
+      return kE4M3;
+    case Fp8Kind::E3M4:
+      return kE3M4;
+  }
+  throw std::invalid_argument("unknown Fp8Kind");
+}
+
+FormatSpec make_format(int exp_bits, int man_bits, int bias_override, bool ieee) {
+  if (exp_bits < 1 || man_bits < 0 || exp_bits + man_bits != 7) {
+    throw std::invalid_argument("FP8 format requires 1 sign + e + m == 8 bits");
+  }
+  FormatSpec spec;
+  spec.exp_bits = exp_bits;
+  spec.man_bits = man_bits;
+  spec.bias = bias_override >= 0 ? bias_override : (1 << (exp_bits - 1)) - 1;
+  spec.family = ieee ? EncodingFamily::kIeee : EncodingFamily::kExtended;
+  spec.name = "custom";
+  return spec;
+}
+
+std::string_view to_string(Fp8Kind kind) { return format_spec(kind).name; }
+
+Fp8Kind fp8_kind_from_string(std::string_view s) {
+  auto eq = [&](std::string_view t) {
+    if (s.size() != t.size()) return false;
+    for (size_t i = 0; i < s.size(); ++i) {
+      if (std::toupper(static_cast<unsigned char>(s[i])) != t[i]) return false;
+    }
+    return true;
+  };
+  if (eq("E5M2")) return Fp8Kind::E5M2;
+  if (eq("E4M3")) return Fp8Kind::E4M3;
+  if (eq("E3M4")) return Fp8Kind::E3M4;
+  throw std::invalid_argument("unknown FP8 format: " + std::string(s));
+}
+
+}  // namespace fp8q

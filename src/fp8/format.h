@@ -1,0 +1,86 @@
+// FP8 binary format descriptions (paper Table 1).
+//
+// An FP8 format is described by an exponent width `e`, a mantissa width `m`
+// (1 + e + m == 8), an exponent bias, and an encoding family:
+//   * IEEE-like (E5M2): the all-ones exponent field is reserved for
+//     +/-Infinity (mantissa == 0) and NaNs (mantissa != 0), exactly like
+//     binary16/32/64 scaled down.
+//   * Extended (E4M3, E3M4): +/-Infinity is reclaimed for useful encodings;
+//     the single bit pattern with exponent and mantissa all-ones represents
+//     NaN (both signs), every other code is a finite value.
+// All formats support signed zero and subnormals.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace fp8q {
+
+/// The three formats studied in the paper.
+enum class Fp8Kind : std::uint8_t { E5M2, E4M3, E3M4 };
+
+/// Encoding family for the maximum exponent field.
+enum class EncodingFamily : std::uint8_t {
+  kIeee,      ///< all-ones exponent reserved for Inf/NaN (E5M2)
+  kExtended,  ///< all-ones exponent holds normal values; single NaN code
+};
+
+/// Full description of an 8-bit floating point format. Immutable value type.
+struct FormatSpec {
+  int exp_bits = 0;       ///< e: exponent field width in bits
+  int man_bits = 0;       ///< m: mantissa (fraction) field width in bits
+  int bias = 0;           ///< exponent bias b
+  EncodingFamily family = EncodingFamily::kIeee;
+  std::string_view name = "";
+
+  /// Unbiased exponent of the smallest normal number (also used for
+  /// subnormals): 1 - bias.
+  [[nodiscard]] constexpr int min_unbiased_exp() const { return 1 - bias; }
+
+  /// Unbiased exponent of the largest normal number.
+  [[nodiscard]] constexpr int max_unbiased_exp() const {
+    const int max_field =
+        (family == EncodingFamily::kIeee) ? (1 << exp_bits) - 2 : (1 << exp_bits) - 1;
+    return max_field - bias;
+  }
+
+  /// Largest finite representable magnitude (448.0 for E4M3, ...).
+  [[nodiscard]] float max_value() const;
+
+  /// Smallest positive normal magnitude: 2^(1-bias).
+  [[nodiscard]] float min_normal() const;
+
+  /// Smallest positive subnormal magnitude: 2^(1-bias-m).
+  [[nodiscard]] float min_subnormal() const;
+
+  /// True if the format can encode +/-Infinity (IEEE family only).
+  [[nodiscard]] constexpr bool has_infinity() const {
+    return family == EncodingFamily::kIeee;
+  }
+
+  /// Number of distinct finite non-NaN codes (including both zeros).
+  [[nodiscard]] int finite_code_count() const;
+
+  /// Quantization grid density around decimal magnitude N (Appendix A.1,
+  /// Eq. 2): 2^(m - floor(log2 N)) representable values per unit interval.
+  [[nodiscard]] double grid_density_at(double magnitude) const;
+};
+
+/// Returns the spec for one of the three paper formats.
+[[nodiscard]] const FormatSpec& format_spec(Fp8Kind kind);
+
+/// Builds a custom E(e)M(m) spec (e.g. E2M5 from Kuzmin et al.). The bias
+/// defaults to 2^(e-1) - 1; extended encoding unless `ieee` is set.
+[[nodiscard]] FormatSpec make_format(int exp_bits, int man_bits, int bias_override = -1,
+                                     bool ieee = false);
+
+[[nodiscard]] std::string_view to_string(Fp8Kind kind);
+
+/// Parses "E5M2"/"e4m3"/... ; throws std::invalid_argument on other input.
+[[nodiscard]] Fp8Kind fp8_kind_from_string(std::string_view s);
+
+/// All three paper formats, in dynamic-range order.
+inline constexpr Fp8Kind kAllFp8Kinds[] = {Fp8Kind::E5M2, Fp8Kind::E4M3, Fp8Kind::E3M4};
+
+}  // namespace fp8q

@@ -1,0 +1,64 @@
+#include "fp8/int8.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fp8q {
+
+namespace {
+
+/// Round half to even, matching the FP8 cast path and typical INT8 kernels.
+std::int32_t round_nearest_even(float v) {
+  const float f = std::floor(v);
+  const float frac = v - f;
+  auto fi = static_cast<std::int64_t>(f);
+  if (frac > 0.5f || (frac == 0.5f && (fi & 1))) ++fi;
+  return static_cast<std::int32_t>(fi);
+}
+
+}  // namespace
+
+Int8Params int8_symmetric_params(float absmax) {
+  Int8Params p;
+  p.qmin = -127;
+  p.qmax = 127;
+  p.zero_point = 0;
+  p.scale = (absmax > 0.0f && std::isfinite(absmax)) ? absmax / 127.0f : 1.0f;
+  return p;
+}
+
+Int8Params int8_asymmetric_params(float min_value, float max_value) {
+  // The range must include zero so that padding/ReLU zeros are exact.
+  min_value = std::min(min_value, 0.0f);
+  max_value = std::max(max_value, 0.0f);
+  Int8Params p;
+  p.qmin = -128;
+  p.qmax = 127;
+  const float span = max_value - min_value;
+  p.scale = (span > 0.0f && std::isfinite(span)) ? span / 255.0f : 1.0f;
+  const float zp = static_cast<float>(p.qmin) - min_value / p.scale;
+  p.zero_point = std::clamp(round_nearest_even(zp), p.qmin, p.qmax);
+  return p;
+}
+
+std::int8_t int8_encode(float x, const Int8Params& p) {
+  if (std::isnan(x)) return 0;
+  const float scaled = x / p.scale + static_cast<float>(p.zero_point);
+  const std::int32_t q = std::clamp(round_nearest_even(scaled), p.qmin, p.qmax);
+  return static_cast<std::int8_t>(q);
+}
+
+float int8_decode(std::int8_t q, const Int8Params& p) {
+  return (static_cast<float>(q) - static_cast<float>(p.zero_point)) * p.scale;
+}
+
+float int8_quantize(float x, const Int8Params& p) {
+  return int8_decode(int8_encode(x, p), p);
+}
+
+void int8_quantize(std::span<const float> in, std::span<float> out, const Int8Params& p) {
+  const size_t n = std::min(in.size(), out.size());
+  for (size_t i = 0; i < n; ++i) out[i] = int8_quantize(in[i], p);
+}
+
+}  // namespace fp8q

@@ -1,0 +1,42 @@
+// INT8 affine quantization baseline (paper Table 2 comparison row).
+//
+// Standard symmetric / asymmetric INT8 with round-to-nearest-even, the
+// scheme the paper's INT8 baseline uses through Neural Compressor:
+// per-channel symmetric weights, per-tensor activations (static for CV,
+// dynamic for NLP).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace fp8q {
+
+/// Affine quantization parameters: real = (q - zero_point) * scale.
+struct Int8Params {
+  float scale = 1.0f;
+  std::int32_t zero_point = 0;
+  std::int32_t qmin = -128;
+  std::int32_t qmax = 127;
+};
+
+/// Symmetric parameters from a calibrated absolute maximum. Uses the
+/// restricted range [-127, 127] so the grid is symmetric around zero.
+[[nodiscard]] Int8Params int8_symmetric_params(float absmax);
+
+/// Asymmetric parameters from calibrated [min, max]; full [-128, 127] range
+/// with a zero-point chosen so that real 0.0 is exactly representable.
+[[nodiscard]] Int8Params int8_asymmetric_params(float min_value, float max_value);
+
+/// Quantizes one value to its integer code (round-to-nearest-even, clamped).
+[[nodiscard]] std::int8_t int8_encode(float x, const Int8Params& p);
+
+/// Dequantizes an integer code back to float32.
+[[nodiscard]] float int8_decode(std::int8_t q, const Int8Params& p);
+
+/// Fused quantize-dequantize of one value.
+[[nodiscard]] float int8_quantize(float x, const Int8Params& p);
+
+/// Vectorized fused quantize-dequantize. `out` may alias `in`.
+void int8_quantize(std::span<const float> in, std::span<float> out, const Int8Params& p);
+
+}  // namespace fp8q

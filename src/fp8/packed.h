@@ -1,0 +1,50 @@
+// Packed FP8 tensor storage: real uint8 codes plus scale metadata.
+//
+// The emulation framework computes in FP32 (fake quantization), but a
+// deployed FP8 model stores weights as 8-bit codes -- 4x smaller than
+// FP32. PackedFp8Tensor materializes that storage format: encode once,
+// carry codes + per-channel scales, decode on demand. Round-tripping
+// through the packed form is exactly the fake-quantized tensor (tested).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fp8/format.h"
+#include "tensor/tensor.h"
+
+namespace fp8q {
+
+class PackedFp8Tensor {
+ public:
+  PackedFp8Tensor() = default;
+
+  /// Packs with one scale per leading-axis channel (the paper's weight
+  /// scheme): scale_c = float_max / absmax(channel c).
+  [[nodiscard]] static PackedFp8Tensor pack_per_channel(const Tensor& t, Fp8Kind kind);
+
+  /// Packs with a single tensor-wide scale.
+  [[nodiscard]] static PackedFp8Tensor pack_per_tensor(const Tensor& t, Fp8Kind kind);
+
+  /// Decodes back to float32: decode(code) / scale.
+  [[nodiscard]] Tensor unpack() const;
+
+  [[nodiscard]] Fp8Kind kind() const { return kind_; }
+  [[nodiscard]] const Shape& shape() const { return shape_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& codes() const { return codes_; }
+  [[nodiscard]] const std::vector<float>& scales() const { return scales_; }
+  [[nodiscard]] bool per_channel() const { return scales_.size() > 1; }
+
+  /// Stored bytes (codes + scales), vs numel*4 for FP32.
+  [[nodiscard]] std::size_t storage_bytes() const {
+    return codes_.size() + scales_.size() * sizeof(float);
+  }
+
+ private:
+  Fp8Kind kind_ = Fp8Kind::E4M3;
+  Shape shape_;
+  std::vector<std::uint8_t> codes_;
+  std::vector<float> scales_;  ///< one per channel, or a single entry
+};
+
+}  // namespace fp8q

@@ -1,0 +1,188 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace fp8q {
+
+namespace {
+void check_sizes(std::span<const float> a, std::span<const float> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("metric: size mismatch");
+}
+}  // namespace
+
+double mse(std::span<const float> ref, std::span<const float> got) {
+  check_sizes(ref, got);
+  if (ref.empty()) return 0.0;
+  double acc = 0.0;
+  std::int64_t n = 0;
+  for (size_t i = 0; i < ref.size(); ++i) {
+    if (std::isnan(ref[i]) || std::isnan(got[i])) continue;
+    const double d = static_cast<double>(ref[i]) - static_cast<double>(got[i]);
+    acc += d * d;
+    ++n;
+  }
+  return n > 0 ? acc / static_cast<double>(n) : 0.0;
+}
+
+double mae(std::span<const float> ref, std::span<const float> got) {
+  check_sizes(ref, got);
+  if (ref.empty()) return 0.0;
+  double acc = 0.0;
+  std::int64_t n = 0;
+  for (size_t i = 0; i < ref.size(); ++i) {
+    if (std::isnan(ref[i]) || std::isnan(got[i])) continue;
+    acc += std::fabs(static_cast<double>(ref[i]) - static_cast<double>(got[i]));
+    ++n;
+  }
+  return n > 0 ? acc / static_cast<double>(n) : 0.0;
+}
+
+double max_abs_error(std::span<const float> ref, std::span<const float> got) {
+  check_sizes(ref, got);
+  double m = 0.0;
+  for (size_t i = 0; i < ref.size(); ++i) {
+    if (std::isnan(ref[i]) || std::isnan(got[i])) continue;
+    m = std::max(m, std::fabs(static_cast<double>(ref[i]) - static_cast<double>(got[i])));
+  }
+  return m;
+}
+
+double sqnr_db(std::span<const float> ref, std::span<const float> got) {
+  check_sizes(ref, got);
+  double signal = 0.0;
+  double noise = 0.0;
+  for (size_t i = 0; i < ref.size(); ++i) {
+    if (std::isnan(ref[i]) || std::isnan(got[i])) continue;
+    const double r = ref[i];
+    const double d = r - static_cast<double>(got[i]);
+    signal += r * r;
+    noise += d * d;
+  }
+  if (noise == 0.0) return std::numeric_limits<double>::infinity();
+  if (signal == 0.0) return -std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(signal / noise);
+}
+
+double cosine_similarity(std::span<const float> a, std::span<const float> b) {
+  check_sizes(a, b);
+  double dot = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na == 0.0 && nb == 0.0) return 1.0;
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double pearson(std::span<const float> a, std::span<const float> b) {
+  check_sizes(a, b);
+  const auto n = static_cast<double>(a.size());
+  if (a.empty()) return 0.0;
+  double sa = 0.0;
+  double sb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    sa += a[i];
+    sb += b[i];
+  }
+  const double ma = sa / n;
+  const double mb = sb / n;
+  double cov = 0.0;
+  double va = 0.0;
+  double vb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va == 0.0 || vb == 0.0) return va == vb ? 1.0 : 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+std::int64_t argmax(std::span<const float> v) {
+  if (v.empty()) return -1;
+  size_t best = 0;
+  for (size_t i = 1; i < v.size(); ++i) {
+    if (v[i] > v[best]) best = i;
+  }
+  return static_cast<std::int64_t>(best);
+}
+
+double top1_agreement(const Tensor& ref_scores, const Tensor& got_scores) {
+  if (!ref_scores.same_shape(got_scores)) {
+    throw std::invalid_argument("top1_agreement: shape mismatch");
+  }
+  if (ref_scores.dim() < 1 || ref_scores.numel() == 0) return 1.0;
+  const std::int64_t classes = ref_scores.size(-1);
+  const std::int64_t rows = ref_scores.numel() / classes;
+  const auto ref = ref_scores.flat();
+  const auto got = got_scores.flat();
+  std::int64_t agree = 0;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const auto off = static_cast<size_t>(r * classes);
+    const auto c = static_cast<size_t>(classes);
+    if (argmax(ref.subspan(off, c)) == argmax(got.subspan(off, c))) ++agree;
+  }
+  return static_cast<double>(agree) / static_cast<double>(rows);
+}
+
+double nmse_accuracy(std::span<const float> ref, std::span<const float> got) {
+  check_sizes(ref, got);
+  double signal = 0.0;
+  for (float r : ref) signal += static_cast<double>(r) * r;
+  if (signal == 0.0) return 1.0;
+  const double err = mse(ref, got) * static_cast<double>(ref.size());
+  return std::clamp(1.0 - err / signal, 0.0, 1.0);
+}
+
+double frechet_distance_diag(const Tensor& features_a, const Tensor& features_b) {
+  if (features_a.dim() != 2 || features_b.dim() != 2 ||
+      features_a.size(1) != features_b.size(1)) {
+    throw std::invalid_argument("frechet_distance_diag: expected [n, d] feature matrices");
+  }
+  const std::int64_t d = features_a.size(1);
+  auto moments = [&](const Tensor& f, std::vector<double>& mu, std::vector<double>& var) {
+    const std::int64_t n = f.size(0);
+    mu.assign(static_cast<size_t>(d), 0.0);
+    var.assign(static_cast<size_t>(d), 0.0);
+    const auto data = f.flat();
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = 0; j < d; ++j) {
+        mu[static_cast<size_t>(j)] += data[static_cast<size_t>(i * d + j)];
+      }
+    }
+    for (auto& m : mu) m /= static_cast<double>(n);
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = 0; j < d; ++j) {
+        const double dd = data[static_cast<size_t>(i * d + j)] - mu[static_cast<size_t>(j)];
+        var[static_cast<size_t>(j)] += dd * dd;
+      }
+    }
+    for (auto& v : var) v /= std::max<double>(1.0, static_cast<double>(n - 1));
+  };
+  std::vector<double> mu1;
+  std::vector<double> var1;
+  std::vector<double> mu2;
+  std::vector<double> var2;
+  moments(features_a, mu1, var1);
+  moments(features_b, mu2, var2);
+  // Diagonal-covariance Frechet distance:
+  //   |mu1-mu2|^2 + sum_j (v1_j + v2_j - 2*sqrt(v1_j v2_j))
+  double dist = 0.0;
+  for (std::int64_t j = 0; j < d; ++j) {
+    const auto ju = static_cast<size_t>(j);
+    const double dm = mu1[ju] - mu2[ju];
+    dist += dm * dm + var1[ju] + var2[ju] - 2.0 * std::sqrt(var1[ju] * var2[ju]);
+  }
+  return dist;
+}
+
+}  // namespace fp8q

@@ -1,0 +1,55 @@
+// Error and fidelity metrics.
+//
+// The paper reports task accuracy against an FP32 baseline; our synthetic
+// substitution measures fidelity of the quantized network against the FP32
+// reference network (see DESIGN.md section 1), so the core metrics are
+// distortion (MSE/SQNR) and agreement (top-1 match, Pearson correlation).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fp8q {
+
+/// Mean squared error between reference and candidate; NaN pairs are skipped.
+[[nodiscard]] double mse(std::span<const float> ref, std::span<const float> got);
+[[nodiscard]] inline double mse(const Tensor& a, const Tensor& b) {
+  return mse(a.flat(), b.flat());
+}
+
+/// Mean absolute error.
+[[nodiscard]] double mae(std::span<const float> ref, std::span<const float> got);
+
+/// Largest absolute difference.
+[[nodiscard]] double max_abs_error(std::span<const float> ref, std::span<const float> got);
+
+/// Signal-to-quantization-noise ratio in dB: 10*log10(E[x^2]/E[(x-q)^2]).
+/// Returns +inf for a perfect match.
+[[nodiscard]] double sqnr_db(std::span<const float> ref, std::span<const float> got);
+
+/// Cosine similarity; 1.0 when either vector is all-zero and they match.
+[[nodiscard]] double cosine_similarity(std::span<const float> a, std::span<const float> b);
+
+/// Pearson correlation coefficient (the STS-B metric).
+[[nodiscard]] double pearson(std::span<const float> a, std::span<const float> b);
+
+/// Index of the largest element (first on ties).
+[[nodiscard]] std::int64_t argmax(std::span<const float> v);
+
+/// Fraction of rows where argmax over the last axis agrees between the two
+/// [rows, classes] score matrices — top-1 agreement, our classification /
+/// next-token fidelity metric.
+[[nodiscard]] double top1_agreement(const Tensor& ref_scores, const Tensor& got_scores);
+
+/// 1 - normalized MSE, clamped to [0, 1]: a bounded regression "accuracy".
+[[nodiscard]] double nmse_accuracy(std::span<const float> ref, std::span<const float> got);
+
+/// Fréchet distance between two feature-vector populations using diagonal
+/// Gaussian statistics — the FID proxy for the diffusion experiment
+/// (paper Figure 6). Rows are samples, columns are features.
+[[nodiscard]] double frechet_distance_diag(const Tensor& features_a, const Tensor& features_b);
+
+}  // namespace fp8q

@@ -1,0 +1,85 @@
+#include "metrics/passrate.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fp8q {
+
+double AccuracyRecord::relative_loss() const {
+  if (fp32_accuracy == 0.0) return quant_accuracy == 0.0 ? 0.0 : -1.0;
+  return (fp32_accuracy - quant_accuracy) / std::fabs(fp32_accuracy);
+}
+
+double pass_rate(const std::vector<AccuracyRecord>& records, double threshold) {
+  if (records.empty()) return 0.0;
+  std::int64_t passed = 0;
+  for (const auto& r : records) {
+    if (r.passes(threshold)) ++passed;
+  }
+  return 100.0 * static_cast<double>(passed) / static_cast<double>(records.size());
+}
+
+std::vector<AccuracyRecord> filter_domain(const std::vector<AccuracyRecord>& records,
+                                          const std::string& domain) {
+  std::vector<AccuracyRecord> out;
+  for (const auto& r : records) {
+    if (r.domain == domain) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<AccuracyRecord> filter_config(const std::vector<AccuracyRecord>& records,
+                                          const std::string& config) {
+  std::vector<AccuracyRecord> out;
+  for (const auto& r : records) {
+    if (r.config == config) out.push_back(r);
+  }
+  return out;
+}
+
+namespace {
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+}  // namespace
+
+LossSummary summarize_losses(const std::vector<AccuracyRecord>& records) {
+  LossSummary s;
+  if (records.empty()) return s;
+  std::vector<double> losses;
+  losses.reserve(records.size());
+  double sum = 0.0;
+  for (const auto& r : records) {
+    losses.push_back(r.relative_loss());
+    sum += losses.back();
+  }
+  std::sort(losses.begin(), losses.end());
+  s.count = static_cast<int>(losses.size());
+  s.min = losses.front();
+  s.max = losses.back();
+  s.q1 = quantile_sorted(losses, 0.25);
+  s.median = quantile_sorted(losses, 0.5);
+  s.q3 = quantile_sorted(losses, 0.75);
+  s.mean = sum / static_cast<double>(losses.size());
+  const double iqr = s.q3 - s.q1;
+  const double lo = s.q1 - 1.5 * iqr;
+  const double hi = s.q3 + 1.5 * iqr;
+  for (double l : losses) {
+    if (l < lo || l > hi) ++s.outliers;
+  }
+  return s;
+}
+
+const char* size_bucket(double model_size_mb) {
+  if (model_size_mb <= 32.0) return "tiny";
+  if (model_size_mb <= 384.0) return "small";
+  if (model_size_mb <= 512.0) return "medium";
+  return "large";
+}
+
+}  // namespace fp8q

@@ -1,0 +1,62 @@
+// Pass-rate aggregation and accuracy-loss summary statistics for the
+// workload study (paper Table 2, Figures 4 and 5).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fp8q {
+
+/// The paper's acceptance criterion: quantized accuracy must be within 1%
+/// relative loss of the FP32 baseline.
+inline constexpr double kDefaultPassThreshold = 0.01;
+
+/// One (workload, configuration) accuracy measurement.
+struct AccuracyRecord {
+  std::string workload;
+  std::string domain;   ///< "CV" or "NLP" (speech/rec are grouped with NLP,
+                        ///< matching the paper's All = CV + NLP split)
+  std::string config;   ///< e.g. "E4M3/static"
+  double fp32_accuracy = 0.0;
+  double quant_accuracy = 0.0;
+  double model_size_mb = 0.0;
+
+  /// Relative accuracy loss: (fp32 - quant) / fp32. Negative = improvement.
+  [[nodiscard]] double relative_loss() const;
+
+  [[nodiscard]] bool passes(double threshold = kDefaultPassThreshold) const {
+    // Epsilon keeps a loss of exactly threshold (e.g. 1%) passing despite
+    // floating-point rounding in the division.
+    return relative_loss() <= threshold + 1e-12;
+  }
+};
+
+/// Percentage of records meeting the criterion; 0 for an empty set.
+[[nodiscard]] double pass_rate(const std::vector<AccuracyRecord>& records,
+                               double threshold = kDefaultPassThreshold);
+
+/// Records filtered to one domain ("CV"/"NLP") or config.
+[[nodiscard]] std::vector<AccuracyRecord> filter_domain(
+    const std::vector<AccuracyRecord>& records, const std::string& domain);
+[[nodiscard]] std::vector<AccuracyRecord> filter_config(
+    const std::vector<AccuracyRecord>& records, const std::string& config);
+
+/// Box-plot style summary of relative losses (paper Figure 4).
+struct LossSummary {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  int count = 0;
+  int outliers = 0;  ///< points beyond 1.5 IQR whiskers
+};
+
+[[nodiscard]] LossSummary summarize_losses(const std::vector<AccuracyRecord>& records);
+
+/// Paper Figure 5 size buckets (MB): tiny <=32, small (32,384],
+/// medium (384,512], large >512.
+[[nodiscard]] const char* size_bucket(double model_size_mb);
+
+}  // namespace fp8q

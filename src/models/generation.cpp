@@ -1,0 +1,128 @@
+#include "models/generation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace fp8q {
+
+namespace {
+
+/// Runs the model on a token sequence and returns the last position's
+/// log-softmax scores.
+std::vector<double> next_token_logprobs(const LmForward& forward,
+                                        const std::vector<int>& tokens) {
+  const auto len = static_cast<std::int64_t>(tokens.size());
+  Tensor ids({1, len});
+  Tensor pos({1, len});
+  for (std::int64_t i = 0; i < len; ++i) {
+    ids[i] = static_cast<float>(tokens[static_cast<size_t>(i)]);
+    pos[i] = static_cast<float>(i);
+  }
+  const Tensor logits = forward(ids, pos);
+  const std::int64_t vocab = logits.size(-1);
+  const auto last = logits.flat().subspan(static_cast<size_t>((len - 1) * vocab),
+                                          static_cast<size_t>(vocab));
+  double mx = last[0];
+  for (float v : last) mx = std::max(mx, static_cast<double>(v));
+  double sum = 0.0;
+  for (float v : last) sum += std::exp(static_cast<double>(v) - mx);
+  const double log_z = mx + std::log(sum);
+  std::vector<double> lp(static_cast<size_t>(vocab));
+  for (std::int64_t i = 0; i < vocab; ++i) lp[static_cast<size_t>(i)] = last[static_cast<size_t>(i)] - log_z;
+  return lp;
+}
+
+}  // namespace
+
+std::vector<int> greedy_generate(const LmForward& forward, std::vector<int> prompt,
+                                 int steps) {
+  if (prompt.empty()) throw std::invalid_argument("greedy_generate: empty prompt");
+  for (int s = 0; s < steps; ++s) {
+    const auto lp = next_token_logprobs(forward, prompt);
+    const auto best = std::max_element(lp.begin(), lp.end());
+    prompt.push_back(static_cast<int>(best - lp.begin()));
+  }
+  return prompt;
+}
+
+std::vector<int> beam_generate(const LmForward& forward, std::vector<int> prompt,
+                               int steps, int beam_size) {
+  if (prompt.empty()) throw std::invalid_argument("beam_generate: empty prompt");
+  if (beam_size < 1) throw std::invalid_argument("beam_generate: beam_size < 1");
+
+  struct Beam {
+    std::vector<int> tokens;
+    double logprob = 0.0;
+  };
+  std::vector<Beam> beams = {{std::move(prompt), 0.0}};
+
+  for (int s = 0; s < steps; ++s) {
+    std::vector<Beam> candidates;
+    for (const Beam& b : beams) {
+      const auto lp = next_token_logprobs(forward, b.tokens);
+      // Expand only the top beam_size tokens of each beam.
+      std::vector<int> order(lp.size());
+      for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+      std::partial_sort(order.begin(),
+                        order.begin() + std::min<size_t>(order.size(),
+                                                         static_cast<size_t>(beam_size)),
+                        order.end(),
+                        [&](int a, int c) { return lp[static_cast<size_t>(a)] > lp[static_cast<size_t>(c)]; });
+      for (int k = 0; k < beam_size && k < static_cast<int>(order.size()); ++k) {
+        Beam next = b;
+        next.tokens.push_back(order[static_cast<size_t>(k)]);
+        next.logprob += lp[static_cast<size_t>(order[static_cast<size_t>(k)])];
+        candidates.push_back(std::move(next));
+      }
+    }
+    // Keep the best beam_size by length-normalized score.
+    std::sort(candidates.begin(), candidates.end(), [](const Beam& a, const Beam& b) {
+      return a.logprob / static_cast<double>(a.tokens.size()) >
+             b.logprob / static_cast<double>(b.tokens.size());
+    });
+    candidates.resize(std::min<size_t>(candidates.size(), static_cast<size_t>(beam_size)));
+    beams = std::move(candidates);
+  }
+  return beams.front().tokens;
+}
+
+double repeated_ngram_fraction(const std::vector<int>& tokens, int n) {
+  if (n <= 0 || static_cast<int>(tokens.size()) < n) return 0.0;
+  std::map<std::vector<int>, int> seen;
+  int repeated = 0;
+  int total = 0;
+  for (size_t i = 0; i + static_cast<size_t>(n) <= tokens.size(); ++i) {
+    std::vector<int> gram(tokens.begin() + static_cast<std::ptrdiff_t>(i),
+                          tokens.begin() + static_cast<std::ptrdiff_t>(i) + n);
+    if (seen[gram]++ > 0) ++repeated;
+    ++total;
+  }
+  return total > 0 ? static_cast<double>(repeated) / total : 0.0;
+}
+
+double distinct_n(const std::vector<int>& tokens, int n) {
+  if (n <= 0 || static_cast<int>(tokens.size()) < n) return 0.0;
+  std::map<std::vector<int>, int> seen;
+  int total = 0;
+  for (size_t i = 0; i + static_cast<size_t>(n) <= tokens.size(); ++i) {
+    std::vector<int> gram(tokens.begin() + static_cast<std::ptrdiff_t>(i),
+                          tokens.begin() + static_cast<std::ptrdiff_t>(i) + n);
+    ++seen[gram];
+    ++total;
+  }
+  return total > 0 ? static_cast<double>(seen.size()) / total : 0.0;
+}
+
+double token_agreement(const std::vector<int>& a, const std::vector<int>& b) {
+  const size_t n = std::min(a.size(), b.size());
+  if (n == 0) return 1.0;
+  size_t agree = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] == b[i]) ++agree;
+  }
+  return static_cast<double>(agree) / static_cast<double>(n);
+}
+
+}  // namespace fp8q

@@ -1,0 +1,53 @@
+// Autoregressive generation utilities for the decoder LM (paper Table 4 /
+// Appendix A.3: Bloom text generation with beam search of size 4).
+//
+// The model is driven through a logits callback so both the FP32 Graph and
+// a QuantizedGraph can generate. No KV cache: each step re-runs the prefix
+// (models are tiny). Because only the generated prefix is ever fed, no
+// causal mask is needed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fp8q {
+
+/// Produces [1, len, vocab] logits for a [1, len] id tensor plus matching
+/// positions.
+using LmForward = std::function<Tensor(const Tensor& ids, const Tensor& pos)>;
+
+/// Greedy decoding: appends `steps` argmax tokens to the prompt.
+[[nodiscard]] std::vector<int> greedy_generate(const LmForward& forward,
+                                               std::vector<int> prompt, int steps);
+
+/// Beam-search decoding with length-normalized log-probabilities.
+/// Returns the best beam's full token sequence (prompt included).
+[[nodiscard]] std::vector<int> beam_generate(const LmForward& forward,
+                                             std::vector<int> prompt, int steps,
+                                             int beam_size = 4);
+
+/// Fraction of n-grams that already occurred earlier in the sequence --
+/// the degeneracy ("She saw many strange...") measure for Table 4.
+[[nodiscard]] double repeated_ngram_fraction(const std::vector<int>& tokens, int n);
+
+/// Distinct-n: unique n-grams / total n-grams (higher = more diverse).
+[[nodiscard]] double distinct_n(const std::vector<int>& tokens, int n);
+
+/// Fraction of positions where two generations agree.
+[[nodiscard]] double token_agreement(const std::vector<int>& a, const std::vector<int>& b);
+
+/// Adapts a graph-like object (Graph / QuantizedGraph) into an LmForward.
+template <typename GraphLike>
+[[nodiscard]] LmForward make_lm_forward(GraphLike& g) {
+  return [&g](const Tensor& ids, const Tensor& pos) {
+    std::vector<Tensor> in;
+    in.push_back(ids);
+    in.push_back(pos);
+    return g.forward(in);
+  };
+}
+
+}  // namespace fp8q

@@ -1,0 +1,387 @@
+#include "models/zoo.h"
+
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "nn/conv.h"
+#include "nn/elementwise.h"
+#include "nn/embedding.h"
+#include "nn/linear.h"
+#include "nn/matmul.h"
+#include "nn/norm.h"
+#include "nn/shape_ops.h"
+#include "tensor/rng.h"
+
+namespace fp8q {
+
+namespace {
+
+/// Kaiming-style [out, in] weight; each output channel optionally scaled by
+/// 2^U(-spread/2, spread/2) to emulate wide per-channel ranges.
+Tensor linear_weight(Rng& rng, std::int64_t out, std::int64_t in, float spread = 0.0f) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(in));
+  Tensor w = randn(rng, {out, in}, 0.0f, stddev);
+  if (spread > 0.0f) {
+    for (std::int64_t o = 0; o < out; ++o) {
+      const float gain = std::exp2(rng.uniform(-spread / 2.0f, spread / 2.0f));
+      for (std::int64_t i = 0; i < in; ++i) w.at({o, i}) *= gain;
+    }
+  }
+  return w;
+}
+
+Tensor conv_weight(Rng& rng, std::int64_t oc, std::int64_t icg, std::int64_t k,
+                   float spread = 0.0f) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(icg * k * k));
+  Tensor w = randn(rng, {oc, icg, k, k}, 0.0f, stddev);
+  if (spread > 0.0f) {
+    const std::int64_t block = icg * k * k;
+    for (std::int64_t o = 0; o < oc; ++o) {
+      const float gain = std::exp2(rng.uniform(-spread / 2.0f, spread / 2.0f));
+      float* row = w.data() + o * block;
+      for (std::int64_t i = 0; i < block; ++i) row[i] *= gain;
+    }
+  }
+  return w;
+}
+
+/// LayerNorm gamma near 1 with a fraction of channels amplified -- the
+/// mechanism by which LayerNorm produces activation outlier channels in
+/// LLMs (paper section 1, Wei et al. 2022).
+Tensor outlier_gamma(Rng& rng, std::int64_t dim, float fraction, float gain) {
+  Tensor g({dim});
+  for (std::int64_t i = 0; i < dim; ++i) {
+    float v = 1.0f + rng.normal(0.0f, 0.1f);
+    if (v < 0.2f) v = 0.2f;
+    if (fraction > 0.0f && rng.uniform01() < fraction) v *= gain;
+    g[i] = v;
+  }
+  return g;
+}
+
+Tensor small_bias(Rng& rng, std::int64_t n) { return randn(rng, {n}, 0.0f, 0.02f); }
+
+OpPtr relu() { return std::make_unique<ActivationOp>(OpKind::kRelu); }
+OpPtr gelu() { return std::make_unique<ActivationOp>(OpKind::kGelu); }
+
+/// One transformer block appended to `g` at node `x`; returns the output id.
+Graph::NodeId transformer_block(Graph& g, Graph::NodeId x, Rng& rng, int dim, int ffn_mult,
+                                float out_frac, float out_gain, int glu_gates,
+                                const std::string& prefix) {
+  const auto ln1 = g.add(prefix + ".ln1",
+                         std::make_unique<LayerNormOp>(
+                             outlier_gamma(rng, dim, out_frac, out_gain), Tensor(Shape{dim})),
+                         {x});
+  const auto q = g.add(prefix + ".q",
+                       std::make_unique<LinearOp>(linear_weight(rng, dim, dim),
+                                                  small_bias(rng, dim)),
+                       {ln1});
+  const auto k = g.add(prefix + ".k",
+                       std::make_unique<LinearOp>(linear_weight(rng, dim, dim),
+                                                  small_bias(rng, dim)),
+                       {ln1});
+  const auto v = g.add(prefix + ".v",
+                       std::make_unique<LinearOp>(linear_weight(rng, dim, dim),
+                                                  small_bias(rng, dim)),
+                       {ln1});
+  const auto scores = g.add(prefix + ".scores",
+                            std::make_unique<MatMulOp>(/*batched=*/true, /*transpose_b=*/true),
+                            {q, k});
+  const auto scaled = g.add(prefix + ".scale",
+                            std::make_unique<ScaleOp>(1.0f / std::sqrt(static_cast<float>(dim))),
+                            {scores});
+  const auto attn = g.add(prefix + ".softmax", std::make_unique<SoftmaxOp>(), {scaled});
+  const auto ctx = g.add(prefix + ".ctx",
+                         std::make_unique<MatMulOp>(/*batched=*/true, /*transpose_b=*/false),
+                         {attn, v});
+  const auto proj = g.add(prefix + ".proj",
+                          std::make_unique<LinearOp>(linear_weight(rng, dim, dim),
+                                                     small_bias(rng, dim)),
+                          {ctx});
+  const auto res1 = g.add(prefix + ".res1", std::make_unique<BinaryOp>(OpKind::kAdd),
+                          {x, proj});
+  const auto ln2 = g.add(prefix + ".ln2",
+                         std::make_unique<LayerNormOp>(
+                             outlier_gamma(rng, dim, out_frac, out_gain), Tensor(Shape{dim})),
+                         {res1});
+  const std::int64_t hidden = static_cast<std::int64_t>(dim) * ffn_mult;
+  const auto f1 = g.add(prefix + ".ffn1",
+                        std::make_unique<LinearOp>(linear_weight(rng, hidden, dim),
+                                                   small_bias(rng, hidden)),
+                        {ln2});
+  Graph::NodeId h = g.add(prefix + ".gelu", gelu(), {f1});
+  for (int gate = 0; gate < glu_gates; ++gate) {
+    const auto gp = g.add(prefix + ".gate" + std::to_string(gate),
+                          std::make_unique<LinearOp>(linear_weight(rng, hidden, dim),
+                                                     small_bias(rng, hidden)),
+                          {ln2});
+    h = g.add(prefix + ".glu" + std::to_string(gate),
+              std::make_unique<BinaryOp>(OpKind::kMul), {h, gp});
+  }
+  const auto f2 = g.add(prefix + ".ffn2",
+                        std::make_unique<LinearOp>(linear_weight(rng, dim, hidden),
+                                                   small_bias(rng, dim)),
+                        {h});
+  return g.add(prefix + ".res2", std::make_unique<BinaryOp>(OpKind::kAdd), {res1, f2});
+}
+
+}  // namespace
+
+Graph make_cnn(const CnnSpec& spec) {
+  Rng rng(spec.seed);
+  Graph g;
+  const auto in = g.add_input("image");
+  const int ch = spec.base_channels;
+
+  auto add_bn_relu = [&](Graph::NodeId x, int c, const std::string& prefix) {
+    Graph::NodeId cur = x;
+    if (spec.batchnorm) {
+      Tensor mean = randn(rng, {c}, 0.0f, 0.05f);
+      Tensor var = Tensor::full({c}, 1.0f);
+      for (float& vv : var.flat()) vv = std::max(0.2f, vv + rng.normal(0.0f, 0.1f));
+      Tensor gamma = outlier_gamma(rng, c, 0.0f, 1.0f);
+      if (spec.act_spread > 0.0f) {
+        for (float& gv : gamma.flat()) {
+          gv *= std::exp2(rng.uniform(-spec.act_spread / 2.0f, spec.act_spread / 2.0f));
+        }
+      }
+      cur = g.add(prefix + ".bn",
+                  std::make_unique<BatchNorm2dOp>(std::move(gamma), Tensor(Shape{c}),
+                                                  std::move(mean), std::move(var)),
+                  {cur});
+    }
+    return g.add(prefix + ".relu", relu(), {cur});
+  };
+
+  auto stem = g.add("stem.conv",
+                    std::make_unique<Conv2dOp>(
+                        conv_weight(rng, ch, spec.in_channels, 3, spec.weight_spread),
+                        small_bias(rng, ch), 1, 1),
+                    {in});
+  Graph::NodeId x = add_bn_relu(stem, ch, "stem");
+
+  for (int b = 0; b < spec.blocks; ++b) {
+    const std::string prefix = "block" + std::to_string(b);
+    const Graph::NodeId block_in = x;
+    Graph::NodeId cur;
+    if (spec.depthwise) {
+      const auto dw = g.add(prefix + ".dw",
+                            std::make_unique<Conv2dOp>(
+                                conv_weight(rng, ch, 1, 3, spec.weight_spread),
+                                Tensor{}, 1, 1, ch),
+                            {x});
+      const auto dwr = add_bn_relu(dw, ch, prefix + ".dwpost");
+      cur = g.add(prefix + ".pw",
+                  std::make_unique<Conv2dOp>(
+                      conv_weight(rng, ch, ch, 1, spec.weight_spread),
+                      small_bias(rng, ch), 1, 0),
+                  {dwr});
+    } else {
+      cur = g.add(prefix + ".conv",
+                  std::make_unique<Conv2dOp>(
+                      conv_weight(rng, ch, ch, 3, spec.weight_spread),
+                      small_bias(rng, ch), 1, 1),
+                  {x});
+    }
+    Graph::NodeId post = add_bn_relu(cur, ch, prefix);
+    if (spec.residual) {
+      post = g.add(prefix + ".res", std::make_unique<BinaryOp>(OpKind::kAdd),
+                   {post, block_in});
+    }
+    x = post;
+  }
+
+  const auto pool = g.add("pool", std::make_unique<GlobalAvgPoolOp>(), {x});
+  g.add("head",
+        std::make_unique<LinearOp>(linear_weight(rng, spec.classes, ch),
+                                   small_bias(rng, spec.classes)),
+        {pool});
+  return g;
+}
+
+Graph make_transformer_encoder(const TransformerSpec& spec) {
+  Rng rng(spec.seed);
+  Graph g;
+  const auto in = g.add_input("features");
+  Graph::NodeId x = in;
+  if (spec.input_proj) {
+    x = g.add("input_proj",
+              std::make_unique<LinearOp>(linear_weight(rng, spec.dim, spec.dim),
+                                         small_bias(rng, spec.dim)),
+              {x});
+  }
+  for (int l = 0; l < spec.layers; ++l) {
+    x = transformer_block(g, x, rng, spec.dim, spec.ffn_mult,
+                          spec.outlier_channel_fraction, spec.outlier_gamma_gain,
+                          spec.glu_gates, "layer" + std::to_string(l));
+  }
+  const auto ln = g.add("final.ln",
+                        std::make_unique<LayerNormOp>(
+                            outlier_gamma(rng, spec.dim, 0.0f, 1.0f), Tensor(Shape{spec.dim})),
+                        {x});
+  const auto flat = g.add("flatten", std::make_unique<ReshapeOp>(Shape{0, -1}), {ln});
+  g.add("classifier",
+        std::make_unique<LinearOp>(
+            linear_weight(rng, spec.classes,
+                          static_cast<std::int64_t>(spec.seq) * spec.dim),
+            small_bias(rng, spec.classes)),
+        {flat});
+  return g;
+}
+
+Graph make_decoder_lm(const DecoderLmSpec& spec) {
+  Rng rng(spec.seed);
+  Graph g;
+  const auto ids = g.add_input("ids");
+  const auto pos = g.add_input("pos");
+  Tensor table = randn(rng, {spec.vocab, spec.dim}, 0.0f, 0.5f);
+  if (spec.embedding_outlier_fraction > 0.0f) {
+    // Token-level outliers: rare tokens carry outsized embeddings.
+    for (std::int64_t v = 0; v < spec.vocab; ++v) {
+      if (rng.uniform01() < spec.embedding_outlier_fraction) {
+        float* row = table.data() + v * spec.dim;
+        for (int j = 0; j < spec.dim; ++j) row[j] *= spec.embedding_outlier_gain;
+      }
+    }
+  }
+  const auto tok_emb = g.add("tok_emb", std::make_unique<EmbeddingOp>(std::move(table)),
+                             {ids});
+  const auto pos_emb = g.add(
+      "pos_emb",
+      std::make_unique<EmbeddingOp>(randn(rng, {256, spec.dim}, 0.0f, 0.2f)),
+      {pos});
+  Graph::NodeId x = g.add("emb_add", std::make_unique<BinaryOp>(OpKind::kAdd),
+                          {tok_emb, pos_emb});
+  if (spec.embed_proj) {
+    x = g.add("embed_proj",
+              std::make_unique<LinearOp>(linear_weight(rng, spec.dim, spec.dim),
+                                         small_bias(rng, spec.dim)),
+              {x});
+  }
+  for (int l = 0; l < spec.layers; ++l) {
+    x = transformer_block(g, x, rng, spec.dim, spec.ffn_mult,
+                          spec.outlier_channel_fraction, spec.outlier_gamma_gain,
+                          spec.glu_gates, "layer" + std::to_string(l));
+  }
+  const auto ln = g.add("final.ln",
+                        std::make_unique<LayerNormOp>(
+                            outlier_gamma(rng, spec.dim, 0.0f, 1.0f), Tensor(Shape{spec.dim})),
+                        {x});
+  // The LM head carries a token-frequency prior (bias). When quantization
+  // degrades the content signal, beam search falls back to the prior and
+  // the generation degenerates into repeating high-frequency tokens -- the
+  // failure mode of paper Table 4's INT8 output.
+  g.add("lm_head",
+        std::make_unique<LinearOp>(linear_weight(rng, spec.vocab, spec.dim),
+                                   randn(rng, {spec.vocab}, 0.0f, 1.2f)),
+        {ln});
+  return g;
+}
+
+Graph make_dlrm(const DlrmSpec& spec) {
+  Rng rng(spec.seed);
+  Graph g;
+  const auto dense = g.add_input("dense");
+  const auto ids = g.add_input("ids");
+
+  const auto b1 = g.add("bottom.fc1",
+                        std::make_unique<LinearOp>(
+                            linear_weight(rng, spec.hidden, spec.dense_features),
+                            small_bias(rng, spec.hidden)),
+                        {dense});
+  const auto b1r = g.add("bottom.relu1", relu(), {b1});
+  const auto b2 = g.add("bottom.fc2",
+                        std::make_unique<LinearOp>(
+                            linear_weight(rng, spec.emb_dim, spec.hidden),
+                            small_bias(rng, spec.emb_dim)),
+                        {b1r});
+  const auto b2r = g.add("bottom.relu2", relu(), {b2});
+
+  const auto emb = g.add(
+      "embedding",
+      std::make_unique<EmbeddingOp>(randn(rng, {spec.vocab, spec.emb_dim}, 0.0f, 0.3f)),
+      {ids});
+
+  // Feature interaction: elementwise product plus residual sum.
+  const auto inter = g.add("interact.mul", std::make_unique<BinaryOp>(OpKind::kMul),
+                           {b2r, emb});
+  const auto mix = g.add("interact.add", std::make_unique<BinaryOp>(OpKind::kAdd),
+                         {inter, b2r});
+
+  const auto t1 = g.add("top.fc1",
+                        std::make_unique<LinearOp>(
+                            linear_weight(rng, spec.hidden, spec.emb_dim),
+                            small_bias(rng, spec.hidden)),
+                        {mix});
+  const auto t1r = g.add("top.relu", relu(), {t1});
+  const auto t2 = g.add("top.fc2",
+                        std::make_unique<LinearOp>(linear_weight(rng, 1, spec.hidden),
+                                                   small_bias(rng, 1)),
+                        {t1r});
+  g.add("sigmoid", std::make_unique<ActivationOp>(OpKind::kSigmoid), {t2});
+  return g;
+}
+
+Graph make_unet(const UnetSpec& spec) {
+  Rng rng(spec.seed);
+  Graph g;
+  const auto in = g.add_input("noisy");
+  const int b = spec.base_channels;
+
+  auto conv_relu = [&](Graph::NodeId x, int ic, int oc, int kernel, int pad,
+                       const std::string& name) {
+    const auto c = g.add(name,
+                         std::make_unique<Conv2dOp>(conv_weight(rng, oc, ic, kernel),
+                                                    small_bias(rng, oc), 1, pad),
+                         {x});
+    return g.add(name + ".relu", relu(), {c});
+  };
+
+  const auto e1 = conv_relu(in, spec.in_channels, b, 3, 1, "enc1");
+  const auto p1 = g.add("down1", std::make_unique<MaxPool2x2Op>(), {e1});
+  const auto e2 = conv_relu(p1, b, 2 * b, 3, 1, "enc2");
+  const auto p2 = g.add("down2", std::make_unique<MaxPool2x2Op>(), {e2});
+  const auto bott = conv_relu(p2, 2 * b, 2 * b, 3, 1, "bottleneck");
+
+  const auto u1 = g.add("up1", std::make_unique<Upsample2xOp>(), {bott});
+  const auto d1 = conv_relu(u1, 2 * b, 2 * b, 3, 1, "dec1");
+  const auto s1 = g.add("skip1", std::make_unique<BinaryOp>(OpKind::kAdd), {d1, e2});
+  const auto u2 = g.add("up2", std::make_unique<Upsample2xOp>(), {s1});
+  const auto d2 = conv_relu(u2, 2 * b, b, 3, 1, "dec2");
+  const auto s2 = g.add("skip2", std::make_unique<BinaryOp>(OpKind::kAdd), {d2, e1});
+  g.add("out",
+        std::make_unique<Conv2dOp>(conv_weight(rng, spec.in_channels, b, 1),
+                                   small_bias(rng, spec.in_channels), 1, 0),
+        {s2});
+  return g;
+}
+
+Graph make_mlp_model(const MlpSpec& spec) {
+  Rng rng(spec.seed);
+  Graph g;
+  const auto in = g.add_input("features");
+  Graph::NodeId x = in;
+  std::int64_t cur_dim = spec.in_dim;
+  for (int l = 0; l < spec.layers; ++l) {
+    const std::string prefix = "fc" + std::to_string(l);
+    if (spec.layernorm) {
+      x = g.add(prefix + ".ln",
+                std::make_unique<LayerNormOp>(
+                    outlier_gamma(rng, cur_dim, spec.outlier_channel_fraction,
+                                  spec.outlier_gamma_gain),
+                    Tensor(Shape{cur_dim})),
+                {x});
+    }
+    const std::int64_t next = (l + 1 == spec.layers) ? spec.out_dim : spec.hidden;
+    x = g.add(prefix,
+              std::make_unique<LinearOp>(linear_weight(rng, next, cur_dim),
+                                         small_bias(rng, next)),
+              {x});
+    if (l + 1 < spec.layers) x = g.add(prefix + ".relu", relu(), {x});
+    cur_dim = next;
+  }
+  return g;
+}
+
+}  // namespace fp8q

@@ -1,0 +1,133 @@
+// Synthetic model zoo.
+//
+// The paper evaluates 75 pretrained architectures. Pretrained weights are
+// not available here, so these generators build architecturally faithful
+// networks whose weight/activation *distributions* are controlled to match
+// the regimes the paper documents (Figure 3):
+//   * NLP transformers: LayerNorm-amplified activation outlier channels
+//     (gamma gain knob), normal weights -> range-bound activations;
+//   * CV CNNs: well-behaved activations, optionally widely spread
+//     per-channel weight ranges (EfficientNet-like depthwise) ->
+//     precision-bound tensors;
+//   * DLRM, U-Net, decoder LMs for the remaining task families.
+// Quantization fidelity against the FP32 network is then a faithful probe
+// of the formats' behaviour (see DESIGN.md section 1).
+#pragma once
+
+#include <cstdint>
+
+#include "nn/graph.h"
+
+namespace fp8q {
+
+/// Convolutional classifier: [conv-(bn)-relu] blocks with optional
+/// residual connections and depthwise stages, global-avg-pool + FC head.
+/// Input [n, in_channels, image_hw, image_hw] -> logits [n, classes].
+struct CnnSpec {
+  int in_channels = 3;
+  int image_hw = 16;
+  int base_channels = 8;
+  int blocks = 3;
+  int classes = 10;
+  bool batchnorm = true;
+  bool residual = true;
+  bool depthwise = false;       ///< EfficientNet/MobileNet-style stages
+  float weight_spread = 0.0f;   ///< per-out-channel gain spread in octaves
+  /// Per-channel BatchNorm gamma spread in octaves: large values emulate
+  /// the activation channel imbalance that breaks per-tensor INT8 on
+  /// EfficientNet/MobileNetV3-class models (paper Figure 4 discussion).
+  float act_spread = 0.0f;
+  std::uint64_t seed = 1;
+};
+[[nodiscard]] Graph make_cnn(const CnnSpec& spec);
+
+/// Single-head transformer encoder classifier (BERT-ish).
+/// Input [n, seq, dim] -> logits [n, classes].
+struct TransformerSpec {
+  int dim = 32;
+  int seq = 16;
+  int layers = 2;
+  int ffn_mult = 4;
+  int classes = 8;
+  /// Gated FFN (SwiGLU-style). Each gate multiplies the FFN hidden state
+  /// elementwise; products of Gaussians are heavy-tailed *within* each
+  /// channel, producing the SmoothQuant-resistant activation outliers of
+  /// real LLMs. 0 = plain FFN, 1 = single gate, 2 = double gate (extreme).
+  int glu_gates = 0;
+  /// Patch/feature projection: a Linear applied to the raw input before the
+  /// first (LayerNorm-capped) block. Raw-input outliers reach this
+  /// quantized operator unattenuated -- the range-bound tensor regime of
+  /// paper Figure 3.
+  bool input_proj = false;
+  /// Fraction of LayerNorm channels whose gamma is amplified -- the
+  /// LayerNorm outlier mechanism of LLM activations (paper section 1).
+  float outlier_channel_fraction = 0.0f;
+  float outlier_gamma_gain = 1.0f;
+  std::uint64_t seed = 2;
+};
+[[nodiscard]] Graph make_transformer_encoder(const TransformerSpec& spec);
+
+/// Decoder-only LM (Bloom-ish, single head, no causal mask needed because
+/// generation feeds exactly the generated prefix).
+/// Input: token ids [n, seq] -> logits [n, seq, vocab].
+struct DecoderLmSpec {
+  int vocab = 64;
+  int dim = 32;
+  int layers = 2;
+  int ffn_mult = 4;
+  int glu_gates = 0;   ///< see TransformerSpec::glu_gates
+  /// Factorized-embedding projection (ALBERT-style): a Linear applied to
+  /// the summed token+position embeddings before the first block. Outlier
+  /// token embeddings reach this quantized operator before any LayerNorm.
+  bool embed_proj = false;
+  float outlier_channel_fraction = 0.0f;
+  float outlier_gamma_gain = 1.0f;
+  /// Fraction of vocabulary rows with amplified embeddings: produces
+  /// *token-level* activation outliers that per-channel smoothing cannot
+  /// migrate into weights (the residual outliers that break per-tensor
+  /// INT8 on LLMs).
+  float embedding_outlier_fraction = 0.0f;
+  float embedding_outlier_gain = 1.0f;
+  std::uint64_t seed = 3;
+};
+[[nodiscard]] Graph make_decoder_lm(const DecoderLmSpec& spec);
+
+/// DLRM-style two-tower recommender: dense features through a bottom MLP,
+/// one categorical feature through an embedding, multiplicative feature
+/// interaction, top MLP, sigmoid CTR score.
+/// Inputs: dense [n, dense_features], ids [n] -> score [n, 1].
+struct DlrmSpec {
+  int dense_features = 13;
+  int vocab = 200;
+  int emb_dim = 16;
+  int hidden = 32;
+  std::uint64_t seed = 4;
+};
+[[nodiscard]] Graph make_dlrm(const DlrmSpec& spec);
+
+/// Small U-Net denoiser (Stable Diffusion stand-in): two down stages, a
+/// bottleneck, two up stages with additive skip connections.
+/// Input [n, in_channels, hw, hw] -> denoised [n, in_channels, hw, hw].
+struct UnetSpec {
+  int in_channels = 2;
+  int hw = 16;
+  int base_channels = 8;
+  std::uint64_t seed = 5;
+};
+[[nodiscard]] Graph make_unet(const UnetSpec& spec);
+
+/// Plain MLP regressor/classifier (speech- and tabular-model stand-in).
+/// Input [n, in_dim] -> [n, out_dim].
+struct MlpSpec {
+  int in_dim = 32;
+  int hidden = 64;
+  int layers = 3;
+  int out_dim = 8;
+  bool layernorm = false;
+  float outlier_channel_fraction = 0.0f;
+  float outlier_gamma_gain = 1.0f;
+  std::uint64_t seed = 6;
+};
+[[nodiscard]] Graph make_mlp_model(const MlpSpec& spec);
+
+}  // namespace fp8q

@@ -1,0 +1,90 @@
+#include "nn/conv.h"
+
+#include <stdexcept>
+
+namespace fp8q {
+
+Conv2dOp::Conv2dOp(Tensor weight, Tensor bias, int stride, int padding, int groups)
+    : weight_(std::move(weight)),
+      bias_(std::move(bias)),
+      stride_(stride),
+      padding_(padding),
+      groups_(groups) {
+  if (weight_.dim() != 4) {
+    throw std::invalid_argument("Conv2dOp: weight must be [oc, ic/g, kh, kw]");
+  }
+  if (stride_ < 1 || padding_ < 0 || groups_ < 1) {
+    throw std::invalid_argument("Conv2dOp: bad stride/padding/groups");
+  }
+  if (weight_.size(0) % groups_ != 0) {
+    throw std::invalid_argument("Conv2dOp: out channels not divisible by groups");
+  }
+  if (!bias_.empty() && (bias_.dim() != 1 || bias_.size(0) != weight_.size(0))) {
+    throw std::invalid_argument("Conv2dOp: bias must be [oc]");
+  }
+}
+
+std::vector<Tensor*> Conv2dOp::weights() {
+  std::vector<Tensor*> ws = {&weight_};
+  if (!bias_.empty()) ws.push_back(&bias_);
+  return ws;
+}
+
+Tensor Conv2dOp::forward(std::span<const Tensor> inputs) {
+  if (inputs.size() != 1) throw std::invalid_argument("Conv2dOp: expects 1 input");
+  const Tensor& x = inputs[0];
+  if (x.dim() != 4) throw std::invalid_argument("Conv2dOp: input must be [n, c, h, w]");
+
+  const std::int64_t n = x.size(0);
+  const std::int64_t ic = x.size(1);
+  const std::int64_t h = x.size(2);
+  const std::int64_t w = x.size(3);
+  const std::int64_t oc = weight_.size(0);
+  const std::int64_t icg = weight_.size(1);
+  const std::int64_t kh = weight_.size(2);
+  const std::int64_t kw = weight_.size(3);
+  if (ic != icg * groups_) throw std::invalid_argument("Conv2dOp: channel mismatch");
+
+  const std::int64_t oh = (h + 2 * padding_ - kh) / stride_ + 1;
+  const std::int64_t ow = (w + 2 * padding_ - kw) / stride_ + 1;
+  if (oh < 1 || ow < 1) throw std::invalid_argument("Conv2dOp: output would be empty");
+
+  Tensor y({n, oc, oh, ow});
+  const float* xd = x.data();
+  const float* wd = weight_.data();
+  const float* bd = bias_.empty() ? nullptr : bias_.data();
+  float* yd = y.data();
+
+  const std::int64_t oc_per_group = oc / groups_;
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t o = 0; o < oc; ++o) {
+      const std::int64_t g = o / oc_per_group;
+      const float bias_v = bd ? bd[o] : 0.0f;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          float acc = bias_v;
+          const std::int64_t iy0 = oy * stride_ - padding_;
+          const std::int64_t ix0 = ox * stride_ - padding_;
+          for (std::int64_t c = 0; c < icg; ++c) {
+            const std::int64_t in_c = g * icg + c;
+            const float* xplane = xd + ((b * ic + in_c) * h) * w;
+            const float* wplane = wd + ((o * icg + c) * kh) * kw;
+            for (std::int64_t ky = 0; ky < kh; ++ky) {
+              const std::int64_t iy = iy0 + ky;
+              if (iy < 0 || iy >= h) continue;
+              for (std::int64_t kx = 0; kx < kw; ++kx) {
+                const std::int64_t ix = ix0 + kx;
+                if (ix < 0 || ix >= w) continue;
+                acc += xplane[iy * w + ix] * wplane[ky * kw + kx];
+              }
+            }
+          }
+          yd[((b * oc + o) * oh + oy) * ow + ox] = acc;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+}  // namespace fp8q

@@ -1,0 +1,128 @@
+#include "nn/graph.h"
+
+#include <stdexcept>
+
+namespace fp8q {
+
+Graph::NodeId Graph::add_input(std::string name) {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(Node{std::move(name), nullptr, {}, OpKind::kInput});
+  input_ids_.push_back(id);
+  output_ = id;
+  return id;
+}
+
+Graph::NodeId Graph::add(std::string name, OpPtr op, std::vector<NodeId> inputs) {
+  if (!op) throw std::invalid_argument("Graph::add: null op");
+  const auto id = static_cast<NodeId>(nodes_.size());
+  if (static_cast<int>(inputs.size()) != op->arity()) {
+    throw std::invalid_argument("Graph::add: arity mismatch for " + name);
+  }
+  for (NodeId in : inputs) {
+    if (in < 0 || in >= id) {
+      throw std::invalid_argument("Graph::add: input id out of order for " + name);
+    }
+  }
+  const OpKind kind = op->kind();
+  nodes_.push_back(Node{std::move(name), std::move(op), std::move(inputs), kind});
+  output_ = id;
+  return id;
+}
+
+void Graph::set_output(NodeId id) {
+  if (id < 0 || id >= node_count()) throw std::invalid_argument("Graph::set_output: bad id");
+  output_ = id;
+}
+
+void Graph::clear_taps() {
+  input_tap_ = nullptr;
+  output_tap_ = nullptr;
+}
+
+Tensor Graph::forward(std::span<const Tensor> inputs) {
+  if (inputs.size() != input_ids_.size()) {
+    throw std::invalid_argument("Graph::forward: wrong number of inputs");
+  }
+  if (output_ < 0) throw std::logic_error("Graph::forward: empty graph");
+
+  std::vector<Tensor> values(nodes_.size());
+  for (size_t i = 0; i < input_ids_.size(); ++i) {
+    values[static_cast<size_t>(input_ids_[i])] = inputs[i];
+    if (output_tap_) output_tap_(input_ids_[i], values[static_cast<size_t>(input_ids_[i])]);
+  }
+
+  std::vector<Tensor> modified;        // storage for tap-replaced inputs
+  std::vector<const Tensor*> effective;  // pointers into values/modified
+  for (size_t n = 0; n < nodes_.size(); ++n) {
+    Node& node = nodes_[n];
+    if (!node.op) continue;  // graph input
+    const auto id = static_cast<NodeId>(n);
+
+    modified.clear();
+    modified.reserve(node.inputs.size());
+    effective.clear();
+    for (size_t s = 0; s < node.inputs.size(); ++s) {
+      const Tensor& src = values[static_cast<size_t>(node.inputs[s])];
+      if (input_tap_) {
+        if (auto replaced = input_tap_(id, static_cast<int>(s), src)) {
+          modified.push_back(std::move(*replaced));
+          effective.push_back(&modified.back());
+          continue;
+        }
+      }
+      effective.push_back(&src);
+    }
+
+    // Materialize the op's input span. Ops take contiguous Tensor spans, so
+    // gather (cheap: at most 2 inputs, and untouched ones share no copy --
+    // Tensor copies do copy data, so only copy when a tap replaced).
+    if (effective.size() == 1) {
+      values[n] = node.op->forward({effective[0], 1});
+    } else {
+      std::vector<Tensor> gathered;
+      gathered.reserve(effective.size());
+      for (const Tensor* t : effective) gathered.push_back(*t);
+      values[n] = node.op->forward(gathered);
+    }
+    if (output_tap_) output_tap_(id, values[n]);
+  }
+  return values[static_cast<size_t>(output_)];
+}
+
+std::vector<Graph::NodeId> Graph::node_ids() const {
+  std::vector<NodeId> ids(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) ids[i] = static_cast<NodeId>(i);
+  return ids;
+}
+
+std::vector<Graph::NodeId> Graph::quantizable_nodes() const {
+  std::vector<NodeId> ids;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (is_quantizable_op(nodes_[i].kind)) ids.push_back(static_cast<NodeId>(i));
+  }
+  return ids;
+}
+
+Graph::NodeId Graph::first_compute_node() const {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (is_compute_op(nodes_[i].kind)) return static_cast<NodeId>(i);
+  }
+  return -1;
+}
+
+Graph::NodeId Graph::last_compute_node() const {
+  for (size_t i = nodes_.size(); i-- > 0;) {
+    if (is_compute_op(nodes_[i].kind)) return static_cast<NodeId>(i);
+  }
+  return -1;
+}
+
+std::int64_t Graph::param_count() const {
+  std::int64_t n = 0;
+  for (const auto& node : nodes_) {
+    if (node.op) n += node.op->param_count();
+  }
+  return n;
+}
+
+}  // namespace fp8q

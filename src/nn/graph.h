@@ -1,0 +1,89 @@
+// A static dataflow graph of Ops with taps for quantization.
+//
+// Nodes are appended in topological order (each node's inputs must already
+// exist). Execution walks the node list; two hooks let the quantization
+// layer participate without the graph knowing about formats:
+//   * input_tap: may replace a node's input tensor (fake-quantization of
+//     activations at operator boundaries);
+//   * output_tap: observes each node's output (range calibration).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "nn/op.h"
+
+namespace fp8q {
+
+class Graph {
+ public:
+  using NodeId = int;
+
+  struct Node {
+    std::string name;
+    OpPtr op;                    ///< null for graph inputs
+    std::vector<NodeId> inputs;  ///< producer node ids
+    OpKind kind = OpKind::kInput;
+  };
+
+  /// Declares a graph input; returns its node id. Inputs are fed to
+  /// forward() in declaration order.
+  NodeId add_input(std::string name);
+
+  /// Appends an op node consuming the given producers; returns its id.
+  /// The last added node is the default output.
+  NodeId add(std::string name, OpPtr op, std::vector<NodeId> inputs);
+
+  void set_output(NodeId id);
+  [[nodiscard]] NodeId output() const { return output_; }
+
+  /// Runs the graph on the given input tensors (one per declared input)
+  /// and returns the output node's tensor.
+  [[nodiscard]] Tensor forward(std::span<const Tensor> inputs);
+  [[nodiscard]] Tensor forward(const Tensor& input) { return forward({&input, 1}); }
+
+  /// Hook replacing a node input before the op runs. Return std::nullopt to
+  /// pass the producer's tensor through untouched (no copy).
+  using InputTap =
+      std::function<std::optional<Tensor>(NodeId node, int slot, const Tensor& value)>;
+  /// Hook observing each node's freshly computed output.
+  using OutputTap = std::function<void(NodeId node, const Tensor& value)>;
+
+  void set_input_tap(InputTap tap) { input_tap_ = std::move(tap); }
+  void set_output_tap(OutputTap tap) { output_tap_ = std::move(tap); }
+  void clear_taps();
+
+  [[nodiscard]] int node_count() const { return static_cast<int>(nodes_.size()); }
+  [[nodiscard]] Node& node(NodeId id) { return nodes_[static_cast<size_t>(id)]; }
+  [[nodiscard]] const Node& node(NodeId id) const { return nodes_[static_cast<size_t>(id)]; }
+  [[nodiscard]] int input_count() const { return static_cast<int>(input_ids_.size()); }
+
+  /// Node ids in execution order (== id order).
+  [[nodiscard]] std::vector<NodeId> node_ids() const;
+
+  /// Ids of nodes with a quantizable op kind.
+  [[nodiscard]] std::vector<NodeId> quantizable_nodes() const;
+
+  /// First and last *compute* nodes (paper section 3.1: first Conv / last
+  /// Linear are kept in high precision for conv nets). Returns -1 if none.
+  [[nodiscard]] NodeId first_compute_node() const;
+  [[nodiscard]] NodeId last_compute_node() const;
+
+  /// Total parameter count across all ops.
+  [[nodiscard]] std::int64_t param_count() const;
+
+  /// Model size in MB assuming FP32 storage (Figure 5 size buckets).
+  [[nodiscard]] double size_mb() const {
+    return static_cast<double>(param_count()) * 4.0 / (1024.0 * 1024.0);
+  }
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<NodeId> input_ids_;
+  NodeId output_ = -1;
+  InputTap input_tap_;
+  OutputTap output_tap_;
+};
+
+}  // namespace fp8q

@@ -1,0 +1,52 @@
+#include "nn/linear.h"
+
+#include <stdexcept>
+
+namespace fp8q {
+
+LinearOp::LinearOp(Tensor weight, Tensor bias)
+    : weight_(std::move(weight)), bias_(std::move(bias)) {
+  if (weight_.dim() != 2) throw std::invalid_argument("LinearOp: weight must be [out, in]");
+  if (!bias_.empty() && (bias_.dim() != 1 || bias_.size(0) != weight_.size(0))) {
+    throw std::invalid_argument("LinearOp: bias must be [out]");
+  }
+}
+
+std::vector<Tensor*> LinearOp::weights() {
+  std::vector<Tensor*> ws = {&weight_};
+  if (!bias_.empty()) ws.push_back(&bias_);
+  return ws;
+}
+
+Tensor LinearOp::forward(std::span<const Tensor> inputs) {
+  if (inputs.size() != 1) throw std::invalid_argument("LinearOp: expects 1 input");
+  const Tensor& x = inputs[0];
+  const std::int64_t in = in_features();
+  const std::int64_t out = out_features();
+  if (x.dim() < 1 || x.size(-1) != in) {
+    throw std::invalid_argument("LinearOp: input feature dim mismatch");
+  }
+  const std::int64_t rows = x.numel() / in;
+
+  Shape out_shape = x.shape();
+  out_shape.back() = out;
+  Tensor y(std::move(out_shape));
+
+  const float* xd = x.data();
+  const float* wd = weight_.data();
+  const float* bd = bias_.empty() ? nullptr : bias_.data();
+  float* yd = y.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* xr = xd + r * in;
+    float* yr = yd + r * out;
+    for (std::int64_t o = 0; o < out; ++o) {
+      const float* wr = wd + o * in;
+      float acc = bd ? bd[o] : 0.0f;
+      for (std::int64_t i = 0; i < in; ++i) acc += xr[i] * wr[i];
+      yr[o] = acc;
+    }
+  }
+  return y;
+}
+
+}  // namespace fp8q

@@ -1,0 +1,30 @@
+// Fully-connected layer: y = x W^T + b.
+#pragma once
+
+#include "nn/op.h"
+
+namespace fp8q {
+
+class LinearOp final : public Op {
+ public:
+  /// `weight` is [out_features, in_features]; `bias` is [out_features] or
+  /// empty for no bias.
+  LinearOp(Tensor weight, Tensor bias);
+
+  /// Input [..., in_features] -> output [..., out_features].
+  Tensor forward(std::span<const Tensor> inputs) override;
+
+  [[nodiscard]] OpKind kind() const override { return OpKind::kLinear; }
+  [[nodiscard]] std::vector<Tensor*> weights() override;
+
+  [[nodiscard]] std::int64_t in_features() const { return weight_.size(1); }
+  [[nodiscard]] std::int64_t out_features() const { return weight_.size(0); }
+  [[nodiscard]] Tensor& weight() { return weight_; }
+  [[nodiscard]] Tensor& bias() { return bias_; }
+
+ private:
+  Tensor weight_;  ///< [out, in]
+  Tensor bias_;    ///< [out] or empty
+};
+
+}  // namespace fp8q

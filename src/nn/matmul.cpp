@@ -1,0 +1,64 @@
+#include "nn/matmul.h"
+
+#include <stdexcept>
+
+namespace fp8q {
+
+MatMulOp::MatMulOp(bool batched, bool transpose_b)
+    : batched_(batched), transpose_b_(transpose_b) {}
+
+Tensor MatMulOp::forward(std::span<const Tensor> inputs) {
+  if (inputs.size() != 2) throw std::invalid_argument("MatMulOp: expects 2 inputs");
+  const Tensor& a = inputs[0];
+  const Tensor& b = inputs[1];
+  if (a.dim() < 2 || b.dim() < 2 || a.dim() != b.dim()) {
+    throw std::invalid_argument("MatMulOp: operands must share rank >= 2");
+  }
+  for (int i = 0; i < a.dim() - 2; ++i) {
+    if (a.size(i) != b.size(i)) throw std::invalid_argument("MatMulOp: batch dims differ");
+  }
+
+  const std::int64_t m = a.size(-2);
+  const std::int64_t k = a.size(-1);
+  const std::int64_t bk = transpose_b_ ? b.size(-1) : b.size(-2);
+  const std::int64_t n = transpose_b_ ? b.size(-2) : b.size(-1);
+  if (bk != k) throw std::invalid_argument("MatMulOp: inner dims differ");
+
+  std::int64_t batch = 1;
+  for (int i = 0; i < a.dim() - 2; ++i) batch *= a.size(i);
+
+  Shape out_shape = a.shape();
+  out_shape[out_shape.size() - 2] = m;
+  out_shape[out_shape.size() - 1] = n;
+  Tensor y(std::move(out_shape));
+
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* yd = y.data();
+  const std::int64_t a_stride = m * k;
+  const std::int64_t b_stride = transpose_b_ ? n * k : k * n;
+  const std::int64_t y_stride = m * n;
+
+  for (std::int64_t bi = 0; bi < batch; ++bi) {
+    const float* ab = ad + bi * a_stride;
+    const float* bb = bd + bi * b_stride;
+    float* yb = yd + bi * y_stride;
+    for (std::int64_t i = 0; i < m; ++i) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        float acc = 0.0f;
+        if (transpose_b_) {
+          const float* br = bb + j * k;
+          const float* ar = ab + i * k;
+          for (std::int64_t kk = 0; kk < k; ++kk) acc += ar[kk] * br[kk];
+        } else {
+          const float* ar = ab + i * k;
+          for (std::int64_t kk = 0; kk < k; ++kk) acc += ar[kk] * bb[kk * n + j];
+        }
+        yb[i * n + j] = acc;
+      }
+    }
+  }
+  return y;
+}
+
+}  // namespace fp8q

@@ -1,0 +1,62 @@
+#include "nn/op.h"
+
+namespace fp8q {
+
+std::string_view to_string(OpKind kind) {
+  switch (kind) {
+    case OpKind::kInput: return "Input";
+    case OpKind::kLinear: return "Linear";
+    case OpKind::kConv2d: return "Conv2d";
+    case OpKind::kMatMul: return "MatMul";
+    case OpKind::kBatchMatMul: return "BatchMatMul";
+    case OpKind::kEmbedding: return "Embedding";
+    case OpKind::kLayerNorm: return "LayerNorm";
+    case OpKind::kBatchNorm: return "BatchNorm";
+    case OpKind::kAdd: return "Add";
+    case OpKind::kMul: return "Mul";
+    case OpKind::kRelu: return "ReLU";
+    case OpKind::kGelu: return "GELU";
+    case OpKind::kSigmoid: return "Sigmoid";
+    case OpKind::kTanh: return "Tanh";
+    case OpKind::kSilu: return "SiLU";
+    case OpKind::kHardSwish: return "HardSwish";
+    case OpKind::kLeakyRelu: return "LeakyReLU";
+    case OpKind::kGroupNorm: return "GroupNorm";
+    case OpKind::kConcat: return "Concat";
+    case OpKind::kSoftmax: return "Softmax";
+    case OpKind::kAvgPool: return "AvgPool";
+    case OpKind::kMaxPool: return "MaxPool";
+    case OpKind::kReshape: return "Reshape";
+    case OpKind::kTranspose: return "Transpose";
+    case OpKind::kScale: return "Scale";
+  }
+  return "Unknown";
+}
+
+bool is_compute_op(OpKind kind) {
+  switch (kind) {
+    case OpKind::kLinear:
+    case OpKind::kConv2d:
+    case OpKind::kMatMul:
+    case OpKind::kBatchMatMul:
+    case OpKind::kEmbedding:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_extended_op(OpKind kind) {
+  switch (kind) {
+    case OpKind::kLayerNorm:
+    case OpKind::kBatchNorm:
+    case OpKind::kGroupNorm:
+    case OpKind::kAdd:
+    case OpKind::kMul:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace fp8q

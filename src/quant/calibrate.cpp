@@ -1,0 +1,159 @@
+#include "quant/calibrate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "fp8/cast.h"
+#include "fp8/int8.h"
+#include "tensor/stats.h"
+
+namespace fp8q {
+
+namespace {
+
+/// Fake-quantizes one value with the grid induced by clipping at `clip`.
+float quantize_at_clip(float x, float clip, DType target) {
+  x = std::clamp(x, -clip, clip);
+  if (is_fp8(target)) {
+    const auto& spec = fp8_spec(target);
+    const float scale = spec.max_value() / clip;
+    return fp8_quantize(x * scale, spec) / scale;
+  }
+  if (target == DType::kINT8) {
+    return int8_quantize(x, int8_symmetric_params(clip));
+  }
+  return x;
+}
+
+}  // namespace
+
+double clip_quantization_mse(std::span<const float> values, float clip, DType target) {
+  if (values.empty() || !(clip > 0.0f)) return 0.0;
+  double acc = 0.0;
+  for (float x : values) {
+    if (std::isnan(x)) continue;
+    const double d = static_cast<double>(x) - quantize_at_clip(x, clip, target);
+    acc += d * d;
+  }
+  return acc / static_cast<double>(values.size());
+}
+
+double clip_kl_divergence(std::span<const float> values, float clip, DType target,
+                          int bins) {
+  if (bins <= 1) throw std::invalid_argument("clip_kl_divergence: need > 1 bins");
+  if (values.empty() || !(clip > 0.0f)) return 0.0;
+
+  // Reference distribution P: histogram of |x| over [0, clip]; mass beyond
+  // the clip folds into the top bin (it saturates there after quantization).
+  std::vector<double> p(static_cast<size_t>(bins), 0.0);
+  const float bin_w = clip / static_cast<float>(bins);
+  for (float x : values) {
+    if (std::isnan(x)) continue;
+    const float a = std::fabs(x);
+    auto b = static_cast<std::int64_t>(a / bin_w);
+    b = std::min<std::int64_t>(b, bins - 1);
+    p[static_cast<size_t>(b)] += 1.0;
+  }
+
+  // Candidate distribution Q: each source bin maps to the quantized value
+  // of its center; bins sharing a grid point share their total mass
+  // uniformly across the member bins where P is non-zero.
+  std::vector<float> qval(static_cast<size_t>(bins));
+  for (int b = 0; b < bins; ++b) {
+    const float center = (static_cast<float>(b) + 0.5f) * bin_w;
+    qval[static_cast<size_t>(b)] = quantize_at_clip(center, clip, target);
+  }
+  std::vector<double> q(static_cast<size_t>(bins), 0.0);
+  size_t group_start = 0;
+  while (group_start < static_cast<size_t>(bins)) {
+    size_t group_end = group_start + 1;
+    while (group_end < static_cast<size_t>(bins) &&
+           qval[group_end] == qval[group_start]) {
+      ++group_end;
+    }
+    double mass = 0.0;
+    int nonzero = 0;
+    for (size_t b = group_start; b < group_end; ++b) {
+      mass += p[b];
+      if (p[b] > 0.0) ++nonzero;
+    }
+    if (nonzero > 0) {
+      const double share = mass / nonzero;
+      for (size_t b = group_start; b < group_end; ++b) {
+        if (p[b] > 0.0) q[b] = share;
+      }
+    }
+    group_start = group_end;
+  }
+
+  // Normalize and accumulate KL(P || Q).
+  double psum = 0.0;
+  double qsum = 0.0;
+  for (int b = 0; b < bins; ++b) {
+    psum += p[static_cast<size_t>(b)];
+    qsum += q[static_cast<size_t>(b)];
+  }
+  if (psum == 0.0 || qsum == 0.0) return 0.0;
+  double kl = 0.0;
+  for (int b = 0; b < bins; ++b) {
+    const double pb = p[static_cast<size_t>(b)] / psum;
+    const double qb = q[static_cast<size_t>(b)] / qsum;
+    if (pb > 0.0 && qb > 0.0) kl += pb * std::log(pb / qb);
+  }
+  return kl;
+}
+
+float calibrate_clip(const Observer& obs, CalibMethod method, DType target,
+                     double percentile) {
+  const float amax = obs.absmax();
+  if (!(amax > 0.0f) || obs.empty()) return 1.0f;
+
+  switch (method) {
+    case CalibMethod::kAbsMax:
+      return amax;
+
+    case CalibMethod::kPercentile: {
+      const float clip = abs_quantile(obs.sample(), percentile);
+      return clip > 0.0f ? clip : amax;
+    }
+
+    case CalibMethod::kMseSweep: {
+      float best_clip = amax;
+      double best_mse = clip_quantization_mse(obs.sample(), amax, target);
+      for (int i = 19; i >= 4; --i) {  // ratios 0.95 .. 0.20
+        const float clip = amax * static_cast<float>(i) / 20.0f;
+        const double m = clip_quantization_mse(obs.sample(), clip, target);
+        if (m < best_mse) {
+          best_mse = m;
+          best_clip = clip;
+        }
+      }
+      return best_clip;
+    }
+
+    case CalibMethod::kKlDivergence: {
+      float best_clip = amax;
+      double best_kl = clip_kl_divergence(obs.sample(), amax, target, 512);
+      for (int i = 19; i >= 4; --i) {
+        const float clip = amax * static_cast<float>(i) / 20.0f;
+        const double kl = clip_kl_divergence(obs.sample(), clip, target, 512);
+        if (kl < best_kl) {
+          best_kl = kl;
+          best_clip = clip;
+        }
+      }
+      return best_clip;
+    }
+  }
+  return amax;
+}
+
+float fp8_activation_scale(DType fmt, float max_t) {
+  if (!is_fp8(fmt)) throw std::invalid_argument("fp8_activation_scale: fmt must be FP8");
+  if (fmt == DType::kE5M2) return 1.0f;  // direct quantization
+  if (!(max_t > 0.0f) || !std::isfinite(max_t)) return 1.0f;
+  return fp8_spec(fmt).max_value() / max_t;
+}
+
+}  // namespace fp8q

@@ -1,0 +1,37 @@
+// Range calibration: turns observed statistics into the clip value max_T
+// from which the scale s = float_max / max_T is derived (paper section 3.1
+// and Appendix A.1).
+//
+// The paper found plain absmax ("max") scaling sufficient for FP8 and
+// reports that KL / percentile / MSE bring no additional benefit; all four
+// are implemented so the Appendix A.1 / Figure 9 study can be reproduced.
+#pragma once
+
+#include "quant/observer.h"
+#include "quant/qconfig.h"
+
+namespace fp8q {
+
+/// Computes the calibrated clip magnitude max_T for one activation tensor.
+/// `target` determines the quantization grid used by the KL and MSE
+/// methods (they optimize grid-specific distortion).
+[[nodiscard]] float calibrate_clip(const Observer& obs, CalibMethod method, DType target,
+                                   double percentile = 0.999);
+
+/// Scale factor mapping a tensor with clip max_T onto the FP8 format's full
+/// encoding range: s = float_max / max_T (paper section 3.1). Returns 1 for
+/// degenerate inputs and for E5M2 (direct quantization).
+[[nodiscard]] float fp8_activation_scale(DType fmt, float max_t);
+
+/// Mean-squared quantization error of `values` when clipped at `clip` and
+/// snapped to `target`'s grid. Exposed for the Figure 9 KL pathology demo.
+[[nodiscard]] double clip_quantization_mse(std::span<const float> values, float clip,
+                                           DType target);
+
+/// Discrete KL divergence between the |value| histogram and its quantized
+/// counterpart when clipping at `clip`. Lower = distributions more alike.
+/// Mirrors the TensorRT-style KL calibration adapted to non-uniform grids.
+[[nodiscard]] double clip_kl_divergence(std::span<const float> values, float clip,
+                                        DType target, int bins = 2048);
+
+}  // namespace fp8q

@@ -1,0 +1,52 @@
+#include "quant/observer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fp8q {
+
+Observer::Observer(std::size_t reservoir_capacity) : capacity_(reservoir_capacity) {
+  sample_.reserve(std::min<std::size_t>(capacity_, 4096));
+}
+
+void Observer::reset() {
+  absmax_ = 0.0f;
+  min_ = 0.0f;
+  max_ = 0.0f;
+  count_ = 0;
+  sample_.clear();
+}
+
+void Observer::observe(const Tensor& t) { observe(t.flat()); }
+
+void Observer::observe(std::span<const float> values) {
+  for (float x : values) {
+    if (std::isnan(x)) continue;
+    if (count_ == 0) {
+      min_ = max_ = x;
+    } else {
+      min_ = std::min(min_, x);
+      max_ = std::max(max_, x);
+    }
+    absmax_ = std::max(absmax_, std::fabs(x));
+    ++count_;
+    // Vitter's algorithm R keeps a uniform sample without storing the
+    // whole stream.
+    if (sample_.size() < capacity_) {
+      sample_.push_back(x);
+    } else {
+      std::uint64_t r = rng_state_;
+      r ^= r >> 12;
+      r ^= r << 25;
+      r ^= r >> 27;
+      rng_state_ = r;
+      const auto j = static_cast<std::int64_t>((r * 0x2545F4914F6CDD1Dull) %
+                                               static_cast<std::uint64_t>(count_));
+      if (j < static_cast<std::int64_t>(capacity_)) {
+        sample_[static_cast<size_t>(j)] = x;
+      }
+    }
+  }
+}
+
+}  // namespace fp8q

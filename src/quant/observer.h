@@ -1,0 +1,45 @@
+// Range observers: accumulate statistics of activation tensors during the
+// calibration pass. Besides the running absmax/min/max they keep a bounded
+// reservoir sample of values so the percentile / KL / MSE calibrators can
+// be evaluated after the fact (Appendix A.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fp8q {
+
+class Observer {
+ public:
+  /// `reservoir_capacity` bounds the memory kept for the sample-based
+  /// calibration methods; absmax/minmax are always exact.
+  explicit Observer(std::size_t reservoir_capacity = 16384);
+
+  /// Accumulates one calibration tensor.
+  void observe(const Tensor& t);
+  void observe(std::span<const float> values);
+
+  [[nodiscard]] float absmax() const { return absmax_; }
+  [[nodiscard]] float min() const { return min_; }
+  [[nodiscard]] float max() const { return max_; }
+  [[nodiscard]] std::int64_t count() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+
+  /// Uniform reservoir sample of observed values (signed).
+  [[nodiscard]] const std::vector<float>& sample() const { return sample_; }
+
+  void reset();
+
+ private:
+  float absmax_ = 0.0f;
+  float min_ = 0.0f;
+  float max_ = 0.0f;
+  std::int64_t count_ = 0;
+  std::size_t capacity_;
+  std::vector<float> sample_;
+  std::uint64_t rng_state_ = 0x6A09E667F3BCC909ull;
+};
+
+}  // namespace fp8q

@@ -1,0 +1,74 @@
+// Quantization configuration vocabulary: data types, granularity,
+// calibration methods and the per-op / whole-model scheme descriptions of
+// the paper's standard and extended quantization schemes (section 3).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "fp8/format.h"
+
+namespace fp8q {
+
+/// Numeric type a tensor is snapped to at operator boundaries.
+enum class DType : std::uint8_t { kFP32, kE5M2, kE4M3, kE3M4, kINT8 };
+
+[[nodiscard]] std::string_view to_string(DType dtype);
+
+/// True if `dtype` is one of the three FP8 formats.
+[[nodiscard]] bool is_fp8(DType dtype);
+
+/// Maps an FP8 DType to its format spec; throws for non-FP8 types.
+[[nodiscard]] const FormatSpec& fp8_spec(DType dtype);
+
+[[nodiscard]] Fp8Kind fp8_kind(DType dtype);
+
+/// Scale-factor granularity (paper section 3.1: per-channel weights,
+/// per-tensor activations; per-group scaling from the related work --
+/// Zhou et al. / Mellempudi et al. -- is provided for the ablation bench).
+enum class Granularity : std::uint8_t { kPerTensor, kPerChannel, kPerGroup };
+
+/// Range-calibration algorithm for static activation quantization
+/// (Appendix A.1). The paper found simple absmax ("max") sufficient for
+/// FP8; KL/percentile/MSE are implemented for the comparison studies.
+enum class CalibMethod : std::uint8_t { kAbsMax, kPercentile, kKlDivergence, kMseSweep };
+
+[[nodiscard]] std::string_view to_string(CalibMethod method);
+
+/// Whole-model quantization scheme: which formats, which approach, which
+/// operator coverage. One instance describes one column of paper Table 2.
+struct SchemeConfig {
+  DType act_dtype = DType::kFP32;     ///< activation format
+  DType weight_dtype = DType::kFP32;  ///< weight format (differs under mixed)
+  bool dynamic_activations = false;   ///< dynamic vs static (Table 2/6)
+  /// Per-token (last-axis row) dynamic activation scales -- the
+  /// per-channel/per-token activation scaling the paper cites (Xiao et
+  /// al., Dettmers et al.) but excludes from its study because real
+  /// kernels pay overhead for it. Implemented here as an ablation;
+  /// implies dynamic_activations.
+  bool per_token_activations = false;
+  bool quantize_extended_ops = false; ///< LayerNorm/BatchNorm/Add/Mul coverage
+  bool skip_first_last = true;        ///< CNN first-conv/last-FC exception (3.1)
+  CalibMethod act_calib = CalibMethod::kAbsMax;
+  double percentile = 0.999;          ///< used when act_calib == kPercentile
+  bool smoothquant = false;           ///< SmoothQuant preprocessing (NLP)
+  float smoothquant_alpha = 0.5f;     ///< default smoothing alpha
+
+  /// Human-readable config label for result tables, e.g. "E4M3/static".
+  [[nodiscard]] std::string label() const;
+};
+
+/// The paper's standard scheme for a single FP8 format: per-channel
+/// weights, per-tensor activations, compute ops only, first/last kept in
+/// high precision. E5M2 uses direct quantization (scale 1) which the
+/// quantizer applies automatically for E5M2 activations.
+[[nodiscard]] SchemeConfig standard_fp8_scheme(DType fmt, bool dynamic = false);
+
+/// Mixed FP8 format scheme (section 3.2): E4M3 activations (range-bound)
+/// with E3M4 weights (precision-bound).
+[[nodiscard]] SchemeConfig mixed_fp8_scheme();
+
+/// The INT8 baseline of Table 2: static for CV, dynamic for NLP.
+[[nodiscard]] SchemeConfig int8_scheme(bool dynamic);
+
+}  // namespace fp8q

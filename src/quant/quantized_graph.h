@@ -1,0 +1,112 @@
+// QuantizedGraph: the end-to-end post-training quantization workflow of
+// paper Figure 2 applied to one Graph.
+//
+// prepare() runs the pipeline:
+//   1. (NLP, optional) SmoothQuant statistics pass + weight folding
+//   2. per-channel weight fake-quantization (originals backed up)
+//   3. static range calibration of activations (skipped for E5M2 direct
+//      quantization and for dynamic mode)
+//   4. (CV, optional) BatchNorm calibration through the quantized model
+// forward() then executes the graph with activations snapped onto the
+// configured grid at every covered operator boundary.
+#pragma once
+
+#include <map>
+#include <set>
+#include <utility>
+
+#include "nn/graph.h"
+#include "quant/observer.h"
+#include "quant/quantizer.h"
+
+namespace fp8q {
+
+/// Per-model quantization configuration: the scheme plus model-level
+/// knobs (CNN exceptions, tuner-driven fallbacks).
+struct ModelQuantConfig {
+  SchemeConfig scheme;
+  bool is_cnn = false;  ///< enables first/last exception and BN calibration
+  /// Individual nodes forced to FP32 (accuracy-driven tuning, A.1).
+  std::set<Graph::NodeId> fallback_nodes;
+  /// Whole op kinds forced to FP32.
+  std::set<OpKind> fallback_kinds;
+  /// Re-estimate BatchNorm statistics through the quantized network using
+  /// this many calibration batches (0 = disabled; paper recommends 3K
+  /// samples; section 4.3.1).
+  int bn_calibration_batches = 0;
+};
+
+class QuantizedGraph {
+ public:
+  /// The graph must outlive this object. Weights are modified in place
+  /// during prepare() and restored by restore_weights() / the destructor.
+  QuantizedGraph(Graph* graph, ModelQuantConfig config);
+  ~QuantizedGraph();
+
+  QuantizedGraph(const QuantizedGraph&) = delete;
+  QuantizedGraph& operator=(const QuantizedGraph&) = delete;
+
+  /// Runs the PTQ pipeline on a calibration set. Each element holds one
+  /// batch of graph inputs (size == graph input count).
+  void prepare(std::span<const std::vector<Tensor>> calib_batches);
+
+  /// Convenience for single-input graphs.
+  void prepare(std::span<const Tensor> calib_batches);
+
+  /// Quantized inference.
+  [[nodiscard]] Tensor forward(std::span<const Tensor> inputs);
+  [[nodiscard]] Tensor forward(const Tensor& input) { return forward({&input, 1}); }
+
+  /// Restores the FP32 weights (prepare() may be called again afterwards,
+  /// e.g. with a different scheme).
+  void restore_weights();
+
+  [[nodiscard]] const ModelQuantConfig& config() const { return config_; }
+  [[nodiscard]] bool prepared() const { return prepared_; }
+
+  /// True if the node participates in quantization under this config.
+  [[nodiscard]] bool node_quantized(Graph::NodeId id) const {
+    return quantized_nodes_.contains(id);
+  }
+  [[nodiscard]] const std::set<Graph::NodeId>& quantized_nodes() const {
+    return quantized_nodes_;
+  }
+
+  /// Calibrated clip magnitude for a static activation (testing/tuning).
+  /// Returns 0 if the slot has no static parameters.
+  [[nodiscard]] float activation_clip(Graph::NodeId id, int slot) const;
+
+  /// Parameter-weighted fraction of compute operators running quantized --
+  /// the efficiency axis of the tuner's accuracy/performance trade-off
+  /// (Appendix A.1: "the more operators converted to low precision, the
+  /// worse the precision"). 1.0 = every compute op quantized.
+  [[nodiscard]] double quantized_compute_fraction() const;
+
+ private:
+  void select_quantized_nodes();
+  void run_smoothquant(std::span<const std::vector<Tensor>> calib_batches);
+  void quantize_weights();
+  void calibrate_activations(std::span<const std::vector<Tensor>> calib_batches);
+  void calibrate_batchnorm(std::span<const std::vector<Tensor>> calib_batches);
+
+  /// True if input `slot` of node `id` should be fake-quantized
+  /// (Embedding indices are never quantized).
+  [[nodiscard]] bool slot_quantized(Graph::NodeId id, int slot) const;
+
+  /// The fake-quant input tap used for quantized inference.
+  [[nodiscard]] std::optional<Tensor> quantize_input(Graph::NodeId id, int slot,
+                                                     const Tensor& value);
+
+  Graph* graph_;
+  ModelQuantConfig config_;
+  bool prepared_ = false;
+
+  std::set<Graph::NodeId> quantized_nodes_;
+  std::map<Graph::NodeId, std::vector<Tensor>> weight_backup_;
+  std::map<std::pair<Graph::NodeId, int>, Observer> observers_;
+  std::map<std::pair<Graph::NodeId, int>, QuantParams> static_params_;
+  std::map<std::pair<Graph::NodeId, int>, float> clips_;
+  std::map<Graph::NodeId, std::vector<float>> smooth_factors_;  ///< per Linear node
+};
+
+}  // namespace fp8q

@@ -1,0 +1,215 @@
+#include "quant/quantizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "fp8/cast.h"
+#include "fp8/cast_fast.h"
+#include "quant/calibrate.h"
+#include "tensor/stats.h"
+
+namespace fp8q {
+
+QuantParams make_weight_params(const Tensor& w, DType dtype, Granularity granularity,
+                               int axis) {
+  QuantParams p;
+  p.dtype = dtype;
+  if (dtype == DType::kFP32) return p;
+  p.granularity = granularity;
+  p.channel_axis = axis;
+
+  if (granularity == Granularity::kPerTensor) {
+    const float amax = absmax(w);
+    if (is_fp8(dtype)) {
+      p.scale = fp8_activation_scale(dtype, amax);
+      if (dtype == DType::kE5M2) {
+        // Weights always use max scaling, even for E5M2: the direct-cast
+        // exception applies to activations only.
+        p.scale = amax > 0.0f ? fp8_spec(dtype).max_value() / amax : 1.0f;
+      }
+    } else {
+      p.int8 = int8_symmetric_params(amax);
+    }
+    return p;
+  }
+
+  const auto maxima = absmax_per_channel(w, axis);
+  if (is_fp8(dtype)) {
+    const float fmax = fp8_spec(dtype).max_value();
+    p.channel_scales.resize(maxima.size());
+    for (size_t c = 0; c < maxima.size(); ++c) {
+      p.channel_scales[c] = maxima[c] > 0.0f ? fmax / maxima[c] : 1.0f;
+    }
+  } else {
+    p.channel_int8.resize(maxima.size());
+    for (size_t c = 0; c < maxima.size(); ++c) {
+      p.channel_int8[c] = int8_symmetric_params(maxima[c]);
+    }
+  }
+  return p;
+}
+
+QuantParams make_activation_params(DType dtype, float min_v, float max_v) {
+  QuantParams p;
+  p.dtype = dtype;
+  if (dtype == DType::kFP32) return p;
+  if (is_fp8(dtype)) {
+    const float amax = std::max(std::fabs(min_v), std::fabs(max_v));
+    p.scale = fp8_activation_scale(dtype, amax);
+  } else {
+    p.int8 = int8_asymmetric_params(min_v, max_v);
+  }
+  return p;
+}
+
+QuantParams make_dynamic_activation_params(DType dtype, const Tensor& x) {
+  if (dtype == DType::kFP32) return QuantParams{};
+  const auto [lo, hi] = minmax(x);
+  return make_activation_params(dtype, lo, hi);
+}
+
+namespace {
+
+void apply_per_channel(Tensor& t, const QuantParams& p) {
+  int axis = p.channel_axis;
+  if (axis < 0) axis += t.dim();
+  if (axis < 0 || axis >= t.dim()) {
+    throw std::invalid_argument("apply_quant: bad channel axis");
+  }
+  const std::int64_t channels = t.size(axis);
+  const std::int64_t stride = t.strides()[static_cast<size_t>(axis)];
+  const bool fp8 = is_fp8(p.dtype);
+  if (fp8 && static_cast<std::int64_t>(p.channel_scales.size()) != channels) {
+    throw std::invalid_argument("apply_quant: channel scale count mismatch");
+  }
+  if (!fp8 && static_cast<std::int64_t>(p.channel_int8.size()) != channels) {
+    throw std::invalid_argument("apply_quant: channel int8 param count mismatch");
+  }
+
+  auto data = t.flat();
+  if (axis == 0 && t.dim() >= 1) {
+    // Fast path: contiguous blocks per channel.
+    const std::int64_t block = t.numel() / channels;
+    for (std::int64_t c = 0; c < channels; ++c) {
+      auto span = data.subspan(static_cast<size_t>(c * block), static_cast<size_t>(block));
+      if (fp8) {
+        fp8_quantize_scaled_fast(span, span, fast_cast_spec(fp8_kind(p.dtype)),
+                                 p.channel_scales[static_cast<size_t>(c)]);
+      } else {
+        int8_quantize(span, span, p.channel_int8[static_cast<size_t>(c)]);
+      }
+    }
+    return;
+  }
+  const std::int64_t n = t.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto c = static_cast<size_t>((i / stride) % channels);
+    auto& v = data[static_cast<size_t>(i)];
+    if (fp8) {
+      const float s = p.channel_scales[c];
+      v = fp8_quantize_fast(v * s, fast_cast_spec(fp8_kind(p.dtype))) * (1.0f / s);
+    } else {
+      v = int8_quantize(v, p.channel_int8[c]);
+    }
+  }
+}
+
+}  // namespace
+
+namespace {
+
+void apply_per_group(Tensor& t, const QuantParams& p) {
+  if (p.group_size <= 0) throw std::invalid_argument("apply_quant: bad group size");
+  const std::int64_t n = t.numel();
+  const auto groups = static_cast<std::int64_t>((n + p.group_size - 1) / p.group_size);
+  const bool fp8 = is_fp8(p.dtype);
+  if (fp8 && static_cast<std::int64_t>(p.channel_scales.size()) != groups) {
+    throw std::invalid_argument("apply_quant: group scale count mismatch");
+  }
+  if (!fp8 && static_cast<std::int64_t>(p.channel_int8.size()) != groups) {
+    throw std::invalid_argument("apply_quant: group int8 param count mismatch");
+  }
+  auto data = t.flat();
+  for (std::int64_t g = 0; g < groups; ++g) {
+    const auto begin = static_cast<size_t>(g * p.group_size);
+    const auto len = static_cast<size_t>(std::min<std::int64_t>(p.group_size, n - g * p.group_size));
+    auto span = data.subspan(begin, len);
+    if (fp8) {
+      fp8_quantize_scaled_fast(span, span, fast_cast_spec(fp8_kind(p.dtype)),
+                               p.channel_scales[static_cast<size_t>(g)]);
+    } else {
+      int8_quantize(span, span, p.channel_int8[static_cast<size_t>(g)]);
+    }
+  }
+}
+
+}  // namespace
+
+QuantParams make_group_weight_params(const Tensor& w, DType dtype, std::int64_t group_size) {
+  if (group_size <= 0) throw std::invalid_argument("make_group_weight_params: bad group size");
+  QuantParams p;
+  p.dtype = dtype;
+  if (dtype == DType::kFP32) return p;
+  p.granularity = Granularity::kPerGroup;
+  p.group_size = group_size;
+  const std::int64_t n = w.numel();
+  const auto groups = static_cast<std::int64_t>((n + group_size - 1) / group_size);
+  const auto data = w.flat();
+  for (std::int64_t g = 0; g < groups; ++g) {
+    const auto begin = static_cast<size_t>(g * group_size);
+    const auto len = static_cast<size_t>(std::min<std::int64_t>(group_size, n - g * group_size));
+    const float amax = absmax(data.subspan(begin, len));
+    if (is_fp8(dtype)) {
+      p.channel_scales.push_back(amax > 0.0f ? fp8_spec(dtype).max_value() / amax : 1.0f);
+    } else {
+      p.channel_int8.push_back(int8_symmetric_params(amax));
+    }
+  }
+  return p;
+}
+
+void apply_quant_inplace(Tensor& t, const QuantParams& p) {
+  if (p.is_noop() || t.empty()) return;
+  if (p.granularity == Granularity::kPerGroup) {
+    apply_per_group(t, p);
+    return;
+  }
+  if (p.granularity == Granularity::kPerChannel) {
+    apply_per_channel(t, p);
+    return;
+  }
+  auto data = t.flat();
+  if (is_fp8(p.dtype)) {
+    fp8_quantize_scaled_fast(data, data, fast_cast_spec(fp8_kind(p.dtype)), p.scale);
+  } else {
+    int8_quantize(data, data, p.int8);
+  }
+}
+
+void apply_per_token_dynamic(Tensor& x, DType dtype) {
+  if (dtype == DType::kFP32 || x.dim() < 1 || x.empty()) return;
+  const std::int64_t d = x.size(-1);
+  const std::int64_t rows = x.numel() / d;
+  auto data = x.flat();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    auto row = data.subspan(static_cast<size_t>(r * d), static_cast<size_t>(d));
+    if (is_fp8(dtype)) {
+      const float amax = absmax(row);
+      const float scale = fp8_activation_scale(dtype, amax);
+      // E5M2 keeps its direct cast (scale 1) even per-token.
+      fp8_quantize_scaled_fast(row, row, fast_cast_spec(fp8_kind(dtype)), scale);
+    } else {
+      const auto [lo, hi] = minmax(row);
+      int8_quantize(row, row, int8_asymmetric_params(lo, hi));
+    }
+  }
+}
+
+Tensor apply_quant(const Tensor& t, const QuantParams& p) {
+  Tensor out = t;
+  apply_quant_inplace(out, p);
+  return out;
+}
+
+}  // namespace fp8q

@@ -1,0 +1,30 @@
+// SmoothQuant (Xiao et al. 2022): migrates activation outlier magnitude
+// into weights via a per-channel smoothing vector
+//   s_j = max|X_j|^alpha / max|W_j|^(1-alpha)
+// so X' = X / s and W' = W * s give the same product with a flatter
+// activation distribution. The paper enables it on NLP models with the
+// default alpha (section 4.2.1).
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fp8q {
+
+/// Computes per-input-channel smoothing factors. `act_absmax[j]` is the
+/// calibrated absmax of activation channel j; `weight_absmax[j]` is the
+/// absmax over the weight column j (input-channel granularity). Factors are
+/// clamped to be positive and finite.
+[[nodiscard]] std::vector<float> smoothquant_factors(std::span<const float> act_absmax,
+                                                     std::span<const float> weight_absmax,
+                                                     float alpha = 0.5f);
+
+/// Scales weight column j of a [out, in] weight by factors[j] (W' = W * s).
+void scale_weight_columns(Tensor& weight, std::span<const float> factors);
+
+/// Divides the last axis of an activation tensor by the factors
+/// (X' = X / s). `x` is modified in place.
+void divide_channels(Tensor& x, std::span<const float> factors);
+
+}  // namespace fp8q

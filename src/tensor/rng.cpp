@@ -1,0 +1,124 @@
+#include "tensor/rng.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace fp8q {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  state_ = splitmix64(s);
+  if (state_ == 0) state_ = 0x1234567890ABCDEFull;
+}
+
+std::uint64_t Rng::next() {
+  std::uint64_t x = state_;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  state_ = x;
+  return x * 0x2545F4914F6CDD1Dull;
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+float Rng::uniform(float lo, float hi) {
+  return lo + static_cast<float>(uniform01()) * (hi - lo);
+}
+
+float Rng::normal(float mean, float stddev) {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  // Box-Muller; guard against log(0).
+  double u1 = uniform01();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = uniform01();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = static_cast<float>(r * std::sin(theta));
+  has_cached_normal_ = true;
+  return mean + stddev * static_cast<float>(r * std::cos(theta));
+}
+
+std::int64_t Rng::randint(std::int64_t lo, std::int64_t hi) {
+  if (hi < lo) throw std::invalid_argument("randint: hi < lo");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(next() % span);
+}
+
+float Rng::student_t(float dof) {
+  // t = Z / sqrt(ChiSq(dof)/dof); ChiSq via sum of squared normals for small
+  // integer dof, which is all the synthetic distributions need.
+  const int k = std::max(1, static_cast<int>(dof));
+  double chi = 0.0;
+  for (int i = 0; i < k; ++i) {
+    const double z = normal();
+    chi += z * z;
+  }
+  return static_cast<float>(normal() / std::sqrt(chi / k));
+}
+
+Rng Rng::fork() { return Rng(next()); }
+
+Tensor randn(Rng& rng, Shape shape, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (float& v : t.flat()) v = rng.normal(mean, stddev);
+  return t;
+}
+
+Tensor rand_uniform(Rng& rng, Shape shape, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (float& v : t.flat()) v = rng.uniform(lo, hi);
+  return t;
+}
+
+Tensor rand_student_t(Rng& rng, Shape shape, float dof, float scale) {
+  Tensor t(std::move(shape));
+  for (float& v : t.flat()) v = scale * rng.student_t(dof);
+  return t;
+}
+
+void inject_outliers(Tensor& t, Rng& rng, double fraction, float lo, float hi) {
+  if (fraction <= 0.0) return;
+  for (float& v : t.flat()) {
+    if (rng.uniform01() < fraction) v = rng.uniform(lo, hi);
+  }
+}
+
+void amplify_channels(Tensor& t, Rng& rng, int axis, double channel_fraction, float gain) {
+  if (t.dim() == 0 || channel_fraction <= 0.0) return;
+  if (axis < 0) axis += t.dim();
+  if (axis < 0 || axis >= t.dim()) throw std::invalid_argument("amplify_channels: bad axis");
+
+  const std::int64_t channels = t.size(axis);
+  std::vector<bool> amplified(static_cast<size_t>(channels), false);
+  for (std::int64_t c = 0; c < channels; ++c) {
+    amplified[static_cast<size_t>(c)] = rng.uniform01() < channel_fraction;
+  }
+
+  const auto strides = t.strides();
+  const std::int64_t stride = strides[static_cast<size_t>(axis)];
+  const std::int64_t n = t.numel();
+  auto data = t.flat();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t c = (i / stride) % channels;
+    if (amplified[static_cast<size_t>(c)]) data[static_cast<size_t>(i)] *= gain;
+  }
+}
+
+}  // namespace fp8q

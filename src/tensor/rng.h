@@ -1,0 +1,64 @@
+// Deterministic random number generation for synthetic weights, inputs and
+// the controlled tensor distributions of the study (paper Figures 1 and 3).
+//
+// A self-contained xoshiro-style generator keeps every workload, test and
+// bench bit-reproducible across platforms and standard libraries.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace fp8q {
+
+/// splitmix64-seeded xorshift generator with Box-Muller normals.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x8E5A2D1CB7F3A941ull);
+
+  /// Raw 64-bit draw.
+  std::uint64_t next();
+
+  /// Uniform in [0, 1).
+  double uniform01();
+
+  /// Uniform in [lo, hi).
+  float uniform(float lo, float hi);
+
+  /// Standard Box-Muller normal with the given mean and stddev.
+  float normal(float mean = 0.0f, float stddev = 1.0f);
+
+  /// Integer in [lo, hi] inclusive.
+  std::int64_t randint(std::int64_t lo, std::int64_t hi);
+
+  /// Student-t draw with `dof` degrees of freedom (heavy-tailed activations).
+  float student_t(float dof);
+
+  /// Forks a decorrelated child stream (for per-workload determinism).
+  [[nodiscard]] Rng fork();
+
+ private:
+  std::uint64_t state_;
+  bool has_cached_normal_ = false;
+  float cached_normal_ = 0.0f;
+};
+
+/// Tensor filled with N(mean, stddev^2) draws.
+[[nodiscard]] Tensor randn(Rng& rng, Shape shape, float mean = 0.0f, float stddev = 1.0f);
+
+/// Tensor filled with U[lo, hi) draws.
+[[nodiscard]] Tensor rand_uniform(Rng& rng, Shape shape, float lo = 0.0f, float hi = 1.0f);
+
+/// Tensor of heavy-tailed Student-t draws scaled by `scale`.
+[[nodiscard]] Tensor rand_student_t(Rng& rng, Shape shape, float dof, float scale = 1.0f);
+
+/// Replaces a `fraction` of elements with uniform draws in [lo, hi] —
+/// the outlier-injection protocol of paper Figure 1 (1% outliers in +/-6).
+void inject_outliers(Tensor& t, Rng& rng, double fraction, float lo, float hi);
+
+/// Scales a random subset of `channel_fraction` channels (axis `axis`) by
+/// `gain` — emulates the LayerNorm-amplified outlier *channels* observed in
+/// LLM activations (paper section 1, Wei et al. 2022).
+void amplify_channels(Tensor& t, Rng& rng, int axis, double channel_fraction, float gain);
+
+}  // namespace fp8q

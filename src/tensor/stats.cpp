@@ -1,0 +1,162 @@
+#include "tensor/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fp8q {
+
+float absmax(std::span<const float> v) {
+  float m = 0.0f;
+  for (float x : v) {
+    if (std::isnan(x)) continue;
+    m = std::max(m, std::fabs(x));
+  }
+  return m;
+}
+
+std::pair<float, float> minmax(std::span<const float> v) {
+  bool seen = false;
+  float lo = 0.0f;
+  float hi = 0.0f;
+  for (float x : v) {
+    if (std::isnan(x)) continue;
+    if (!seen) {
+      lo = hi = x;
+      seen = true;
+    } else {
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+    }
+  }
+  return {lo, hi};
+}
+
+namespace {
+
+template <typename Fn>
+void for_each_channel(const Tensor& t, int axis, Fn&& fn) {
+  if (t.dim() == 0) return;
+  if (axis < 0) axis += t.dim();
+  if (axis < 0 || axis >= t.dim()) throw std::invalid_argument("bad channel axis");
+  const std::int64_t channels = t.size(axis);
+  const std::int64_t stride = t.strides()[static_cast<size_t>(axis)];
+  const auto data = t.flat();
+  const std::int64_t n = t.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t c = (i / stride) % channels;
+    fn(c, data[static_cast<size_t>(i)]);
+  }
+}
+
+}  // namespace
+
+std::vector<float> absmax_per_channel(const Tensor& t, int axis) {
+  if (axis < 0) axis += t.dim();
+  if (axis < 0 || axis >= t.dim()) throw std::invalid_argument("bad channel axis");
+  std::vector<float> result(static_cast<size_t>(t.size(axis)), 0.0f);
+  for_each_channel(t, axis, [&](std::int64_t c, float x) {
+    if (!std::isnan(x)) {
+      result[static_cast<size_t>(c)] = std::max(result[static_cast<size_t>(c)], std::fabs(x));
+    }
+  });
+  return result;
+}
+
+std::vector<std::pair<float, float>> minmax_per_channel(const Tensor& t, int axis) {
+  if (axis < 0) axis += t.dim();
+  if (axis < 0 || axis >= t.dim()) throw std::invalid_argument("bad channel axis");
+  const auto channels = static_cast<size_t>(t.size(axis));
+  std::vector<std::pair<float, float>> result(channels,
+                                              {std::numeric_limits<float>::infinity(),
+                                               -std::numeric_limits<float>::infinity()});
+  for_each_channel(t, axis, [&](std::int64_t c, float x) {
+    if (std::isnan(x)) return;
+    auto& [lo, hi] = result[static_cast<size_t>(c)];
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  });
+  for (auto& [lo, hi] : result) {
+    if (lo > hi) lo = hi = 0.0f;  // empty channel
+  }
+  return result;
+}
+
+SummaryStats summarize(std::span<const float> v) {
+  SummaryStats s;
+  if (v.empty()) return s;
+  double sum = 0.0;
+  std::int64_t n = 0;
+  bool seen = false;
+  for (float x : v) {
+    if (std::isnan(x)) continue;
+    if (!seen) {
+      s.min = s.max = x;
+      seen = true;
+    }
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+    s.absmax = std::max(s.absmax, std::fabs(x));
+    sum += x;
+    ++n;
+  }
+  if (n == 0) return s;
+  s.mean = sum / static_cast<double>(n);
+  double m2 = 0.0;
+  double m4 = 0.0;
+  for (float x : v) {
+    if (std::isnan(x)) continue;
+    const double d = x - s.mean;
+    m2 += d * d;
+    m4 += d * d * d * d;
+  }
+  m2 /= static_cast<double>(n);
+  m4 /= static_cast<double>(n);
+  s.stddev = std::sqrt(m2);
+  s.kurtosis = m2 > 0.0 ? m4 / (m2 * m2) - 3.0 : 0.0;
+  return s;
+}
+
+float abs_quantile(std::span<const float> v, double q) {
+  if (v.empty()) return 0.0f;
+  q = std::clamp(q, 0.0, 1.0);
+  std::vector<float> mags;
+  mags.reserve(v.size());
+  for (float x : v) {
+    if (!std::isnan(x)) mags.push_back(std::fabs(x));
+  }
+  if (mags.empty()) return 0.0f;
+  const auto k = static_cast<size_t>(q * static_cast<double>(mags.size() - 1) + 0.5);
+  std::nth_element(mags.begin(), mags.begin() + static_cast<std::ptrdiff_t>(k), mags.end());
+  return mags[k];
+}
+
+std::vector<double> abs_histogram(std::span<const float> v, int bins, float hi) {
+  if (bins <= 0) throw std::invalid_argument("abs_histogram: bins must be positive");
+  std::vector<double> h(static_cast<size_t>(bins), 0.0);
+  if (!(hi > 0.0f)) return h;
+  for (float x : v) {
+    if (std::isnan(x)) continue;
+    const float a = std::fabs(x);
+    auto b = static_cast<std::int64_t>(a / hi * static_cast<float>(bins));
+    b = std::min<std::int64_t>(b, bins - 1);
+    h[static_cast<size_t>(b)] += 1.0;
+  }
+  return h;
+}
+
+double fraction_within_sigma(std::span<const float> v, double k) {
+  if (v.empty()) return 0.0;
+  const SummaryStats s = summarize(v);
+  if (s.stddev <= 0.0) return 1.0;
+  std::int64_t inside = 0;
+  std::int64_t total = 0;
+  for (float x : v) {
+    if (std::isnan(x)) continue;
+    ++total;
+    if (std::fabs(x - s.mean) <= k * s.stddev) ++inside;
+  }
+  return total > 0 ? static_cast<double>(inside) / static_cast<double>(total) : 0.0;
+}
+
+}  // namespace fp8q

@@ -1,0 +1,142 @@
+#include "tune/tuner.h"
+
+#include <algorithm>
+
+namespace fp8q {
+
+namespace {
+
+/// Applies one trial and records it; returns true when the criterion is met.
+bool try_config(const Workload& w, const std::string& description,
+                const ModelQuantConfig& config, const EvalProtocol& protocol,
+                const TuneOptions& options, TuneResult& result) {
+  TuneStep step;
+  step.description = description;
+  step.config = config;
+  step.record = evaluate_workload_config(w, config, protocol);
+  {
+    Graph g = w.build();
+    QuantizedGraph qg(&g, config);
+    step.quantized_fraction = qg.quantized_compute_fraction();
+  }
+  step.met = step.record.passes(options.accuracy_criterion);
+  const bool first = result.history.empty();
+  const bool better =
+      first || step.record.relative_loss() < result.best_record.relative_loss();
+  result.history.push_back(step);
+  if (better) {
+    result.best = config;
+    result.best_record = step.record;
+  }
+  if (step.met) result.success = true;
+  return step.met;
+}
+
+}  // namespace
+
+std::vector<std::pair<Graph::NodeId, double>> node_sensitivity(
+    const Workload& w, const SchemeConfig& scheme, const EvalProtocol& protocol) {
+  Graph g = w.build();
+  const ModelQuantConfig base = default_model_config(w, scheme, protocol);
+  // Node set actually covered under this config.
+  std::set<Graph::NodeId> covered;
+  {
+    QuantizedGraph qg(&g, base);
+    covered = qg.quantized_nodes();
+  }
+
+  std::vector<std::pair<Graph::NodeId, double>> sensitivity;
+  sensitivity.reserve(covered.size());
+  for (Graph::NodeId id : covered) {
+    ModelQuantConfig solo = base;
+    // Quantize only `id`: everything else falls back to FP32.
+    for (Graph::NodeId other : covered) {
+      if (other != id) solo.fallback_nodes.insert(other);
+    }
+    const AccuracyRecord rec = evaluate_workload_config(w, solo, protocol);
+    sensitivity.emplace_back(id, rec.relative_loss());
+  }
+  std::sort(sensitivity.begin(), sensitivity.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return sensitivity;
+}
+
+TuneResult autotune(const Workload& w, DType preferred, const EvalProtocol& protocol,
+                    const TuneOptions& options) {
+  TuneResult result;
+  auto budget = [&] { return result.trials() < options.max_trials; };
+
+  // 1. Standard scheme, preferred format, static.
+  const SchemeConfig standard = standard_fp8_scheme(preferred, false);
+  if (try_config(w, std::string("standard ") + standard.label(),
+                 default_model_config(w, standard, protocol), protocol, options, result)) {
+    return result;
+  }
+
+  // 2. Dynamic activation quantization (no effect for E5M2's direct cast).
+  if (preferred != DType::kE5M2 && budget()) {
+    const SchemeConfig dynamic = standard_fp8_scheme(preferred, true);
+    if (try_config(w, std::string("dynamic ") + dynamic.label(),
+                   default_model_config(w, dynamic, protocol), protocol, options, result)) {
+      return result;
+    }
+  }
+
+  // 3. Mixed FP8 formats: E4M3 activations with E3M4 weights.
+  if (budget()) {
+    const SchemeConfig mixed = mixed_fp8_scheme();
+    if (try_config(w, std::string("mixed ") + mixed.label(),
+                   default_model_config(w, mixed, protocol), protocol, options, result)) {
+      return result;
+    }
+  }
+
+  // 4. The remaining FP8 formats, static then dynamic.
+  for (DType fmt : {DType::kE4M3, DType::kE3M4, DType::kE5M2}) {
+    if (fmt == preferred) continue;
+    for (bool dyn : {false, true}) {
+      if (fmt == DType::kE5M2 && dyn) continue;
+      if (!budget()) break;
+      const SchemeConfig alt = standard_fp8_scheme(fmt, dyn);
+      if (try_config(w, std::string("alt-format ") + alt.label(),
+                     default_model_config(w, alt, protocol), protocol, options, result)) {
+        return result;
+      }
+    }
+  }
+
+  // 5. Operator-kind fallback on the best config so far.
+  const ModelQuantConfig base = result.best;
+  for (OpKind kind : {OpKind::kBatchMatMul, OpKind::kMatMul, OpKind::kEmbedding,
+                      OpKind::kConv2d}) {
+    if (!budget()) break;
+    ModelQuantConfig cfg = base;
+    if (cfg.fallback_kinds.contains(kind)) continue;
+    cfg.fallback_kinds.insert(kind);
+    if (try_config(w, std::string("fallback-kind ") + std::string(to_string(kind)), cfg,
+                   protocol, options, result)) {
+      return result;
+    }
+  }
+
+  // 6. Per-node fallback, most sensitive first (cumulative).
+  if (budget() && options.max_node_fallbacks > 0) {
+    const auto sensitivity = node_sensitivity(w, base.scheme, protocol);
+    ModelQuantConfig cfg = result.best;
+    int disabled = 0;
+    for (const auto& [id, loss] : sensitivity) {
+      if (disabled >= options.max_node_fallbacks || !budget()) break;
+      if (loss <= 0.0) break;  // remaining nodes are harmless
+      cfg.fallback_nodes.insert(id);
+      ++disabled;
+      if (try_config(w, "fallback-node #" + std::to_string(id), cfg, protocol, options,
+                     result)) {
+        return result;
+      }
+    }
+  }
+
+  return result;
+}
+
+}  // namespace fp8q

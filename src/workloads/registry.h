@@ -1,0 +1,34 @@
+// The 75-workload study suite (paper section 4.1).
+//
+// Mirrors the paper's composition: 34 computer-vision networks, 38 NLP
+// networks, 2 speech models and 1 recommender (75 total). Each entry is a
+// synthetic stand-in for a named architecture family with distribution
+// personalities chosen to land in the regimes the paper documents
+// (activation-outlier NLP models, precision-bound CV models, depthwise
+// channel-imbalanced CNNs, etc.). Representative entries carry the names
+// used in paper Table 3 ("resnet50-ish", "bloom7b-ish", ...).
+#pragma once
+
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace fp8q {
+
+/// Builds the full 75-entry suite (deterministic).
+[[nodiscard]] std::vector<Workload> build_suite();
+
+/// Finds a workload by exact name; throws std::out_of_range if absent.
+[[nodiscard]] const Workload& find_workload(const std::vector<Workload>& suite,
+                                            const std::string& name);
+
+/// The named Table-3 representative workloads, in the paper's row order.
+[[nodiscard]] std::vector<std::string> table3_workload_names();
+
+/// The 6 study configurations of paper Table 2, in row order:
+/// E5M2 direct, E4M3 static, E4M3 dynamic, E3M4 static, E3M4 dynamic,
+/// INT8 (static on CV, dynamic on NLP -- the caller resolves per domain
+/// via int8_scheme(domain != "CV")).
+[[nodiscard]] std::vector<SchemeConfig> table2_fp8_schemes();
+
+}  // namespace fp8q

@@ -1,0 +1,206 @@
+#include "workloads/workload.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "metrics/metrics.h"
+#include "quant/quantized_graph.h"
+
+namespace fp8q {
+
+std::string_view to_string(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kTop1: return "top1";
+    case MetricKind::kPearson: return "pearson";
+    case MetricKind::kNmse: return "nmse";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Argmax per row over the last axis of a [rows..., classes] score tensor.
+std::vector<std::int64_t> labels_from(const Tensor& scores) {
+  const std::int64_t classes = scores.size(-1);
+  const std::int64_t rows = scores.numel() / classes;
+  std::vector<std::int64_t> labels(static_cast<size_t>(rows));
+  const auto flat = scores.flat();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    labels[static_cast<size_t>(r)] =
+        argmax(flat.subspan(static_cast<size_t>(r * classes), static_cast<size_t>(classes)));
+  }
+  return labels;
+}
+
+/// Top-2 margin of each row of a [rows..., classes] score tensor.
+std::vector<float> margins_from(const Tensor& scores) {
+  const std::int64_t classes = scores.size(-1);
+  const std::int64_t rows = scores.numel() / classes;
+  std::vector<float> margins(static_cast<size_t>(rows));
+  const auto flat = scores.flat();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const auto row =
+        flat.subspan(static_cast<size_t>(r * classes), static_cast<size_t>(classes));
+    float best = row[0];
+    float second = -std::numeric_limits<float>::infinity();
+    for (size_t c = 1; c < row.size(); ++c) {
+      if (row[c] > best) {
+        second = best;
+        best = row[c];
+      } else if (row[c] > second) {
+        second = row[c];
+      }
+    }
+    margins[static_cast<size_t>(r)] = best - second;
+  }
+  return margins;
+}
+
+/// Running accumulator for the three metric kinds.
+struct ScoreAccumulator {
+  MetricKind kind;
+  double margin_quantile = 0.0;
+  std::int64_t agree = 0;
+  std::int64_t total = 0;
+  std::vector<float> targets;
+  std::vector<float> outputs;
+
+  void add(const Tensor& target_scores, const Tensor& output_scores) {
+    if (kind == MetricKind::kTop1) {
+      const auto labels = labels_from(target_scores);
+      const std::int64_t classes = output_scores.size(-1);
+      const auto flat = output_scores.flat();
+      // Margin filter: emulates the confident-prediction structure of
+      // trained classifiers (see Workload::margin_quantile).
+      float threshold = -std::numeric_limits<float>::infinity();
+      std::vector<float> margins;
+      if (margin_quantile > 0.0) {
+        margins = margins_from(target_scores);
+        std::vector<float> sorted = margins;
+        std::sort(sorted.begin(), sorted.end());
+        const auto k = static_cast<size_t>(margin_quantile *
+                                           static_cast<double>(sorted.size() - 1));
+        threshold = sorted[k];
+      }
+      for (size_t r = 0; r < labels.size(); ++r) {
+        if (!margins.empty() && margins[r] < threshold) continue;
+        const auto row = flat.subspan(r * static_cast<size_t>(classes),
+                                      static_cast<size_t>(classes));
+        if (argmax(row) == labels[r]) ++agree;
+        ++total;
+      }
+      return;
+    }
+    const auto t = target_scores.flat();
+    const auto o = output_scores.flat();
+    targets.insert(targets.end(), t.begin(), t.end());
+    outputs.insert(outputs.end(), o.begin(), o.end());
+  }
+
+  [[nodiscard]] double score() const {
+    switch (kind) {
+      case MetricKind::kTop1:
+        return total > 0 ? static_cast<double>(agree) / static_cast<double>(total) : 0.0;
+      case MetricKind::kPearson:
+        return pearson(targets, outputs);
+      case MetricKind::kNmse:
+        return nmse_accuracy(targets, outputs);
+    }
+    return 0.0;
+  }
+};
+
+struct EvalBatch {
+  std::vector<Tensor> clean;
+  std::vector<Tensor> perturbed;
+  Tensor clean_fp32_out;  ///< labels / targets source
+};
+
+}  // namespace
+
+double fp32_baseline(const Workload& w, const EvalProtocol& protocol) {
+  Graph g = w.build();
+  Rng eval_rng(w.data_seed * 104729 + 2);
+  ScoreAccumulator acc{w.metric, w.margin_quantile};
+  for (int b = 0; b < protocol.eval_batches; ++b) {
+    auto clean = w.make_batch(eval_rng, protocol.eval_batch_size);
+    auto perturbed = w.perturb(eval_rng, clean);
+    const Tensor target = g.forward(clean);
+    const Tensor out = g.forward(perturbed);
+    acc.add(target, out);
+  }
+  return acc.score();
+}
+
+ModelQuantConfig default_model_config(const Workload& w, const SchemeConfig& scheme,
+                                      const EvalProtocol& protocol) {
+  ModelQuantConfig cfg;
+  cfg.scheme = scheme;
+  if (scheme.act_dtype != DType::kFP32 && w.domain != "CV") {
+    cfg.scheme.smoothquant = true;  // SmoothQuant on all NLP workloads
+  }
+  cfg.is_cnn = w.is_cnn;
+  cfg.bn_calibration_batches = w.is_cnn ? protocol.bn_calibration_batches : 0;
+  return cfg;
+}
+
+AccuracyRecord evaluate_workload(const Workload& w, const SchemeConfig& scheme,
+                                 const EvalProtocol& protocol) {
+  return evaluate_workload_config(w, default_model_config(w, scheme, protocol), protocol);
+}
+
+AccuracyRecord evaluate_workload_config(const Workload& w, const ModelQuantConfig& config,
+                                        const EvalProtocol& protocol) {
+  if (!w.build || !w.make_batch || !w.perturb) {
+    throw std::invalid_argument("evaluate_workload: incomplete workload " + w.name);
+  }
+  Graph g = w.build();
+
+  // Calibration set (clean data, as in real PTQ; Figure 7 swaps in an
+  // augmented generator via make_calib_batch).
+  const auto& calib_gen = w.make_calib_batch ? w.make_calib_batch : w.make_batch;
+  Rng calib_rng(w.data_seed * 7919 + 1);
+  std::vector<std::vector<Tensor>> calib;
+  calib.reserve(static_cast<size_t>(protocol.calib_batches));
+  for (int b = 0; b < protocol.calib_batches; ++b) {
+    calib.push_back(calib_gen(calib_rng, protocol.calib_batch_size));
+  }
+
+  // Evaluation set; FP32 targets and the FP32 baseline come first, while
+  // the weights are still pristine.
+  Rng eval_rng(w.data_seed * 104729 + 2);
+  std::vector<EvalBatch> batches;
+  batches.reserve(static_cast<size_t>(protocol.eval_batches));
+  ScoreAccumulator fp32_acc{w.metric, w.margin_quantile};
+  for (int b = 0; b < protocol.eval_batches; ++b) {
+    EvalBatch eb;
+    eb.clean = w.make_batch(eval_rng, protocol.eval_batch_size);
+    eb.perturbed = w.perturb(eval_rng, eb.clean);
+    eb.clean_fp32_out = g.forward(eb.clean);
+    const Tensor fp32_out = g.forward(eb.perturbed);
+    fp32_acc.add(eb.clean_fp32_out, fp32_out);
+    batches.push_back(std::move(eb));
+  }
+
+  ScoreAccumulator quant_acc{w.metric, w.margin_quantile};
+  {
+    QuantizedGraph qg(&g, config);
+    qg.prepare(std::span<const std::vector<Tensor>>(calib));
+    for (const auto& eb : batches) {
+      const Tensor out = qg.forward(eb.perturbed);
+      quant_acc.add(eb.clean_fp32_out, out);
+    }
+  }  // destructor restores FP32 weights
+
+  AccuracyRecord record;
+  record.workload = w.name;
+  record.domain = w.domain;
+  record.config = config.scheme.label();
+  record.fp32_accuracy = fp32_acc.score();
+  record.quant_accuracy = quant_acc.score();
+  record.model_size_mb = g.size_mb();
+  return record;
+}
+
+}  // namespace fp8q

@@ -1,0 +1,100 @@
+// Workload definitions and the fidelity evaluation protocol.
+//
+// A workload = a model builder + input generators + a task metric. The
+// evaluation substitutes the paper's dataset accuracy with FP32-teacher
+// fidelity (DESIGN.md section 1): ground-truth labels/targets come from the
+// FP32 network on clean inputs; both the FP32 and the quantized network are
+// then scored on perturbed inputs (Gaussian feature noise, or token
+// substitution for discrete inputs). The FP32 score lands below 1.0 (noise
+// flips marginal decisions), and quantization error shows up as additional
+// score loss -- exactly the quantity the paper's <=1%-relative-loss
+// criterion measures.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "metrics/passrate.h"
+#include "nn/graph.h"
+#include "quant/quantized_graph.h"
+#include "tensor/rng.h"
+
+namespace fp8q {
+
+/// Task metric used to score a workload.
+enum class MetricKind : std::uint8_t {
+  kTop1,     ///< classification / next-token: argmax agreement with labels
+  kPearson,  ///< STS-B-style correlation against FP32 targets
+  kNmse,     ///< bounded regression accuracy 1 - NMSE (segmentation, ASR)
+};
+
+[[nodiscard]] std::string_view to_string(MetricKind kind);
+
+struct Workload {
+  std::string name;
+  std::string domain;  ///< "CV" or "NLP" (speech/rec grouped under NLP)
+  std::string task;    ///< e.g. "image-classification"
+  std::string family;  ///< architecture family, e.g. "resnet-ish"
+  bool is_cnn = false;
+  MetricKind metric = MetricKind::kTop1;
+  /// For kTop1: rows whose clean-FP32 top-2 logit margin falls below this
+  /// quantile of the batch are excluded from scoring. Trained classifiers
+  /// make confident (high-margin) predictions on most samples; random
+  /// synthetic networks do not, so without a margin floor the top-1 metric
+  /// would be pathologically sensitive for every format. 0 disables.
+  double margin_quantile = 0.0;
+  std::uint64_t data_seed = 0;
+
+  /// Builds a fresh (deterministic) copy of the model.
+  std::function<Graph()> build;
+  /// Generates one clean batch of graph inputs.
+  std::function<std::vector<Tensor>(Rng&, int batch)> make_batch;
+  /// Optional calibration-set generator (defaults to make_batch). Used by
+  /// the BatchNorm-calibration transform study (paper Figure 7), where the
+  /// calibration data is augmented but evaluation data is not.
+  std::function<std::vector<Tensor>(Rng&, int batch)> make_calib_batch;
+  /// Perturbs a clean batch (noise / token substitution).
+  std::function<std::vector<Tensor>(Rng&, const std::vector<Tensor>&)> perturb;
+};
+
+/// Evaluation-budget knobs. Defaults are sized so the full 75-workload x
+/// 6-configuration sweep finishes in minutes on one core.
+struct EvalProtocol {
+  int calib_batches = 4;
+  int calib_batch_size = 32;
+  /// ~1k evaluation samples: the paired fp32/quant comparison needs enough
+  /// samples for the 1%-relative-loss criterion to be outside sampling
+  /// noise (stderr of the paired accuracy difference ~0.2-0.3%).
+  int eval_batches = 14;
+  int eval_batch_size = 128;
+  int bn_calibration_batches = 4;
+  double pass_threshold = kDefaultPassThreshold;
+};
+
+/// Runs the full PTQ pipeline for `scheme` on one workload and returns the
+/// (fp32, quantized) accuracy record. SmoothQuant is enabled automatically
+/// on NLP-domain workloads (paper section 4.2.1); the CNN first/last and
+/// BatchNorm-calibration rules apply to is_cnn workloads.
+[[nodiscard]] AccuracyRecord evaluate_workload(const Workload& workload,
+                                               const SchemeConfig& scheme,
+                                               const EvalProtocol& protocol = {});
+
+/// Same pipeline, but with full control over the model-level quantization
+/// configuration (fallback sets, BN calibration, SmoothQuant) -- the entry
+/// point used by the accuracy-driven tuner. The config is taken as-is; no
+/// domain defaults are applied.
+[[nodiscard]] AccuracyRecord evaluate_workload_config(const Workload& workload,
+                                                      const ModelQuantConfig& config,
+                                                      const EvalProtocol& protocol = {});
+
+/// The ModelQuantConfig that evaluate_workload derives from a scheme for
+/// this workload (SmoothQuant on NLP, CNN flags, BN calibration).
+[[nodiscard]] ModelQuantConfig default_model_config(const Workload& workload,
+                                                    const SchemeConfig& scheme,
+                                                    const EvalProtocol& protocol = {});
+
+/// FP32 baseline score of a workload under the protocol (no quantization).
+[[nodiscard]] double fp32_baseline(const Workload& workload,
+                                   const EvalProtocol& protocol = {});
+
+}  // namespace fp8q

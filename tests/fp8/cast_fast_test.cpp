@@ -1,0 +1,105 @@
+// The fast bit-twiddled cast must agree with the reference cast everywhere.
+#include "fp8/cast_fast.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "fp8/cast.h"
+#include "tensor/rng.h"
+
+namespace fp8q {
+namespace {
+
+class FastCast : public ::testing::TestWithParam<Fp8Kind> {
+ protected:
+  const FormatSpec& spec() const { return format_spec(GetParam()); }
+  const FastCastSpec& fast() const { return fast_cast_spec(GetParam()); }
+
+  void expect_match(float x) const {
+    const float ref = fp8_quantize(x, spec());
+    const float got = fp8_quantize_fast(x, fast());
+    if (std::isnan(ref)) {
+      EXPECT_TRUE(std::isnan(got)) << "x=" << x;
+    } else {
+      EXPECT_EQ(ref, got) << "x=" << x;
+      EXPECT_EQ(std::signbit(ref), std::signbit(got)) << "x=" << x;
+    }
+  }
+};
+
+TEST_P(FastCast, MatchesReferenceOnGridAndMidpoints) {
+  const auto values = representable_values(spec());
+  for (size_t i = 0; i < values.size(); ++i) {
+    expect_match(values[i]);
+    if (i + 1 < values.size()) {
+      const float mid = values[i] + (values[i + 1] - values[i]) / 2.0f;
+      expect_match(mid);
+      expect_match(std::nextafter(mid, values[i]));
+      expect_match(std::nextafter(mid, values[i + 1]));
+    }
+  }
+}
+
+TEST_P(FastCast, MatchesReferenceOnSpecialValues) {
+  const float max = spec().max_value();
+  const float sub = spec().min_subnormal();
+  for (float x : {0.0f, -0.0f, max, -max, std::nextafter(max, 1e30f), 2.0f * max,
+                  sub, -sub, sub / 2.0f, std::nextafter(sub / 2.0f, 1.0f),
+                  std::nextafter(sub / 2.0f, 0.0f), sub / 4.0f,
+                  std::numeric_limits<float>::infinity(),
+                  -std::numeric_limits<float>::infinity(),
+                  std::numeric_limits<float>::quiet_NaN(),
+                  std::numeric_limits<float>::denorm_min(),
+                  std::numeric_limits<float>::min()}) {
+    expect_match(x);
+  }
+}
+
+TEST_P(FastCast, MatchesReferenceOnRandomSweep) {
+  Rng rng(2025);
+  for (int i = 0; i < 300000; ++i) {
+    const float mag = std::ldexp(rng.uniform(0.5f, 2.0f), static_cast<int>(rng.randint(-30, 25)));
+    const float x = (rng.uniform01() < 0.5 ? -1.0f : 1.0f) * mag;
+    expect_match(x);
+  }
+}
+
+TEST_P(FastCast, MatchesReferenceOnRandomBitPatterns) {
+  Rng rng(31337);
+  for (int i = 0; i < 300000; ++i) {
+    const auto bits = static_cast<std::uint32_t>(rng.next());
+    float x;
+    static_assert(sizeof x == sizeof bits);
+    std::memcpy(&x, &bits, sizeof x);
+    if (std::isnan(x)) continue;  // NaN payloads compared separately
+    expect_match(x);
+  }
+}
+
+TEST_P(FastCast, ScaledVectorMatchesScalarReference) {
+  Rng rng(99);
+  std::vector<float> in(4096);
+  for (auto& v : in) v = rng.normal(0.0f, 5.0f);
+  std::vector<float> out(in.size());
+  const float scale = spec().max_value() / 17.0f;
+  fp8_quantize_scaled_fast(in, out, fast(), scale);
+  // Compare against the reference vector routine (both use the same
+  // multiply-by-reciprocal dequantization).
+  std::vector<float> ref(in.size());
+  fp8_quantize_scaled(in, ref, spec(), scale);
+  for (size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out[i], ref[i]) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFormats, FastCast,
+                         ::testing::Values(Fp8Kind::E5M2, Fp8Kind::E4M3, Fp8Kind::E3M4),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+}  // namespace
+}  // namespace fp8q

@@ -1,0 +1,79 @@
+// Cross-format FP8 conversion.
+#include "fp8/convert.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fp8/cast.h"
+
+namespace fp8q {
+namespace {
+
+TEST(Fp8Convert, IdentityConversionIsLossless) {
+  for (Fp8Kind kind : kAllFp8Kinds) {
+    const auto& spec = format_spec(kind);
+    EXPECT_TRUE(fp8_convert_lossless(spec, spec)) << to_string(kind);
+    for (int c = 0; c < 256; ++c) {
+      const auto code = static_cast<std::uint8_t>(c);
+      if (fp8_is_nan(code, spec) || fp8_is_inf(code, spec)) continue;
+      EXPECT_EQ(fp8_decode(fp8_convert(code, spec, spec), spec), fp8_decode(code, spec));
+    }
+  }
+}
+
+TEST(Fp8Convert, NoPairOfDistinctFormatsIsLossless) {
+  // Each format covers values the others cannot represent exactly.
+  for (Fp8Kind a : kAllFp8Kinds) {
+    for (Fp8Kind b : kAllFp8Kinds) {
+      if (a == b) continue;
+      EXPECT_FALSE(fp8_convert_lossless(format_spec(a), format_spec(b)))
+          << to_string(a) << "->" << to_string(b);
+    }
+  }
+}
+
+TEST(Fp8Convert, ValuesInsideSharedRangeSurviveRoundNearest) {
+  // 1.0 and small powers of two are exact in all three formats.
+  for (Fp8Kind a : kAllFp8Kinds) {
+    for (Fp8Kind b : kAllFp8Kinds) {
+      for (float v : {1.0f, 2.0f, 0.5f, -4.0f}) {
+        const std::uint8_t ca = fp8_encode(v, a);
+        const std::uint8_t cb = fp8_convert(ca, format_spec(a), format_spec(b));
+        EXPECT_EQ(fp8_decode(cb, b), v)
+            << v << " " << to_string(a) << "->" << to_string(b);
+      }
+    }
+  }
+}
+
+TEST(Fp8Convert, OutOfRangeSaturates) {
+  // E5M2's 57344 exceeds E3M4's max 30: converts to 30.
+  const std::uint8_t big = fp8_encode(57344.0f, Fp8Kind::E5M2);
+  const std::uint8_t conv = fp8_convert(big, format_spec(Fp8Kind::E5M2),
+                                        format_spec(Fp8Kind::E3M4));
+  EXPECT_FLOAT_EQ(fp8_decode(conv, Fp8Kind::E3M4), 30.0f);
+}
+
+TEST(Fp8Convert, SubnormalsBelowTargetUnderflow) {
+  // E5M2's 2^-16 is below E3M4's half-min-subnormal: converts to zero.
+  const std::uint8_t tiny = fp8_encode(std::ldexp(1.0f, -16), Fp8Kind::E5M2);
+  const std::uint8_t conv = fp8_convert(tiny, format_spec(Fp8Kind::E5M2),
+                                        format_spec(Fp8Kind::E3M4));
+  EXPECT_EQ(fp8_decode(conv, Fp8Kind::E3M4), 0.0f);
+}
+
+TEST(Fp8Convert, NanAndInfHandling) {
+  const auto& e5 = format_spec(Fp8Kind::E5M2);
+  const auto& e4 = format_spec(Fp8Kind::E4M3);
+  // NaN -> NaN (sign preserved).
+  EXPECT_TRUE(fp8_is_nan(fp8_convert(0x7F, e5, e4), e4));
+  EXPECT_TRUE(fp8_is_nan(fp8_convert(0xFF, e5, e4), e4));
+  // E5M2 Inf saturates to the target's max.
+  const std::uint8_t inf_code = 0x7C;  // +Inf in E5M2
+  ASSERT_TRUE(fp8_is_inf(inf_code, e5));
+  EXPECT_FLOAT_EQ(fp8_decode(fp8_convert(inf_code, e5, e4), e4), e4.max_value());
+}
+
+}  // namespace
+}  // namespace fp8q

@@ -1,0 +1,120 @@
+// Validates the FP8 format constants against paper Table 1.
+#include "fp8/format.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fp8q {
+namespace {
+
+TEST(FormatSpec, E5M2MatchesPaperTable1) {
+  const auto& f = format_spec(Fp8Kind::E5M2);
+  EXPECT_EQ(f.exp_bits, 5);
+  EXPECT_EQ(f.man_bits, 2);
+  EXPECT_EQ(f.bias, 15);
+  EXPECT_EQ(f.family, EncodingFamily::kIeee);
+  EXPECT_FLOAT_EQ(f.max_value(), 57344.0f);
+  EXPECT_TRUE(f.has_infinity());
+  // Paper: min value 1.5e-5 (smallest subnormal 2^-16).
+  EXPECT_FLOAT_EQ(f.min_subnormal(), std::ldexp(1.0f, -16));
+  EXPECT_NEAR(f.min_subnormal(), 1.5e-5f, 1e-6f);
+  EXPECT_FLOAT_EQ(f.min_normal(), std::ldexp(1.0f, -14));
+}
+
+TEST(FormatSpec, E4M3MatchesPaperTable1) {
+  const auto& f = format_spec(Fp8Kind::E4M3);
+  EXPECT_EQ(f.exp_bits, 4);
+  EXPECT_EQ(f.man_bits, 3);
+  EXPECT_EQ(f.bias, 7);
+  EXPECT_EQ(f.family, EncodingFamily::kExtended);
+  EXPECT_FLOAT_EQ(f.max_value(), 448.0f);
+  EXPECT_FALSE(f.has_infinity());
+  // Paper: min value 1.9e-3 (smallest subnormal 2^-9).
+  EXPECT_FLOAT_EQ(f.min_subnormal(), std::ldexp(1.0f, -9));
+  EXPECT_NEAR(f.min_subnormal(), 1.9e-3f, 1e-4f);
+  EXPECT_FLOAT_EQ(f.min_normal(), std::ldexp(1.0f, -6));
+}
+
+TEST(FormatSpec, E3M4MatchesPaperTable1) {
+  const auto& f = format_spec(Fp8Kind::E3M4);
+  EXPECT_EQ(f.exp_bits, 3);
+  EXPECT_EQ(f.man_bits, 4);
+  EXPECT_EQ(f.bias, 3);
+  EXPECT_EQ(f.family, EncodingFamily::kExtended);
+  EXPECT_FLOAT_EQ(f.max_value(), 30.0f);
+  EXPECT_FALSE(f.has_infinity());
+  // Paper: min value 1.5e-2 (smallest subnormal 2^-6).
+  EXPECT_FLOAT_EQ(f.min_subnormal(), std::ldexp(1.0f, -6));
+  EXPECT_NEAR(f.min_subnormal(), 1.5e-2f, 1e-3f);
+}
+
+TEST(FormatSpec, BitWidthsSumToEight) {
+  for (Fp8Kind kind : kAllFp8Kinds) {
+    const auto& f = format_spec(kind);
+    EXPECT_EQ(1 + f.exp_bits + f.man_bits, 8) << to_string(kind);
+  }
+}
+
+TEST(FormatSpec, FiniteCodeCounts) {
+  // IEEE E5M2 loses the whole top-exponent plane: 2 * 2^2 = 8 codes.
+  EXPECT_EQ(format_spec(Fp8Kind::E5M2).finite_code_count(), 248);
+  // Extended formats lose exactly the two NaN codes.
+  EXPECT_EQ(format_spec(Fp8Kind::E4M3).finite_code_count(), 254);
+  EXPECT_EQ(format_spec(Fp8Kind::E3M4).finite_code_count(), 254);
+}
+
+TEST(FormatSpec, GridDensityFollowsAppendixEq2) {
+  // D = 2^(m - floor(log2 N)); Appendix A.1 equation (2).
+  const auto& e4m3 = format_spec(Fp8Kind::E4M3);
+  EXPECT_DOUBLE_EQ(e4m3.grid_density_at(1.0), 8.0);    // 2^(3-0)
+  EXPECT_DOUBLE_EQ(e4m3.grid_density_at(2.0), 4.0);    // 2^(3-1)
+  EXPECT_DOUBLE_EQ(e4m3.grid_density_at(0.5), 16.0);   // 2^(3+1)
+  EXPECT_DOUBLE_EQ(e4m3.grid_density_at(6.0), 2.0);    // floor(log2 6) = 2
+  // More mantissa bits -> denser grid at the same magnitude.
+  const auto& e3m4 = format_spec(Fp8Kind::E3M4);
+  const auto& e5m2 = format_spec(Fp8Kind::E5M2);
+  EXPECT_GT(e3m4.grid_density_at(1.0), e4m3.grid_density_at(1.0));
+  EXPECT_GT(e4m3.grid_density_at(1.0), e5m2.grid_density_at(1.0));
+}
+
+TEST(FormatSpec, DynamicRangeOrdering) {
+  // E5M2 has the widest dynamic range, E3M4 the narrowest.
+  const float max5 = format_spec(Fp8Kind::E5M2).max_value();
+  const float max4 = format_spec(Fp8Kind::E4M3).max_value();
+  const float max3 = format_spec(Fp8Kind::E3M4).max_value();
+  EXPECT_GT(max5, max4);
+  EXPECT_GT(max4, max3);
+  EXPECT_LT(format_spec(Fp8Kind::E5M2).min_subnormal(),
+            format_spec(Fp8Kind::E4M3).min_subnormal());
+  EXPECT_LT(format_spec(Fp8Kind::E4M3).min_subnormal(),
+            format_spec(Fp8Kind::E3M4).min_subnormal());
+}
+
+TEST(FormatSpec, MakeFormatDefaults) {
+  const FormatSpec e2m5 = make_format(2, 5);
+  EXPECT_EQ(e2m5.bias, 1);
+  EXPECT_EQ(e2m5.family, EncodingFamily::kExtended);
+  EXPECT_GT(e2m5.max_value(), 0.0f);
+  // Bias override shifts the whole range (Sun et al. 2019 style).
+  const FormatSpec shifted = make_format(4, 3, 11);
+  EXPECT_LT(shifted.max_value(), format_spec(Fp8Kind::E4M3).max_value());
+}
+
+TEST(FormatSpec, MakeFormatRejectsBadWidths) {
+  EXPECT_THROW(make_format(5, 5), std::invalid_argument);
+  EXPECT_THROW(make_format(0, 7), std::invalid_argument);
+  EXPECT_THROW(make_format(8, -1), std::invalid_argument);
+}
+
+TEST(FormatSpec, NameRoundTrip) {
+  for (Fp8Kind kind : kAllFp8Kinds) {
+    EXPECT_EQ(fp8_kind_from_string(to_string(kind)), kind);
+  }
+  EXPECT_EQ(fp8_kind_from_string("e4m3"), Fp8Kind::E4M3);
+  EXPECT_THROW(fp8_kind_from_string("E2M5"), std::invalid_argument);
+  EXPECT_THROW(fp8_kind_from_string(""), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fp8q

@@ -1,0 +1,110 @@
+// Unit tests for the INT8 baseline quantizer.
+#include "fp8/int8.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace fp8q {
+namespace {
+
+TEST(Int8Symmetric, ParamsFromAbsmax) {
+  const Int8Params p = int8_symmetric_params(127.0f);
+  EXPECT_FLOAT_EQ(p.scale, 1.0f);
+  EXPECT_EQ(p.zero_point, 0);
+  EXPECT_EQ(p.qmin, -127);
+  EXPECT_EQ(p.qmax, 127);
+}
+
+TEST(Int8Symmetric, DegenerateAbsmaxFallsBack) {
+  EXPECT_FLOAT_EQ(int8_symmetric_params(0.0f).scale, 1.0f);
+  EXPECT_FLOAT_EQ(int8_symmetric_params(-1.0f).scale, 1.0f);
+  EXPECT_FLOAT_EQ(int8_symmetric_params(std::numeric_limits<float>::infinity()).scale, 1.0f);
+}
+
+TEST(Int8Symmetric, RoundTripExactGridPoints) {
+  const Int8Params p = int8_symmetric_params(127.0f);  // scale 1
+  for (int q = -127; q <= 127; ++q) {
+    const auto f = static_cast<float>(q);
+    EXPECT_FLOAT_EQ(int8_quantize(f, p), f);
+  }
+}
+
+TEST(Int8Symmetric, SaturatesAtRange) {
+  const Int8Params p = int8_symmetric_params(1.0f);
+  EXPECT_FLOAT_EQ(int8_quantize(100.0f, p), 1.0f);
+  EXPECT_FLOAT_EQ(int8_quantize(-100.0f, p), -1.0f);
+}
+
+TEST(Int8Symmetric, UniformStepSize) {
+  // INT8's fixed step means the grid spacing is constant -- the property
+  // that makes outliers stretch the grid (paper section 2).
+  const Int8Params p = int8_symmetric_params(6.0f);
+  const float step = p.scale;
+  float prev = int8_decode(static_cast<std::int8_t>(-127), p);
+  for (int q = -126; q <= 127; ++q) {
+    const float cur = int8_decode(static_cast<std::int8_t>(q), p);
+    EXPECT_NEAR(cur - prev, step, 1e-6f);
+    prev = cur;
+  }
+}
+
+TEST(Int8Asymmetric, ZeroIsExactlyRepresentable) {
+  const Int8Params p = int8_asymmetric_params(-0.3f, 5.7f);
+  EXPECT_FLOAT_EQ(int8_quantize(0.0f, p), 0.0f);
+}
+
+TEST(Int8Asymmetric, CoversRangeEndpoints) {
+  const Int8Params p = int8_asymmetric_params(-1.0f, 3.0f);
+  EXPECT_NEAR(int8_quantize(-1.0f, p), -1.0f, p.scale);
+  EXPECT_NEAR(int8_quantize(3.0f, p), 3.0f, p.scale);
+  EXPECT_FLOAT_EQ(int8_quantize(10.0f, p), int8_decode(127, p));
+}
+
+TEST(Int8Asymmetric, AllPositiveRangeUsesFullGrid) {
+  // ReLU-style [0, max] range: zero point at qmin.
+  const Int8Params p = int8_asymmetric_params(0.0f, 2.55f);
+  EXPECT_EQ(p.zero_point, -128);
+  EXPECT_NEAR(p.scale, 0.01f, 1e-6f);
+}
+
+TEST(Int8Quantize, RoundToNearestEvenTies) {
+  const Int8Params p = int8_symmetric_params(127.0f);  // scale 1
+  EXPECT_FLOAT_EQ(int8_quantize(0.5f, p), 0.0f);   // tie to even 0
+  EXPECT_FLOAT_EQ(int8_quantize(1.5f, p), 2.0f);   // tie to even 2
+  EXPECT_FLOAT_EQ(int8_quantize(2.5f, p), 2.0f);   // tie to even 2
+  EXPECT_FLOAT_EQ(int8_quantize(-0.5f, p), 0.0f);
+}
+
+TEST(Int8Quantize, NanMapsToZeroPoint) {
+  const Int8Params p = int8_symmetric_params(4.0f);
+  EXPECT_FLOAT_EQ(int8_quantize(std::numeric_limits<float>::quiet_NaN(), p), 0.0f);
+}
+
+TEST(Int8Quantize, VectorMatchesScalar) {
+  const Int8Params p = int8_asymmetric_params(-2.0f, 6.0f);
+  std::vector<float> in = {-2.0f, 0.0f, 3.3f, 6.0f, 100.0f, -5.0f};
+  std::vector<float> out(in.size());
+  int8_quantize(in, out, p);
+  for (size_t i = 0; i < in.size(); ++i) {
+    EXPECT_FLOAT_EQ(out[i], int8_quantize(in[i], p));
+  }
+}
+
+TEST(Int8Quantize, OutlierStretchesGrid) {
+  // The headline INT8 weakness: one outlier at 6.0 doubles the step size
+  // versus a clean absmax of 3.0, coarsening everything near zero.
+  const Int8Params clean = int8_symmetric_params(3.0f);
+  const Int8Params stretched = int8_symmetric_params(6.0f);
+  EXPECT_GT(stretched.scale, clean.scale * 1.9f);
+  // A small value is represented strictly worse under the stretched grid.
+  const float x = 0.011f;
+  const float err_clean = std::fabs(int8_quantize(x, clean) - x);
+  const float err_stretched = std::fabs(int8_quantize(x, stretched) - x);
+  EXPECT_LE(err_clean, err_stretched);
+}
+
+}  // namespace
+}  // namespace fp8q

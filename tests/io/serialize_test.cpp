@@ -1,0 +1,120 @@
+// Weight serialization round trips and CSV export/import.
+#include "io/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "metrics/metrics.h"
+#include "models/zoo.h"
+#include "quant/quantized_graph.h"
+#include "tensor/rng.h"
+
+namespace fp8q {
+namespace {
+
+TEST(SaveLoadWeights, RoundTripsExactly) {
+  MlpSpec spec;
+  spec.seed = 3;
+  Graph g = make_mlp_model(spec);
+  std::stringstream buf;
+  save_weights(g, buf);
+
+  // A differently seeded model of the same architecture has different
+  // weights; loading must restore the originals bit-exactly.
+  MlpSpec other = spec;
+  other.seed = 4;
+  Graph g2 = make_mlp_model(other);
+  Rng rng(5);
+  Tensor x = randn(rng, {4, 32});
+  EXPECT_GT(max_abs_error(g.forward(x).flat(), g2.forward(x).flat()), 0.0);
+
+  load_weights(g2, buf);
+  EXPECT_EQ(max_abs_error(g.forward(x).flat(), g2.forward(x).flat()), 0.0);
+}
+
+TEST(SaveLoadWeights, PersistsQuantizedCheckpoint) {
+  // Snapshot after prepare(): the loaded model is the quantized one even
+  // though QuantizedGraph restored its source graph afterwards.
+  TransformerSpec spec;
+  spec.dim = 16;
+  spec.seq = 4;
+  spec.layers = 1;
+  Graph g = make_transformer_encoder(spec);
+  Rng rng(7);
+  std::vector<Tensor> calib = {randn(rng, {8, 4, 16})};
+
+  std::stringstream snapshot;
+  {
+    ModelQuantConfig cfg;
+    cfg.scheme = standard_fp8_scheme(DType::kE4M3);
+    QuantizedGraph qg(&g, cfg);
+    qg.prepare(std::span<const Tensor>(calib));
+    save_weights(g, snapshot);  // quantized weights
+  }
+  Graph g2 = make_transformer_encoder(spec);
+  load_weights(g2, snapshot);
+  // Loaded weights sit on the E4M3 per-channel grid: re-quantizing is
+  // (near-)idempotent.
+  for (Graph::NodeId id : g2.node_ids()) {
+    auto& node = g2.node(id);
+    if (!node.op || node.kind != OpKind::kLinear) continue;
+    Tensor& w = *node.op->weights()[0];
+    const Tensor again = apply_quant(w, make_weight_params(w, DType::kE4M3));
+    EXPECT_LT(max_abs_error(w.flat(), again.flat()), 1e-6);
+  }
+}
+
+TEST(SaveLoadWeights, RejectsCorruptStreams) {
+  Graph g = make_mlp_model(MlpSpec{});
+  std::stringstream bad("not a checkpoint");
+  EXPECT_THROW(load_weights(g, bad), std::runtime_error);
+
+  std::stringstream buf;
+  save_weights(g, buf);
+  std::string data = buf.str();
+  std::stringstream truncated(data.substr(0, data.size() / 2));
+  EXPECT_THROW(load_weights(g, truncated), std::runtime_error);
+}
+
+TEST(SaveLoadWeights, RejectsShapeMismatch) {
+  MlpSpec a;
+  a.hidden = 32;
+  MlpSpec b;
+  b.hidden = 64;
+  Graph ga = make_mlp_model(a);
+  Graph gb = make_mlp_model(b);
+  std::stringstream buf;
+  save_weights(ga, buf);
+  EXPECT_THROW(load_weights(gb, buf), std::runtime_error);
+}
+
+TEST(RecordsCsv, RoundTrip) {
+  std::vector<AccuracyRecord> records = {
+      {"wl-a", "CV", "E4M3/static", 0.95, 0.94, 12.5},
+      {"wl,with,commas", "NLP", "INT8", 0.8, 0.81, 100.0},
+      {"quoted \"name\"", "NLP", "E3M4/dynamic", 0.7, 0.69, 3.25},
+  };
+  const std::string csv = records_to_csv(records);
+  std::stringstream in(csv);
+  const auto back = records_from_csv(in);
+  ASSERT_EQ(back.size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(back[i].workload, records[i].workload);
+    EXPECT_EQ(back[i].domain, records[i].domain);
+    EXPECT_EQ(back[i].config, records[i].config);
+    EXPECT_DOUBLE_EQ(back[i].fp32_accuracy, records[i].fp32_accuracy);
+    EXPECT_DOUBLE_EQ(back[i].quant_accuracy, records[i].quant_accuracy);
+    EXPECT_DOUBLE_EQ(back[i].model_size_mb, records[i].model_size_mb);
+  }
+}
+
+TEST(RecordsCsv, HeaderAndMalformedRows) {
+  const std::string csv = records_to_csv({});
+  EXPECT_NE(csv.find("workload,domain,config"), std::string::npos);
+  std::stringstream bad("workload,domain\nonly,two\n");
+  EXPECT_THROW((void)records_from_csv(bad), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fp8q

@@ -1,0 +1,136 @@
+#include "metrics/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "tensor/rng.h"
+
+namespace fp8q {
+namespace {
+
+TEST(Metrics, MseBasics) {
+  std::vector<float> a = {1, 2, 3};
+  std::vector<float> b = {1, 2, 5};
+  EXPECT_DOUBLE_EQ(mse(a, b), 4.0 / 3.0);
+  EXPECT_DOUBLE_EQ(mse(a, a), 0.0);
+  EXPECT_THROW(mse(a, std::vector<float>{1.0f}), std::invalid_argument);
+}
+
+TEST(Metrics, MseSkipsNan) {
+  std::vector<float> a = {1, std::numeric_limits<float>::quiet_NaN(), 3};
+  std::vector<float> b = {2, 0, 3};
+  EXPECT_DOUBLE_EQ(mse(a, b), 0.5);
+}
+
+TEST(Metrics, MaeAndMaxAbs) {
+  std::vector<float> a = {0, 0, 0};
+  std::vector<float> b = {1, -2, 0.5f};
+  EXPECT_DOUBLE_EQ(mae(a, b), 3.5 / 3.0);
+  EXPECT_DOUBLE_EQ(max_abs_error(a, b), 2.0);
+}
+
+TEST(Metrics, SqnrPerfectIsInfinite) {
+  std::vector<float> a = {1, 2, 3};
+  EXPECT_TRUE(std::isinf(sqnr_db(a, a)));
+  EXPECT_GT(sqnr_db(a, a), 0);
+}
+
+TEST(Metrics, SqnrScalesWithNoise) {
+  std::vector<float> ref = {1, -1, 1, -1};
+  std::vector<float> small = {1.01f, -1.01f, 1.01f, -1.01f};
+  std::vector<float> big = {1.1f, -1.1f, 1.1f, -1.1f};
+  EXPECT_GT(sqnr_db(ref, small), sqnr_db(ref, big));
+  EXPECT_NEAR(sqnr_db(ref, big), 20.0, 0.1);  // noise 10% of signal amplitude
+}
+
+TEST(Metrics, CosineSimilarity) {
+  std::vector<float> a = {1, 0};
+  std::vector<float> b = {0, 1};
+  std::vector<float> c = {2, 0};
+  EXPECT_DOUBLE_EQ(cosine_similarity(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(cosine_similarity(a, c), 1.0);
+  EXPECT_DOUBLE_EQ(cosine_similarity(a, std::vector<float>{-1.0f, 0.0f}), -1.0);
+  std::vector<float> z = {0, 0};
+  EXPECT_DOUBLE_EQ(cosine_similarity(z, z), 1.0);
+  EXPECT_DOUBLE_EQ(cosine_similarity(z, a), 0.0);
+}
+
+TEST(Metrics, PearsonInvariantToAffine) {
+  Rng rng(3);
+  std::vector<float> a(1000);
+  std::vector<float> b(1000);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.normal();
+    b[i] = 3.0f * a[i] + 5.0f;  // perfect linear relation
+  }
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-6);
+  for (auto& v : b) v = -v;
+  EXPECT_NEAR(pearson(a, b), -1.0, 1e-6);
+}
+
+TEST(Metrics, PearsonIndependentNearZero) {
+  Rng rng(5);
+  std::vector<float> a(20000);
+  std::vector<float> b(20000);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.normal();
+    b[i] = rng.normal();
+  }
+  EXPECT_NEAR(pearson(a, b), 0.0, 0.03);
+}
+
+TEST(Metrics, Argmax) {
+  EXPECT_EQ(argmax(std::vector<float>{1, 5, 3}), 1);
+  EXPECT_EQ(argmax(std::vector<float>{5, 5, 3}), 0);  // first on tie
+  EXPECT_EQ(argmax(std::span<const float>{}), -1);
+}
+
+TEST(Metrics, Top1Agreement) {
+  Tensor ref({2, 3}, {0, 1, 0, /**/ 1, 0, 0});
+  Tensor same = ref;
+  EXPECT_DOUBLE_EQ(top1_agreement(ref, same), 1.0);
+  Tensor flipped({2, 3}, {0, 1, 0, /**/ 0, 1, 0});
+  EXPECT_DOUBLE_EQ(top1_agreement(ref, flipped), 0.5);
+  Tensor wrong_shape({3, 2});
+  EXPECT_THROW(top1_agreement(ref, wrong_shape), std::invalid_argument);
+}
+
+TEST(Metrics, NmseAccuracy) {
+  std::vector<float> ref = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(nmse_accuracy(ref, ref), 1.0);
+  std::vector<float> zero = {0, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(nmse_accuracy(ref, zero), 0.0);
+  std::vector<float> close = {1.01f, 2.01f, 3.01f, 4.01f};
+  EXPECT_GT(nmse_accuracy(ref, close), 0.999);
+}
+
+TEST(Metrics, FrechetZeroForIdenticalPopulations) {
+  Rng rng(7);
+  Tensor f = randn(rng, {500, 8});
+  EXPECT_NEAR(frechet_distance_diag(f, f), 0.0, 1e-9);
+}
+
+TEST(Metrics, FrechetGrowsWithMeanShift) {
+  Rng rng(9);
+  Tensor a = randn(rng, {2000, 4});
+  Tensor b = a;
+  for (float& v : b.flat()) v += 1.0f;
+  // Mean shift of 1 in each of 4 dims -> distance ~ 4.
+  EXPECT_NEAR(frechet_distance_diag(a, b), 4.0, 0.3);
+  Tensor c = a;
+  for (float& v : c.flat()) v += 2.0f;
+  EXPECT_GT(frechet_distance_diag(a, c), frechet_distance_diag(a, b));
+}
+
+TEST(Metrics, FrechetDetectsVarianceChange) {
+  Rng rng(11);
+  Tensor a = randn(rng, {4000, 4});
+  Tensor b = randn(rng, {4000, 4}, 0.0f, 2.0f);
+  EXPECT_GT(frechet_distance_diag(a, b), 1.0);
+  EXPECT_THROW(frechet_distance_diag(a, Tensor({4000, 5})), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fp8q

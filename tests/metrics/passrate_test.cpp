@@ -1,0 +1,88 @@
+#include "metrics/passrate.h"
+
+#include <gtest/gtest.h>
+
+namespace fp8q {
+namespace {
+
+AccuracyRecord rec(const std::string& wl, const std::string& dom, const std::string& cfg,
+                   double fp32, double quant, double size_mb = 100.0) {
+  return AccuracyRecord{wl, dom, cfg, fp32, quant, size_mb};
+}
+
+TEST(AccuracyRecord, RelativeLoss) {
+  EXPECT_NEAR(rec("a", "CV", "x", 0.80, 0.792).relative_loss(), 0.01, 1e-12);
+  EXPECT_DOUBLE_EQ(rec("a", "CV", "x", 0.80, 0.80).relative_loss(), 0.0);
+  // Accuracy improvement gives negative loss.
+  EXPECT_LT(rec("a", "CV", "x", 0.80, 0.81).relative_loss(), 0.0);
+}
+
+TEST(AccuracyRecord, PassCriterion) {
+  EXPECT_TRUE(rec("a", "CV", "x", 0.80, 0.792).passes());   // exactly 1%
+  EXPECT_FALSE(rec("a", "CV", "x", 0.80, 0.79).passes());   // 1.25%
+  EXPECT_TRUE(rec("a", "CV", "x", 0.80, 0.85).passes());
+}
+
+TEST(AccuracyRecord, ZeroBaselineEdgeCases) {
+  EXPECT_TRUE(rec("a", "CV", "x", 0.0, 0.0).passes());
+  EXPECT_TRUE(rec("a", "CV", "x", 0.0, 0.5).passes());  // improvement
+}
+
+TEST(PassRate, Percentages) {
+  std::vector<AccuracyRecord> rs = {
+      rec("a", "CV", "x", 1.0, 1.0),
+      rec("b", "CV", "x", 1.0, 0.995),
+      rec("c", "CV", "x", 1.0, 0.95),
+      rec("d", "CV", "x", 1.0, 0.80),
+  };
+  EXPECT_DOUBLE_EQ(pass_rate(rs), 50.0);
+  EXPECT_DOUBLE_EQ(pass_rate({}), 0.0);
+  EXPECT_DOUBLE_EQ(pass_rate(rs, 0.25), 100.0);
+}
+
+TEST(Filters, ByDomainAndConfig) {
+  std::vector<AccuracyRecord> rs = {
+      rec("a", "CV", "E4M3", 1.0, 1.0),
+      rec("b", "NLP", "E4M3", 1.0, 1.0),
+      rec("c", "NLP", "INT8", 1.0, 1.0),
+  };
+  EXPECT_EQ(filter_domain(rs, "NLP").size(), 2u);
+  EXPECT_EQ(filter_domain(rs, "CV").size(), 1u);
+  EXPECT_EQ(filter_config(rs, "E4M3").size(), 2u);
+  EXPECT_EQ(filter_config(rs, "none").size(), 0u);
+}
+
+TEST(LossSummary, QuartilesAndOutliers) {
+  std::vector<AccuracyRecord> rs;
+  for (int i = 1; i <= 9; ++i) {
+    rs.push_back(rec("w", "CV", "x", 1.0, 1.0 - 0.001 * i));  // losses 0.001..0.009
+  }
+  rs.push_back(rec("bad", "CV", "x", 1.0, 0.5));  // loss 0.5: extreme outlier
+  const auto s = summarize_losses(rs);
+  EXPECT_EQ(s.count, 10);
+  EXPECT_DOUBLE_EQ(s.min, 0.001);
+  EXPECT_DOUBLE_EQ(s.max, 0.5);
+  EXPECT_GT(s.q3, s.q1);
+  EXPECT_GE(s.median, 0.001);
+  EXPECT_LE(s.median, 0.009);
+  EXPECT_GE(s.outliers, 1);
+}
+
+TEST(LossSummary, EmptyIsZero) {
+  const auto s = summarize_losses({});
+  EXPECT_EQ(s.count, 0);
+  EXPECT_EQ(s.outliers, 0);
+}
+
+TEST(SizeBucket, PaperFigure5Buckets) {
+  EXPECT_STREQ(size_bucket(10.0), "tiny");
+  EXPECT_STREQ(size_bucket(32.0), "tiny");
+  EXPECT_STREQ(size_bucket(33.0), "small");
+  EXPECT_STREQ(size_bucket(384.0), "small");
+  EXPECT_STREQ(size_bucket(400.0), "medium");
+  EXPECT_STREQ(size_bucket(512.0), "medium");
+  EXPECT_STREQ(size_bucket(513.0), "large");
+}
+
+}  // namespace
+}  // namespace fp8q

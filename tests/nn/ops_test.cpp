@@ -1,0 +1,332 @@
+// Reference-value tests for each operator kernel.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/conv.h"
+#include "nn/elementwise.h"
+#include "nn/embedding.h"
+#include "nn/linear.h"
+#include "nn/matmul.h"
+#include "nn/norm.h"
+#include "nn/shape_ops.h"
+
+namespace fp8q {
+namespace {
+
+std::vector<Tensor> single(Tensor t) {
+  std::vector<Tensor> v;
+  v.push_back(std::move(t));
+  return v;
+}
+
+TEST(LinearOp, HandComputed) {
+  // y = x W^T + b with W = [[1,2],[3,4]], b = [0.5, -0.5].
+  LinearOp op(Tensor({2, 2}, {1, 2, 3, 4}), Tensor({2}, {0.5f, -0.5f}));
+  Tensor x({1, 2}, {1.0f, 1.0f});
+  Tensor y = op.forward(single(x));
+  ASSERT_EQ(y.shape(), (Shape{1, 2}));
+  EXPECT_FLOAT_EQ(y[0], 3.5f);   // 1+2+0.5
+  EXPECT_FLOAT_EQ(y[1], 6.5f);   // 3+4-0.5
+}
+
+TEST(LinearOp, NoBiasAndBatchedRank3) {
+  LinearOp op(Tensor({1, 2}, {2.0f, 3.0f}), Tensor{});
+  Tensor x({2, 2, 2}, {1, 0, 0, 1, 1, 1, 2, 2});
+  Tensor y = op.forward(single(x));
+  ASSERT_EQ(y.shape(), (Shape{2, 2, 1}));
+  EXPECT_FLOAT_EQ(y[0], 2.0f);
+  EXPECT_FLOAT_EQ(y[1], 3.0f);
+  EXPECT_FLOAT_EQ(y[2], 5.0f);
+  EXPECT_FLOAT_EQ(y[3], 10.0f);
+}
+
+TEST(LinearOp, ValidatesShapes) {
+  EXPECT_THROW(LinearOp(Tensor({2}), Tensor{}), std::invalid_argument);
+  EXPECT_THROW(LinearOp(Tensor({2, 2}), Tensor({3})), std::invalid_argument);
+  LinearOp op(Tensor({2, 3}), Tensor{});
+  Tensor bad({1, 4});
+  EXPECT_THROW(op.forward(single(bad)), std::invalid_argument);
+}
+
+TEST(LinearOp, WeightsExposed) {
+  LinearOp with_bias(Tensor({2, 2}), Tensor({2}));
+  EXPECT_EQ(with_bias.weights().size(), 2u);
+  EXPECT_EQ(with_bias.param_count(), 6);
+  LinearOp no_bias(Tensor({2, 2}), Tensor{});
+  EXPECT_EQ(no_bias.weights().size(), 1u);
+}
+
+TEST(Conv2dOp, IdentityKernel) {
+  // 1x1 conv with weight 1.0 is identity.
+  Conv2dOp op(Tensor({1, 1, 1, 1}, {1.0f}), Tensor{});
+  Tensor x({1, 1, 2, 2}, {1, 2, 3, 4});
+  Tensor y = op.forward(single(x));
+  ASSERT_EQ(y.shape(), x.shape());
+  for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(Conv2dOp, SumKernelWithPadding) {
+  // 3x3 all-ones kernel, pad 1: center output = sum of all 4 inputs.
+  Conv2dOp op(Tensor({1, 1, 3, 3}, std::vector<float>(9, 1.0f)), Tensor{}, 1, 1);
+  Tensor x({1, 1, 2, 2}, {1, 2, 3, 4});
+  Tensor y = op.forward(single(x));
+  ASSERT_EQ(y.shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(y.at({0, 0, 0, 0}), 10.0f);  // all in window
+  EXPECT_FLOAT_EQ(y.at({0, 0, 1, 1}), 10.0f);
+}
+
+TEST(Conv2dOp, StrideReducesSpatial) {
+  Conv2dOp op(Tensor({1, 1, 2, 2}, {1, 1, 1, 1}), Tensor{}, 2, 0);
+  Tensor x({1, 1, 4, 4}, std::vector<float>(16, 1.0f));
+  Tensor y = op.forward(single(x));
+  ASSERT_EQ(y.shape(), (Shape{1, 1, 2, 2}));
+  for (std::int64_t i = 0; i < y.numel(); ++i) EXPECT_FLOAT_EQ(y[i], 4.0f);
+}
+
+TEST(Conv2dOp, BiasApplied) {
+  Conv2dOp op(Tensor({2, 1, 1, 1}, {1.0f, 2.0f}), Tensor({2}, {10.0f, 20.0f}));
+  Tensor x({1, 1, 1, 1}, {3.0f});
+  Tensor y = op.forward(single(x));
+  EXPECT_FLOAT_EQ(y[0], 13.0f);
+  EXPECT_FLOAT_EQ(y[1], 26.0f);
+}
+
+TEST(Conv2dOp, DepthwiseGroups) {
+  // groups == channels: each channel convolved independently.
+  Conv2dOp op(Tensor({2, 1, 1, 1}, {2.0f, 3.0f}), Tensor{}, 1, 0, 2);
+  Tensor x({1, 2, 1, 1}, {1.0f, 1.0f});
+  Tensor y = op.forward(single(x));
+  EXPECT_FLOAT_EQ(y[0], 2.0f);
+  EXPECT_FLOAT_EQ(y[1], 3.0f);
+  EXPECT_EQ(op.in_channels(), 2);
+}
+
+TEST(Conv2dOp, Validation) {
+  EXPECT_THROW(Conv2dOp(Tensor({2, 2}), Tensor{}), std::invalid_argument);
+  EXPECT_THROW(Conv2dOp(Tensor({2, 1, 1, 1}), Tensor{}, 0), std::invalid_argument);
+  EXPECT_THROW(Conv2dOp(Tensor({3, 1, 1, 1}), Tensor{}, 1, 0, 2), std::invalid_argument);
+  Conv2dOp op(Tensor({1, 2, 1, 1}), Tensor{});
+  Tensor bad({1, 3, 2, 2});
+  EXPECT_THROW(op.forward(single(bad)), std::invalid_argument);
+}
+
+TEST(MatMulOp, TwoByTwo) {
+  MatMulOp op;
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor b({2, 2}, {5, 6, 7, 8});
+  std::vector<Tensor> in;
+  in.push_back(a);
+  in.push_back(b);
+  Tensor y = op.forward(in);
+  EXPECT_FLOAT_EQ(y.at({0, 0}), 19.0f);
+  EXPECT_FLOAT_EQ(y.at({0, 1}), 22.0f);
+  EXPECT_FLOAT_EQ(y.at({1, 0}), 43.0f);
+  EXPECT_FLOAT_EQ(y.at({1, 1}), 50.0f);
+}
+
+TEST(MatMulOp, BatchedAndTransposed) {
+  MatMulOp op(/*batched=*/true, /*transpose_b=*/true);
+  EXPECT_EQ(op.kind(), OpKind::kBatchMatMul);
+  // A [2,1,2] x B^T where B [2,1,2]: result [2,1,1] of dot products.
+  Tensor a({2, 1, 2}, {1, 2, 3, 4});
+  Tensor b({2, 1, 2}, {5, 6, 7, 8});
+  std::vector<Tensor> in;
+  in.push_back(a);
+  in.push_back(b);
+  Tensor y = op.forward(in);
+  ASSERT_EQ(y.shape(), (Shape{2, 1, 1}));
+  EXPECT_FLOAT_EQ(y[0], 17.0f);  // 1*5+2*6
+  EXPECT_FLOAT_EQ(y[1], 53.0f);  // 3*7+4*8
+}
+
+TEST(MatMulOp, Validation) {
+  MatMulOp op;
+  Tensor a({2, 3});
+  Tensor b({4, 2});
+  std::vector<Tensor> in;
+  in.push_back(a);
+  in.push_back(b);
+  EXPECT_THROW((void)op.forward(in), std::invalid_argument);  // inner mismatch
+  Tensor c({2, 2, 2});
+  std::vector<Tensor> in2;
+  in2.push_back(a);
+  in2.push_back(c);
+  EXPECT_THROW((void)op.forward(in2), std::invalid_argument);  // rank mismatch
+}
+
+TEST(EmbeddingOp, Lookup) {
+  EmbeddingOp op(Tensor({3, 2}, {0, 1, 10, 11, 20, 21}));
+  Tensor idx({2}, {2.0f, 0.0f});
+  Tensor y = op.forward(single(idx));
+  ASSERT_EQ(y.shape(), (Shape{2, 2}));
+  EXPECT_FLOAT_EQ(y[0], 20.0f);
+  EXPECT_FLOAT_EQ(y[1], 21.0f);
+  EXPECT_FLOAT_EQ(y[2], 0.0f);
+}
+
+TEST(EmbeddingOp, OutOfRangeThrows) {
+  EmbeddingOp op(Tensor({3, 2}));
+  Tensor idx({1}, {3.0f});
+  EXPECT_THROW((void)op.forward(single(idx)), std::out_of_range);
+  Tensor neg({1}, {-1.0f});
+  EXPECT_THROW((void)op.forward(single(neg)), std::out_of_range);
+}
+
+TEST(LayerNormOp, NormalizesRow) {
+  LayerNormOp op(Tensor({2}, {1.0f, 1.0f}), Tensor({2}, {0.0f, 0.0f}));
+  Tensor x({1, 2}, {1.0f, 3.0f});  // mean 2, var 1
+  Tensor y = op.forward(single(x));
+  EXPECT_NEAR(y[0], -1.0f, 1e-4f);
+  EXPECT_NEAR(y[1], 1.0f, 1e-4f);
+}
+
+TEST(LayerNormOp, GammaBetaApplied) {
+  LayerNormOp op(Tensor({2}, {2.0f, 2.0f}), Tensor({2}, {5.0f, 5.0f}));
+  Tensor x({1, 2}, {1.0f, 3.0f});
+  Tensor y = op.forward(single(x));
+  EXPECT_NEAR(y[0], 3.0f, 1e-3f);
+  EXPECT_NEAR(y[1], 7.0f, 1e-3f);
+}
+
+TEST(BatchNorm2dOp, NormalizesWithRunningStats) {
+  BatchNorm2dOp op(Tensor({1}, {1.0f}), Tensor({1}, {0.0f}), Tensor({1}, {2.0f}),
+                   Tensor({1}, {4.0f}), 0.0f);
+  Tensor x({1, 1, 1, 2}, {2.0f, 4.0f});
+  Tensor y = op.forward(single(x));
+  EXPECT_NEAR(y[0], 0.0f, 1e-5f);
+  EXPECT_NEAR(y[1], 1.0f, 1e-5f);
+}
+
+TEST(BatchNorm2dOp, CalibrationReestimatesStats) {
+  // Start with wrong stats; calibrate on data with mean 10, var 0.25.
+  BatchNorm2dOp op(Tensor({1}, {1.0f}), Tensor({1}, {0.0f}), Tensor({1}, {0.0f}),
+                   Tensor({1}, {1.0f}));
+  op.begin_calibration();
+  Tensor batch({1, 1, 2, 2}, {9.5f, 10.5f, 9.5f, 10.5f});
+  (void)op.forward(single(batch));
+  op.finish_calibration();
+  EXPECT_NEAR(op.running_mean()[0], 10.0f, 1e-4f);
+  EXPECT_NEAR(op.running_var()[0], 0.25f, 1e-4f);
+  EXPECT_FALSE(op.calibrating());
+}
+
+TEST(BatchNorm2dOp, CalibrationAveragesAcrossBatches) {
+  BatchNorm2dOp op(Tensor({1}, {1.0f}), Tensor({1}, {0.0f}), Tensor({1}, {0.0f}),
+                   Tensor({1}, {1.0f}));
+  op.begin_calibration();
+  Tensor b1({1, 1, 1, 1}, {2.0f});
+  Tensor b2({1, 1, 1, 1}, {4.0f});
+  (void)op.forward(single(b1));
+  (void)op.forward(single(b2));
+  op.finish_calibration();
+  EXPECT_NEAR(op.running_mean()[0], 3.0f, 1e-5f);
+}
+
+TEST(BinaryOp, AddAndMul) {
+  Tensor a({2}, {1, 2});
+  Tensor b({2}, {10, 20});
+  std::vector<Tensor> in;
+  in.push_back(a);
+  in.push_back(b);
+  Tensor s = BinaryOp(OpKind::kAdd).forward(in);
+  EXPECT_FLOAT_EQ(s[1], 22.0f);
+  Tensor p = BinaryOp(OpKind::kMul).forward(in);
+  EXPECT_FLOAT_EQ(p[1], 40.0f);
+  EXPECT_THROW(BinaryOp(OpKind::kRelu), std::invalid_argument);
+}
+
+TEST(ActivationOp, Relu) {
+  Tensor x({3}, {-1.0f, 0.0f, 2.0f});
+  Tensor y = ActivationOp(OpKind::kRelu).forward(single(x));
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[1], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 2.0f);
+}
+
+TEST(ActivationOp, GeluReferencePoints) {
+  Tensor x({3}, {0.0f, 1.0f, -1.0f});
+  Tensor y = ActivationOp(OpKind::kGelu).forward(single(x));
+  EXPECT_NEAR(y[0], 0.0f, 1e-6f);
+  EXPECT_NEAR(y[1], 0.8412f, 1e-3f);
+  EXPECT_NEAR(y[2], -0.1588f, 1e-3f);
+}
+
+TEST(ActivationOp, SigmoidTanh) {
+  Tensor x({1}, {0.0f});
+  EXPECT_FLOAT_EQ(ActivationOp(OpKind::kSigmoid).forward(single(x))[0], 0.5f);
+  EXPECT_FLOAT_EQ(ActivationOp(OpKind::kTanh).forward(single(x))[0], 0.0f);
+}
+
+TEST(SoftmaxOp, RowsSumToOne) {
+  Tensor x({2, 3}, {1, 2, 3, 1000, 1000, 1000});
+  Tensor y = SoftmaxOp().forward(single(x));
+  EXPECT_NEAR(y[0] + y[1] + y[2], 1.0f, 1e-5f);
+  EXPECT_GT(y[2], y[1]);
+  // Large-value row is numerically stable and uniform.
+  EXPECT_NEAR(y[3], 1.0f / 3.0f, 1e-5f);
+}
+
+TEST(ScaleOp, MultipliesByConstant) {
+  Tensor x({2}, {1.0f, -2.0f});
+  Tensor y = ScaleOp(0.5f).forward(single(x));
+  EXPECT_FLOAT_EQ(y[0], 0.5f);
+  EXPECT_FLOAT_EQ(y[1], -1.0f);
+}
+
+TEST(ReshapeOp, PassthroughBatchAxis) {
+  ReshapeOp op({0, -1});
+  Tensor x({3, 2, 2});
+  Tensor y = op.forward(single(x));
+  EXPECT_EQ(y.shape(), (Shape{3, 4}));
+}
+
+TEST(TransposeLastTwoOp, SwapsAxes) {
+  TransposeLastTwoOp op;
+  Tensor x({1, 2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor y = op.forward(single(x));
+  ASSERT_EQ(y.shape(), (Shape{1, 3, 2}));
+  EXPECT_FLOAT_EQ(y.at({0, 0, 0}), 1.0f);
+  EXPECT_FLOAT_EQ(y.at({0, 0, 1}), 4.0f);
+  EXPECT_FLOAT_EQ(y.at({0, 2, 1}), 6.0f);
+}
+
+TEST(GlobalAvgPoolOp, AveragesSpatial) {
+  GlobalAvgPoolOp op;
+  Tensor x({1, 2, 1, 2}, {1, 3, 10, 30});
+  Tensor y = op.forward(single(x));
+  ASSERT_EQ(y.shape(), (Shape{1, 2}));
+  EXPECT_FLOAT_EQ(y[0], 2.0f);
+  EXPECT_FLOAT_EQ(y[1], 20.0f);
+}
+
+TEST(MaxPool2x2Op, TakesWindowMax) {
+  MaxPool2x2Op op;
+  Tensor x({1, 1, 2, 2}, {1, 5, 3, 2});
+  Tensor y = op.forward(single(x));
+  ASSERT_EQ(y.shape(), (Shape{1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(y[0], 5.0f);
+  Tensor odd({1, 1, 3, 3});
+  EXPECT_THROW((void)op.forward(single(odd)), std::invalid_argument);
+}
+
+TEST(OpKinds, ClassificationMatchesPaperSchemes) {
+  // Standard scheme ops (section 3.1).
+  for (OpKind k : {OpKind::kLinear, OpKind::kConv2d, OpKind::kMatMul,
+                   OpKind::kBatchMatMul, OpKind::kEmbedding}) {
+    EXPECT_TRUE(is_compute_op(k)) << to_string(k);
+    EXPECT_FALSE(is_extended_op(k)) << to_string(k);
+  }
+  // Extended scheme ops (section 3.2).
+  for (OpKind k : {OpKind::kLayerNorm, OpKind::kBatchNorm, OpKind::kAdd, OpKind::kMul}) {
+    EXPECT_TRUE(is_extended_op(k)) << to_string(k);
+    EXPECT_FALSE(is_compute_op(k)) << to_string(k);
+  }
+  // Never-quantized ops.
+  for (OpKind k : {OpKind::kRelu, OpKind::kSoftmax, OpKind::kReshape, OpKind::kInput}) {
+    EXPECT_FALSE(is_quantizable_op(k)) << to_string(k);
+  }
+}
+
+}  // namespace
+}  // namespace fp8q

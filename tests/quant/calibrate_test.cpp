@@ -1,0 +1,127 @@
+// Range-calibration algorithms (Appendix A.1): absmax, percentile, MSE
+// sweep, KL divergence, and the s = float_max / max_T scale rule.
+#include "quant/calibrate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/rng.h"
+
+namespace fp8q {
+namespace {
+
+Observer observe_fig1_tensor(std::uint64_t seed = 11) {
+  // Paper Figure 1 protocol: N(0, 0.5) with 1% outliers in [-6, 6].
+  Rng rng(seed);
+  Tensor t = randn(rng, {60000}, 0.0f, std::sqrt(0.5f));
+  inject_outliers(t, rng, 0.01, -6.0f, 6.0f);
+  Observer obs(60000);
+  obs.observe(t);
+  return obs;
+}
+
+TEST(Calibrate, AbsMaxReturnsExactMaximum) {
+  Observer obs;
+  obs.observe(Tensor({3}, {1.0f, -4.0f, 2.0f}));
+  EXPECT_FLOAT_EQ(calibrate_clip(obs, CalibMethod::kAbsMax, DType::kE4M3), 4.0f);
+}
+
+TEST(Calibrate, EmptyObserverFallsBackToOne) {
+  Observer obs;
+  EXPECT_FLOAT_EQ(calibrate_clip(obs, CalibMethod::kAbsMax, DType::kE4M3), 1.0f);
+  EXPECT_FLOAT_EQ(calibrate_clip(obs, CalibMethod::kKlDivergence, DType::kINT8), 1.0f);
+}
+
+TEST(Calibrate, PercentileClipsOutliers) {
+  Observer obs = observe_fig1_tensor();
+  const float p999 = calibrate_clip(obs, CalibMethod::kPercentile, DType::kINT8, 0.99);
+  // 99th percentile of the magnitude sits well under the 6.0 outliers.
+  EXPECT_LT(p999, 3.0f);
+  EXPECT_GT(p999, 1.0f);
+  // Higher percentile -> larger clip.
+  const float p9999 = calibrate_clip(obs, CalibMethod::kPercentile, DType::kINT8, 0.9999);
+  EXPECT_GT(p9999, p999);
+}
+
+TEST(Calibrate, MseClipsExtremeOutliersForInt8) {
+  // A tiny fraction of extreme outliers (LLM-style, ~50x the bulk) makes
+  // clipping clearly beneficial for INT8: the sweep must choose a clip
+  // below absmax. (With mild 8-sigma outliers clipping is a wash -- the
+  // squared error of truncated outliers cancels the finer grid.)
+  Rng rng(17);
+  Tensor t = randn(rng, {50000});
+  t[100] = 50.0f;
+  t[200] = -50.0f;
+  Observer obs(60000);
+  obs.observe(t);
+  const float clip = calibrate_clip(obs, CalibMethod::kMseSweep, DType::kINT8);
+  EXPECT_LT(clip, obs.absmax() * 0.95f);
+}
+
+TEST(Calibrate, MseKeepsFullRangeForE3M4) {
+  // FP8's non-uniform grid already spends precision near zero, so clipping
+  // helps far less (Appendix A.1): the chosen clip stays near absmax.
+  Observer obs = observe_fig1_tensor();
+  const float clip = calibrate_clip(obs, CalibMethod::kMseSweep, DType::kE3M4);
+  EXPECT_GT(clip, obs.absmax() * 0.5f);
+}
+
+TEST(Calibrate, ClipMseMonotoneAtExtremes) {
+  Observer obs = observe_fig1_tensor();
+  const auto vals = obs.sample();
+  // Clipping at 1% of the range is catastrophically worse than absmax.
+  const double tiny = clip_quantization_mse(vals, obs.absmax() * 0.01f, DType::kE4M3);
+  const double full = clip_quantization_mse(vals, obs.absmax(), DType::kE4M3);
+  EXPECT_GT(tiny, full * 10.0);
+  EXPECT_EQ(clip_quantization_mse({}, 1.0f, DType::kE4M3), 0.0);
+  EXPECT_EQ(clip_quantization_mse(vals, 0.0f, DType::kE4M3), 0.0);
+}
+
+TEST(Calibrate, KlDemoFromAppendixFigure9) {
+  // Appendix Figure 9: a tensor with outliers around 6; KL-style clipping
+  // at 2.0 yields a *larger* FP8 MSE than keeping the full range -- the
+  // enhanced small-value representation does not pay for the truncated
+  // outliers.
+  Observer obs = observe_fig1_tensor();
+  const auto vals = obs.sample();
+  const double mse_clip2 = clip_quantization_mse(vals, 2.0f, DType::kE4M3);
+  const double mse_full = clip_quantization_mse(vals, obs.absmax(), DType::kE4M3);
+  EXPECT_GT(mse_clip2, mse_full);
+}
+
+TEST(Calibrate, KlDivergenceBasicProperties) {
+  Observer obs = observe_fig1_tensor();
+  const auto vals = obs.sample();
+  const double kl = clip_kl_divergence(vals, obs.absmax(), DType::kINT8, 512);
+  EXPECT_GE(kl, 0.0);
+  EXPECT_TRUE(std::isfinite(kl));
+  EXPECT_THROW((void)clip_kl_divergence(vals, 1.0f, DType::kINT8, 1), std::invalid_argument);
+  EXPECT_EQ(clip_kl_divergence({}, 1.0f, DType::kINT8), 0.0);
+}
+
+TEST(Calibrate, KlCoarserGridHasHigherDivergence) {
+  // Fewer mantissa bits -> coarser grid -> quantized histogram is a worse
+  // match of the original.
+  Observer obs = observe_fig1_tensor();
+  const auto vals = obs.sample();
+  const float clip = obs.absmax();
+  const double kl_e5m2 = clip_kl_divergence(vals, clip, DType::kE5M2, 512);
+  const double kl_e3m4 = clip_kl_divergence(vals, clip, DType::kE3M4, 512);
+  EXPECT_GT(kl_e5m2, kl_e3m4);
+}
+
+TEST(Calibrate, ScaleRuleMatchesPaperSection31) {
+  // s = float_max / max_T.
+  EXPECT_FLOAT_EQ(fp8_activation_scale(DType::kE4M3, 10.0f), 44.8f);
+  EXPECT_FLOAT_EQ(fp8_activation_scale(DType::kE3M4, 30.0f), 1.0f);
+  // E5M2 is direct: always 1.
+  EXPECT_FLOAT_EQ(fp8_activation_scale(DType::kE5M2, 1000.0f), 1.0f);
+  // Degenerate ranges fall back to 1.
+  EXPECT_FLOAT_EQ(fp8_activation_scale(DType::kE4M3, 0.0f), 1.0f);
+  EXPECT_FLOAT_EQ(fp8_activation_scale(DType::kE4M3, -3.0f), 1.0f);
+  EXPECT_THROW((void)fp8_activation_scale(DType::kINT8, 1.0f), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fp8q

@@ -1,0 +1,80 @@
+#include "quant/observer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/rng.h"
+
+namespace fp8q {
+namespace {
+
+TEST(Observer, TracksExactExtremes) {
+  Observer obs;
+  obs.observe(Tensor({3}, {1.0f, -5.0f, 2.0f}));
+  EXPECT_FLOAT_EQ(obs.absmax(), 5.0f);
+  EXPECT_FLOAT_EQ(obs.min(), -5.0f);
+  EXPECT_FLOAT_EQ(obs.max(), 2.0f);
+  EXPECT_EQ(obs.count(), 3);
+  obs.observe(Tensor({1}, {10.0f}));
+  EXPECT_FLOAT_EQ(obs.absmax(), 10.0f);
+  EXPECT_FLOAT_EQ(obs.max(), 10.0f);
+}
+
+TEST(Observer, EmptyState) {
+  Observer obs;
+  EXPECT_TRUE(obs.empty());
+  EXPECT_FLOAT_EQ(obs.absmax(), 0.0f);
+}
+
+TEST(Observer, IgnoresNan) {
+  Observer obs;
+  obs.observe(Tensor({2}, {std::nanf(""), 3.0f}));
+  EXPECT_EQ(obs.count(), 1);
+  EXPECT_FLOAT_EQ(obs.absmax(), 3.0f);
+}
+
+TEST(Observer, ResetClears) {
+  Observer obs;
+  obs.observe(Tensor({2}, {1.0f, 2.0f}));
+  obs.reset();
+  EXPECT_TRUE(obs.empty());
+  EXPECT_FLOAT_EQ(obs.absmax(), 0.0f);
+  EXPECT_TRUE(obs.sample().empty());
+}
+
+TEST(Observer, ReservoirBoundedAndRepresentative) {
+  Observer obs(1000);
+  Rng rng(3);
+  // Stream far more data than the capacity.
+  for (int b = 0; b < 50; ++b) obs.observe(randn(rng, {1000}, 5.0f, 1.0f));
+  EXPECT_EQ(obs.count(), 50000);
+  EXPECT_EQ(obs.sample().size(), 1000u);
+  // Sample mean should be near the stream mean.
+  double mean = 0.0;
+  for (float v : obs.sample()) mean += v;
+  mean /= static_cast<double>(obs.sample().size());
+  EXPECT_NEAR(mean, 5.0, 0.15);
+}
+
+TEST(Observer, SmallStreamKeptVerbatim) {
+  Observer obs(100);
+  obs.observe(Tensor({3}, {1.0f, 2.0f, 3.0f}));
+  ASSERT_EQ(obs.sample().size(), 3u);
+  EXPECT_FLOAT_EQ(obs.sample()[0], 1.0f);
+  EXPECT_FLOAT_EQ(obs.sample()[2], 3.0f);
+}
+
+TEST(Observer, AbsmaxExactEvenWhenSampled) {
+  // The absmax must never be lost to reservoir sampling: plant a single
+  // outlier in a long stream.
+  Observer obs(64);
+  Rng rng(5);
+  Tensor t = randn(rng, {10000});
+  t[5000] = 99.0f;
+  obs.observe(t);
+  EXPECT_FLOAT_EQ(obs.absmax(), 99.0f);
+}
+
+}  // namespace
+}  // namespace fp8q

@@ -1,0 +1,393 @@
+// End-to-end tests of the QuantizedGraph PTQ workflow (paper Figure 2).
+#include "quant/quantized_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/metrics.h"
+#include "nn/conv.h"
+#include "nn/elementwise.h"
+#include "nn/linear.h"
+#include "nn/norm.h"
+#include "nn/shape_ops.h"
+#include "nn/embedding.h"
+#include "quant/smoothquant.h"
+#include "tensor/rng.h"
+#include "tensor/stats.h"
+
+namespace fp8q {
+namespace {
+
+/// fc1 -> relu -> fc2 with a LayerNorm in front and a residual Add.
+Graph make_mlp(Rng& rng, std::int64_t dim = 16) {
+  Graph g;
+  const auto in = g.add_input("x");
+  const auto ln = g.add("ln",
+                        std::make_unique<LayerNormOp>(Tensor({dim}, 1.0f),
+                                                      Tensor(Shape{dim})),
+                        {in});
+  const auto fc1 = g.add(
+      "fc1",
+      std::make_unique<LinearOp>(randn(rng, {dim, dim}, 0.0f, 0.3f), randn(rng, {dim}, 0.0f, 0.1f)),
+      {ln});
+  const auto relu = g.add("relu", std::make_unique<ActivationOp>(OpKind::kRelu), {fc1});
+  const auto fc2 = g.add(
+      "fc2",
+      std::make_unique<LinearOp>(randn(rng, {dim, dim}, 0.0f, 0.3f), Tensor{}),
+      {relu});
+  g.add("res", std::make_unique<BinaryOp>(OpKind::kAdd), {fc2, ln});
+  return g;
+}
+
+std::vector<Tensor> make_batches(Rng& rng, int n, Shape shape, float stddev = 1.0f) {
+  std::vector<Tensor> batches;
+  batches.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) batches.push_back(randn(rng, shape, 0.0f, stddev));
+  return batches;
+}
+
+TEST(QuantizedGraph, Fp32ConfigIsIdentity) {
+  Rng rng(3);
+  Graph g = make_mlp(rng);
+  Tensor x = randn(rng, {4, 16});
+  const Tensor ref = g.forward(x);
+
+  ModelQuantConfig cfg;  // FP32 everything
+  QuantizedGraph qg(&g, cfg);
+  auto calib = make_batches(rng, 2, {4, 16});
+  qg.prepare(std::span<const Tensor>(calib));
+  const Tensor got = qg.forward(x);
+  EXPECT_EQ(max_abs_error(ref.flat(), got.flat()), 0.0);
+}
+
+TEST(QuantizedGraph, ForwardBeforePrepareThrows) {
+  Rng rng(5);
+  Graph g = make_mlp(rng);
+  QuantizedGraph qg(&g, ModelQuantConfig{});
+  Tensor x({1, 16});
+  EXPECT_THROW((void)qg.forward(x), std::logic_error);
+}
+
+TEST(QuantizedGraph, WeightsQuantizedAndRestored) {
+  Rng rng(7);
+  Graph g = make_mlp(rng);
+  auto* fc1 = dynamic_cast<LinearOp*>(g.node(2).op.get());
+  ASSERT_NE(fc1, nullptr);
+  const Tensor original = fc1->weight();
+
+  ModelQuantConfig cfg;
+  cfg.scheme = standard_fp8_scheme(DType::kE4M3);
+  {
+    QuantizedGraph qg(&g, cfg);
+    auto calib = make_batches(rng, 2, {4, 16});
+    qg.prepare(std::span<const Tensor>(calib));
+    // Weights now differ (quantized in place)...
+    EXPECT_GT(max_abs_error(original.flat(), fc1->weight().flat()), 0.0);
+    // ...and every element sits on the E4M3 per-channel grid (idempotent).
+    const auto params = make_weight_params(fc1->weight(), DType::kE4M3);
+    const Tensor again = apply_quant(fc1->weight(), params);
+    // Not bit-exact: the re-derived channel scale differs by one float ULP
+    // when the channel max itself was the scaled value; grid points match
+    // to that tolerance.
+    EXPECT_LT(max_abs_error(fc1->weight().flat(), again.flat()), 1e-6);
+  }
+  // Destructor restored FP32 weights.
+  EXPECT_EQ(max_abs_error(original.flat(), fc1->weight().flat()), 0.0);
+}
+
+TEST(QuantizedGraph, RepreparationWithDifferentSchemeWorks) {
+  Rng rng(9);
+  Graph g = make_mlp(rng);
+  auto* fc1 = dynamic_cast<LinearOp*>(g.node(2).op.get());
+  const Tensor original = fc1->weight();
+
+  ModelQuantConfig cfg;
+  cfg.scheme = standard_fp8_scheme(DType::kE5M2);
+  QuantizedGraph qg(&g, cfg);
+  auto calib = make_batches(rng, 2, {4, 16});
+  qg.prepare(std::span<const Tensor>(calib));
+  const Tensor w_e5m2 = fc1->weight();
+  // Re-prepare restores and re-quantizes from the FP32 originals.
+  qg.prepare(std::span<const Tensor>(calib));
+  EXPECT_EQ(max_abs_error(w_e5m2.flat(), fc1->weight().flat()), 0.0);
+  qg.restore_weights();
+  EXPECT_EQ(max_abs_error(original.flat(), fc1->weight().flat()), 0.0);
+}
+
+TEST(QuantizedGraph, QuantizationPerturbsButTracksReference) {
+  Rng rng(11);
+  Graph g = make_mlp(rng);
+  Tensor x = randn(rng, {8, 16});
+  const Tensor ref = g.forward(x);
+
+  ModelQuantConfig cfg;
+  cfg.scheme = standard_fp8_scheme(DType::kE4M3);
+  QuantizedGraph qg(&g, cfg);
+  auto calib = make_batches(rng, 4, {8, 16});
+  qg.prepare(std::span<const Tensor>(calib));
+  const Tensor got = qg.forward(x);
+  const double err = mse(ref.flat(), got.flat());
+  EXPECT_GT(err, 0.0);                         // quantization is lossy...
+  EXPECT_GT(sqnr_db(ref.flat(), got.flat()), 20.0);  // ...but close (> 20 dB)
+}
+
+TEST(QuantizedGraph, ExtendedOpsCoverageToggle) {
+  Rng rng(13);
+  Graph g = make_mlp(rng);
+
+  ModelQuantConfig std_cfg;
+  std_cfg.scheme = standard_fp8_scheme(DType::kE4M3);
+  QuantizedGraph std_qg(&g, std_cfg);
+  // Standard scheme: only the two Linears (LayerNorm/Add excluded).
+  EXPECT_EQ(std_qg.quantized_nodes().size(), 2u);
+  EXPECT_FALSE(std_qg.node_quantized(1));  // LayerNorm
+  EXPECT_TRUE(std_qg.node_quantized(2));   // fc1
+
+  ModelQuantConfig ext_cfg;
+  ext_cfg.scheme = standard_fp8_scheme(DType::kE4M3);
+  ext_cfg.scheme.quantize_extended_ops = true;
+  QuantizedGraph ext_qg(&g, ext_cfg);
+  EXPECT_EQ(ext_qg.quantized_nodes().size(), 4u);  // + LayerNorm + Add
+  EXPECT_TRUE(ext_qg.node_quantized(1));
+  EXPECT_TRUE(ext_qg.node_quantized(5));
+}
+
+TEST(QuantizedGraph, FallbackNodeAndKindExclusions) {
+  Rng rng(15);
+  Graph g = make_mlp(rng);
+  ModelQuantConfig cfg;
+  cfg.scheme = standard_fp8_scheme(DType::kE4M3);
+  cfg.scheme.quantize_extended_ops = true;
+  cfg.fallback_nodes = {2};                    // fc1 forced FP32
+  cfg.fallback_kinds = {OpKind::kLayerNorm};   // all LayerNorms FP32
+  QuantizedGraph qg(&g, cfg);
+  EXPECT_FALSE(qg.node_quantized(2));
+  EXPECT_FALSE(qg.node_quantized(1));
+  EXPECT_TRUE(qg.node_quantized(4));  // fc2 still on
+}
+
+TEST(QuantizedGraph, CnnFirstLastException) {
+  Rng rng(17);
+  Graph g;
+  const auto in = g.add_input("x");
+  const auto c1 = g.add("conv1",
+                        std::make_unique<Conv2dOp>(randn(rng, {4, 3, 3, 3}, 0.0f, 0.2f),
+                                                   Tensor{}, 1, 1),
+                        {in});
+  const auto r = g.add("relu", std::make_unique<ActivationOp>(OpKind::kRelu), {c1});
+  const auto c2 = g.add("conv2",
+                        std::make_unique<Conv2dOp>(randn(rng, {4, 4, 3, 3}, 0.0f, 0.2f),
+                                                   Tensor{}, 1, 1),
+                        {r});
+  const auto pool = g.add("pool", std::make_unique<GlobalAvgPoolOp>(), {c2});
+  g.add("head", std::make_unique<LinearOp>(randn(rng, {10, 4}, 0.0f, 0.3f), Tensor{}),
+        {pool});
+
+  ModelQuantConfig cfg;
+  cfg.scheme = standard_fp8_scheme(DType::kE4M3);
+  cfg.is_cnn = true;
+  QuantizedGraph qg(&g, cfg);
+  EXPECT_FALSE(qg.node_quantized(1));  // first conv stays FP32
+  EXPECT_FALSE(qg.node_quantized(5));  // last linear stays FP32
+  EXPECT_TRUE(qg.node_quantized(3));   // middle conv quantized
+
+  // With the exception disabled (tuning option, section 4.3.1) they join.
+  cfg.scheme.skip_first_last = false;
+  QuantizedGraph qg2(&g, cfg);
+  EXPECT_TRUE(qg2.node_quantized(1));
+  EXPECT_TRUE(qg2.node_quantized(5));
+
+  // Non-CNN models never apply the exception.
+  cfg.scheme.skip_first_last = true;
+  cfg.is_cnn = false;
+  QuantizedGraph qg3(&g, cfg);
+  EXPECT_TRUE(qg3.node_quantized(1));
+}
+
+TEST(QuantizedGraph, StaticMatchesDynamicWhenCalibMatchesEval) {
+  // With identical calibration and evaluation distributions and per-batch
+  // absmax close to the global one, static and dynamic should be close.
+  Rng rng(19);
+  Graph g = make_mlp(rng);
+  Tensor x = randn(rng, {64, 16});
+  const Tensor ref = g.forward(x);
+
+  ModelQuantConfig scfg;
+  scfg.scheme = standard_fp8_scheme(DType::kE4M3, false);
+  QuantizedGraph sqg(&g, scfg);
+  std::vector<Tensor> calib = {x};
+  sqg.prepare(std::span<const Tensor>(calib));
+  const Tensor ys = sqg.forward(x);
+  sqg.restore_weights();
+
+  ModelQuantConfig dcfg;
+  dcfg.scheme = standard_fp8_scheme(DType::kE4M3, true);
+  QuantizedGraph dqg(&g, dcfg);
+  dqg.prepare(std::span<const Tensor>(calib));
+  const Tensor yd = dqg.forward(x);
+
+  // Calibration observes activations before *activation* quantization (the
+  // standard PTQ pass), so downstream clips differ slightly from the
+  // dynamic per-batch ones: expect agreement within roughly one grid step,
+  // and both faithful to the FP32 reference.
+  EXPECT_LT(max_abs_error(ys.flat(), yd.flat()), 0.5);
+  EXPECT_GT(sqnr_db(ref.flat(), ys.flat()), 20.0);
+  EXPECT_GT(sqnr_db(ref.flat(), yd.flat()), 20.0);
+}
+
+TEST(QuantizedGraph, E5M2NeedsNoCalibration) {
+  Rng rng(21);
+  Graph g = make_mlp(rng);
+  ModelQuantConfig cfg;
+  cfg.scheme = standard_fp8_scheme(DType::kE5M2);
+  QuantizedGraph qg(&g, cfg);
+  // Empty calibration set: direct quantization must still work.
+  qg.prepare(std::span<const Tensor>{});
+  Tensor x = randn(rng, {4, 16});
+  const Tensor y = qg.forward(x);
+  EXPECT_EQ(y.numel(), 4 * 16);
+  // No clips recorded (no range calibration for E5M2).
+  EXPECT_EQ(qg.activation_clip(2, 0), 0.0f);
+}
+
+TEST(QuantizedGraph, StaticCalibrationRecordsClips) {
+  Rng rng(23);
+  Graph g = make_mlp(rng);
+  ModelQuantConfig cfg;
+  cfg.scheme = standard_fp8_scheme(DType::kE4M3);
+  QuantizedGraph qg(&g, cfg);
+  auto calib = make_batches(rng, 4, {8, 16});
+  qg.prepare(std::span<const Tensor>(calib));
+  EXPECT_GT(qg.activation_clip(2, 0), 0.0f);  // fc1 input observed
+  EXPECT_GT(qg.activation_clip(4, 0), 0.0f);  // fc2 input observed
+  EXPECT_EQ(qg.activation_clip(3, 0), 0.0f);  // relu not quantized
+}
+
+TEST(QuantizedGraph, BatchNormCalibrationRecoversShiftedStats) {
+  Rng rng(25);
+  // conv -> bn -> relu -> pool -> fc, with BN stats deliberately wrong.
+  Graph g;
+  const auto in = g.add_input("x");
+  const auto c1 = g.add("conv1",
+                        std::make_unique<Conv2dOp>(randn(rng, {4, 2, 3, 3}, 0.0f, 0.3f),
+                                                   Tensor{}, 1, 1),
+                        {in});
+  const auto bn = g.add("bn",
+                        std::make_unique<BatchNorm2dOp>(Tensor({4}, 1.0f), Tensor(Shape{4}),
+                                                        Tensor({4}, 5.0f),  // wrong mean
+                                                        Tensor({4}, 9.0f)), // wrong var
+                        {c1});
+  const auto r = g.add("relu", std::make_unique<ActivationOp>(OpKind::kRelu), {bn});
+  const auto pool = g.add("pool", std::make_unique<GlobalAvgPoolOp>(), {r});
+  g.add("head", std::make_unique<LinearOp>(randn(rng, {3, 4}, 0.0f, 0.4f), Tensor{}),
+        {pool});
+
+  ModelQuantConfig cfg;
+  cfg.scheme = standard_fp8_scheme(DType::kE4M3);
+  cfg.is_cnn = true;
+  cfg.bn_calibration_batches = 8;
+  QuantizedGraph qg(&g, cfg);
+  auto calib = make_batches(rng, 8, {4, 2, 8, 8});
+  qg.prepare(std::span<const Tensor>(calib));
+
+  auto* bn_op = dynamic_cast<BatchNorm2dOp*>(g.node(bn).op.get());
+  ASSERT_NE(bn_op, nullptr);
+  // Conv output of N(0,1) inputs has roughly zero mean: the calibrated
+  // mean must move from 5.0 towards 0.
+  EXPECT_LT(std::fabs(bn_op->running_mean()[0]), 1.0f);
+  EXPECT_FALSE(bn_op->calibrating());
+}
+
+TEST(QuantizedGraph, SmoothQuantImprovesOutlierModelUnderInt8) {
+  // A linear model whose input has outlier channels: enabling SmoothQuant
+  // must reduce the INT8 output error (the paper applies it to all NLP
+  // workloads before quantization).
+  Rng rng(27);
+  const std::int64_t dim = 32;
+  Graph g;
+  const auto in = g.add_input("x");
+  const auto fc1 = g.add(
+      "fc1", std::make_unique<LinearOp>(randn(rng, {dim, dim}, 0.0f, 0.2f), Tensor{}),
+      {in});
+  const auto r = g.add("gelu", std::make_unique<ActivationOp>(OpKind::kGelu), {fc1});
+  g.add("fc2", std::make_unique<LinearOp>(randn(rng, {dim, dim}, 0.0f, 0.2f), Tensor{}),
+        {r});
+
+  auto outlier_batch = [&](Rng& r2) {
+    Tensor t = randn(r2, {16, dim});
+    Rng channel_rng(99);  // same channels amplified every batch
+    amplify_channels(t, channel_rng, 1, 0.1, 50.0f);
+    return t;
+  };
+  Rng data_rng(31);
+  std::vector<Tensor> calib;
+  for (int i = 0; i < 4; ++i) calib.push_back(outlier_batch(data_rng));
+  Tensor x = outlier_batch(data_rng);
+  const Tensor ref = g.forward(x);
+
+  auto run = [&](bool smooth) {
+    ModelQuantConfig cfg;
+    cfg.scheme = int8_scheme(false);
+    cfg.scheme.smoothquant = smooth;
+    QuantizedGraph qg(&g, cfg);
+    qg.prepare(std::span<const Tensor>(calib));
+    const Tensor y = qg.forward(x);
+    return mse(ref.flat(), y.flat());
+  };
+  const double plain = run(false);
+  const double smoothed = run(true);
+  EXPECT_LT(smoothed, plain);
+}
+
+TEST(QuantizedGraph, EmbeddingIndicesNeverQuantized) {
+  // The embedding table is quantized; the integer index input must pass
+  // through untouched (otherwise ids like 7 would be rounded onto a grid).
+  Rng rng(33);
+  Graph g;
+  const auto in = g.add_input("ids");
+  Tensor table = randn(rng, {100, 8}, 0.0f, 0.02f);  // small values: grid-sensitive
+  const auto emb = g.add("emb", std::make_unique<EmbeddingOp>(table), {in});
+  g.add("fc", std::make_unique<LinearOp>(randn(rng, {4, 8}, 0.0f, 0.3f), Tensor{}),
+        {emb});
+
+  ModelQuantConfig cfg;
+  cfg.scheme = standard_fp8_scheme(DType::kE4M3);
+  QuantizedGraph qg(&g, cfg);
+  Tensor ids({5}, {0.0f, 17.0f, 42.0f, 99.0f, 3.0f});
+  std::vector<Tensor> calib = {ids};
+  qg.prepare(std::span<const Tensor>(calib));
+  EXPECT_TRUE(qg.node_quantized(1));  // the table is covered...
+  // ...but forward must not throw (quantizing id 99 against the table's
+  // tiny scale would produce out-of-range garbage indices).
+  const Tensor y = qg.forward(ids);
+  EXPECT_EQ(y.shape(), (Shape{5, 4}));
+}
+
+TEST(QuantizedGraph, QuantizedComputeFraction) {
+  Rng rng(41);
+  Graph g = make_mlp(rng);
+  // All compute ops quantized (non-CNN, no fallbacks): fraction 1.
+  ModelQuantConfig all;
+  all.scheme = standard_fp8_scheme(DType::kE4M3);
+  QuantizedGraph qa(&g, all);
+  EXPECT_DOUBLE_EQ(qa.quantized_compute_fraction(), 1.0);
+
+  // Falling back fc1 (the larger share of parameters) drops the fraction
+  // below 1 but above 0.
+  ModelQuantConfig part = all;
+  part.fallback_nodes = {2};
+  QuantizedGraph qp(&g, part);
+  EXPECT_GT(qp.quantized_compute_fraction(), 0.0);
+  EXPECT_LT(qp.quantized_compute_fraction(), 1.0);
+
+  // FP32-everything config: nothing covered.
+  ModelQuantConfig none;
+  none.fallback_kinds = {OpKind::kLinear, OpKind::kConv2d, OpKind::kMatMul,
+                         OpKind::kBatchMatMul, OpKind::kEmbedding};
+  QuantizedGraph qn(&g, none);
+  EXPECT_DOUBLE_EQ(qn.quantized_compute_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace fp8q

@@ -1,0 +1,131 @@
+#include "quant/smoothquant.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/metrics.h"
+#include "nn/linear.h"
+#include "quant/quantizer.h"
+#include "tensor/rng.h"
+#include "tensor/stats.h"
+
+namespace fp8q {
+namespace {
+
+TEST(SmoothQuant, FactorsFormula) {
+  // s_j = a_j^alpha / w_j^(1-alpha); with alpha = 0.5 this is sqrt(a/w).
+  std::vector<float> a = {4.0f, 16.0f};
+  std::vector<float> w = {1.0f, 4.0f};
+  const auto s = smoothquant_factors(a, w, 0.5f);
+  EXPECT_FLOAT_EQ(s[0], 2.0f);
+  EXPECT_FLOAT_EQ(s[1], 2.0f);
+}
+
+TEST(SmoothQuant, AlphaOneMovesEverythingToWeights) {
+  std::vector<float> a = {8.0f};
+  std::vector<float> w = {2.0f};
+  EXPECT_FLOAT_EQ(smoothquant_factors(a, w, 1.0f)[0], 8.0f);
+  EXPECT_FLOAT_EQ(smoothquant_factors(a, w, 0.0f)[0], 0.5f);
+}
+
+TEST(SmoothQuant, DegenerateInputsNeutral) {
+  std::vector<float> a = {0.0f};
+  std::vector<float> w = {0.0f};
+  EXPECT_GT(smoothquant_factors(a, w)[0], 0.0f);
+  EXPECT_THROW(smoothquant_factors(a, std::vector<float>{1.0f, 2.0f}),
+               std::invalid_argument);
+}
+
+TEST(SmoothQuant, TransformIsExactAtFp32) {
+  // X W^T == (X/s) (W s)^T: folding must not change FP32 results.
+  Rng rng(3);
+  Tensor w = randn(rng, {4, 8});
+  Tensor x = randn(rng, {5, 8});
+  amplify_channels(x, rng, 1, 0.25, 50.0f);  // outlier channels
+
+  LinearOp ref(w, Tensor{});
+  std::vector<Tensor> in;
+  in.push_back(x);
+  const Tensor y_ref = ref.forward(in);
+
+  const auto act_cmax = absmax_per_channel(x, 1);
+  const auto w_cmax = absmax_per_channel(w, 1);
+  const auto s = smoothquant_factors(act_cmax, w_cmax, 0.5f);
+
+  Tensor w2 = w;
+  scale_weight_columns(w2, s);
+  Tensor x2 = x;
+  divide_channels(x2, s);
+  LinearOp smoothed(w2, Tensor{});
+  std::vector<Tensor> in2;
+  in2.push_back(x2);
+  const Tensor y_smooth = smoothed.forward(in2);
+
+  EXPECT_LT(max_abs_error(y_ref.flat(), y_smooth.flat()),
+            1e-3 * (1.0 + max_abs_error(y_ref.flat(), Tensor(y_ref.shape()).flat())));
+}
+
+TEST(SmoothQuant, FlattensActivationOutliers) {
+  Rng rng(5);
+  Tensor x = randn(rng, {64, 32});
+  amplify_channels(x, rng, 1, 0.2, 80.0f);
+  Tensor w = randn(rng, {16, 32}, 0.0f, 0.1f);
+
+  const auto s = smoothquant_factors(absmax_per_channel(x, 1), absmax_per_channel(w, 1));
+  Tensor x2 = x;
+  divide_channels(x2, s);
+  // Outlier ratio (absmax / median channel max) must shrink substantially.
+  auto ratio = [](const Tensor& t) {
+    const auto cm = absmax_per_channel(t, 1);
+    std::vector<float> sorted(cm);
+    std::sort(sorted.begin(), sorted.end());
+    return absmax(t) / sorted[sorted.size() / 2];
+  };
+  EXPECT_LT(ratio(x2), ratio(x) * 0.25f);
+}
+
+TEST(SmoothQuant, ImprovesInt8QuantizationOfOutlierActivations) {
+  // The end-to-end motivation: per-tensor INT8 on outlier activations is
+  // bad; after smoothing, the product X W^T quantizes with less error.
+  Rng rng(7);
+  Tensor x = randn(rng, {32, 64});
+  amplify_channels(x, rng, 1, 0.1, 60.0f);
+  Tensor w = randn(rng, {16, 64}, 0.0f, 0.2f);
+
+  auto quant_product_mse = [&](const Tensor& xs, const Tensor& ws) {
+    LinearOp fp32(ws, Tensor{});
+    std::vector<Tensor> in;
+    in.push_back(xs);
+    const Tensor ref = fp32.forward(in);
+
+    const auto [lo, hi] = minmax(xs);
+    Tensor xq = apply_quant(xs, make_activation_params(DType::kINT8, lo, hi));
+    Tensor wq = apply_quant(ws, make_weight_params(ws, DType::kINT8));
+    LinearOp qop(wq, Tensor{});
+    std::vector<Tensor> qin;
+    qin.push_back(xq);
+    const Tensor got = qop.forward(qin);
+    return mse(ref.flat(), got.flat());
+  };
+
+  const double before = quant_product_mse(x, w);
+  const auto s = smoothquant_factors(absmax_per_channel(x, 1), absmax_per_channel(w, 1));
+  Tensor x2 = x;
+  divide_channels(x2, s);
+  Tensor w2 = w;
+  scale_weight_columns(w2, s);
+  const double after = quant_product_mse(x2, w2);
+  EXPECT_LT(after, before * 0.5);
+}
+
+TEST(SmoothQuant, ShapeValidation) {
+  Tensor w({2, 3});
+  std::vector<float> s = {1.0f, 2.0f};
+  EXPECT_THROW(scale_weight_columns(w, s), std::invalid_argument);
+  Tensor x({4, 3});
+  EXPECT_THROW(divide_channels(x, s), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fp8q

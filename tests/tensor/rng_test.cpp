@@ -1,0 +1,133 @@
+#include "tensor/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/stats.h"
+
+namespace fp8q {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(7);
+  Tensor t = randn(rng, {100000}, 2.0f, 3.0f);
+  const auto s = summarize(t);
+  EXPECT_NEAR(s.mean, 2.0, 0.05);
+  EXPECT_NEAR(s.stddev, 3.0, 0.05);
+  EXPECT_NEAR(s.kurtosis, 0.0, 0.15);  // excess kurtosis of a Gaussian
+}
+
+TEST(Rng, UniformTensorMoments) {
+  Rng rng(9);
+  Tensor t = rand_uniform(rng, {100000}, -1.0f, 1.0f);
+  const auto s = summarize(t);
+  EXPECT_NEAR(s.mean, 0.0, 0.02);
+  EXPECT_NEAR(s.stddev, 1.0 / std::sqrt(3.0), 0.02);
+  EXPECT_GE(s.min, -1.0f);
+  EXPECT_LT(s.max, 1.0f);
+}
+
+TEST(Rng, RandintBounds) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.randint(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+  EXPECT_THROW(rng.randint(1, 0), std::invalid_argument);
+}
+
+TEST(Rng, StudentTIsHeavyTailed) {
+  Rng rng(13);
+  Tensor t3 = rand_student_t(rng, {200000}, 3.0f);
+  Tensor tn = randn(rng, {200000});
+  // Student-t(3) has much heavier tails than a Gaussian.
+  EXPECT_GT(summarize(t3).kurtosis, summarize(tn).kurtosis + 1.0);
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng parent(21);
+  Rng child = parent.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.next() == child.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(InjectOutliers, Fig1Protocol) {
+  // Paper Figure 1: N(0, 0.5) with 1% outliers uniform in [-6, 6].
+  Rng rng(31);
+  Tensor t = randn(rng, {200000}, 0.0f, std::sqrt(0.5f));
+  const float base_absmax = absmax(t);
+  inject_outliers(t, rng, 0.01, -6.0f, 6.0f);
+  EXPECT_GT(absmax(t), base_absmax);
+  EXPECT_LE(absmax(t), 6.0f + 1e-3f);
+  // Kurtosis rises: the tensor became outlier-heavy.
+  EXPECT_GT(summarize(t).kurtosis, 0.5);
+}
+
+TEST(InjectOutliers, ZeroFractionIsNoop) {
+  Rng rng(33);
+  Tensor t = randn(rng, {1000});
+  Tensor copy = t;
+  inject_outliers(t, rng, 0.0, -6.0f, 6.0f);
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], copy[i]);
+}
+
+TEST(AmplifyChannels, ScalesOnlySelectedChannels) {
+  Rng rng(35);
+  Tensor t = Tensor::full({4, 8}, 1.0f);
+  amplify_channels(t, rng, 1, 0.25, 100.0f);
+  // Each column is either all 1 or all 100.
+  int amplified_cols = 0;
+  for (std::int64_t c = 0; c < 8; ++c) {
+    const float v0 = t.at({0, c});
+    EXPECT_TRUE(v0 == 1.0f || v0 == 100.0f);
+    for (std::int64_t r = 1; r < 4; ++r) EXPECT_EQ(t.at({r, c}), v0);
+    if (v0 == 100.0f) ++amplified_cols;
+  }
+  EXPECT_GT(amplified_cols, 0);
+  EXPECT_LT(amplified_cols, 8);
+}
+
+TEST(AmplifyChannels, BadAxisThrows) {
+  Rng rng(37);
+  Tensor t({2, 2});
+  EXPECT_THROW(amplify_channels(t, rng, 5, 0.5, 2.0f), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fp8q

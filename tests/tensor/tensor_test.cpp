@@ -1,0 +1,109 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace fp8q {
+namespace {
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.dim(), 2);
+  for (float v : t.flat()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, FullConstructor) {
+  Tensor t = Tensor::full({4}, 2.5f);
+  for (float v : t.flat()) EXPECT_EQ(v, 2.5f);
+}
+
+TEST(Tensor, FromDataValidatesSize) {
+  EXPECT_NO_THROW(Tensor({2, 2}, {1.0f, 2.0f, 3.0f, 4.0f}));
+  EXPECT_THROW(Tensor({2, 2}, {1.0f, 2.0f}), std::invalid_argument);
+}
+
+TEST(Tensor, ScalarShapeHasOneElement) {
+  Tensor t{Shape{}};
+  EXPECT_EQ(t.numel(), 1);
+  EXPECT_EQ(t.dim(), 0);
+}
+
+TEST(Tensor, AtIsRowMajor) {
+  Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+  EXPECT_EQ(t.at({0, 0}), 0.0f);
+  EXPECT_EQ(t.at({0, 2}), 2.0f);
+  EXPECT_EQ(t.at({1, 0}), 3.0f);
+  EXPECT_EQ(t.at({1, 2}), 5.0f);
+}
+
+TEST(Tensor, Strides) {
+  Tensor t({2, 3, 4});
+  const auto st = t.strides();
+  ASSERT_EQ(st.size(), 3u);
+  EXPECT_EQ(st[0], 12);
+  EXPECT_EQ(st[1], 4);
+  EXPECT_EQ(st[2], 1);
+}
+
+TEST(Tensor, SizeWithNegativeAxis) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.size(-1), 4);
+  EXPECT_EQ(t.size(-3), 2);
+  EXPECT_THROW(t.size(3), std::out_of_range);
+  EXPECT_THROW(t.size(-4), std::out_of_range);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+  Tensor r = t.reshape({3, 2});
+  EXPECT_EQ(r.at({2, 1}), 5.0f);
+  EXPECT_EQ(r.numel(), 6);
+}
+
+TEST(Tensor, ReshapeInfersAxis) {
+  Tensor t({2, 6});
+  Tensor r = t.reshape({-1, 3});
+  EXPECT_EQ(r.size(0), 4);
+  EXPECT_EQ(r.size(1), 3);
+  EXPECT_THROW(t.reshape({-1, -1}), std::invalid_argument);
+  EXPECT_THROW(t.reshape({5, -1}), std::invalid_argument);
+  EXPECT_THROW(t.reshape({7}), std::invalid_argument);
+}
+
+TEST(Tensor, InPlaceArithmetic) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {10, 20, 30});
+  a.add(b);
+  EXPECT_EQ(a[0], 11.0f);
+  a.mul(b);
+  EXPECT_EQ(a[2], 990.0f);
+  a.scale(0.5f);
+  EXPECT_EQ(a[0], 55.0f);
+  a.add_scalar(1.0f);
+  EXPECT_EQ(a[0], 56.0f);
+  a.fill(0.0f);
+  EXPECT_EQ(a[1], 0.0f);
+}
+
+TEST(Tensor, ArithmeticShapeMismatchThrows) {
+  Tensor a({2});
+  Tensor b({3});
+  EXPECT_THROW(a.add(b), std::invalid_argument);
+  EXPECT_THROW(a.mul(b), std::invalid_argument);
+}
+
+TEST(Tensor, Descriptor) {
+  EXPECT_EQ(Tensor({2, 3, 4}).descriptor(), "f32[2, 3, 4]");
+  EXPECT_EQ(Tensor(Shape{}).descriptor(), "f32[]");
+}
+
+TEST(ShapeNumel, RejectsNegative) {
+  EXPECT_THROW(shape_numel({2, -1}), std::invalid_argument);
+  EXPECT_EQ(shape_numel({0, 5}), 0);
+  EXPECT_EQ(shape_numel({}), 1);
+}
+
+}  // namespace
+}  // namespace fp8q

@@ -1,0 +1,165 @@
+// fp8q command-line tool.
+//
+//   fp8q_cli formats                      FP8 format constants (Table 1)
+//   fp8q_cli cast <value> <fmt>           quantize one value (fmt: E5M2/E4M3/E3M4)
+//   fp8q_cli list                         list the 75 study workloads
+//   fp8q_cli eval <workload> <fmt> [dyn]  PTQ + evaluate one workload
+//   fp8q_cli tune <workload> <fmt>        accuracy-driven auto-tuning
+//   fp8q_cli sweep <out.csv> [quick]      full Table-2 sweep to CSV
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/fp8q.h"
+
+using namespace fp8q;
+
+namespace {
+
+int cmd_formats() {
+  std::printf("%-8s %6s %6s %6s %14s %14s %10s\n", "format", "e", "m", "bias", "max",
+              "min subnormal", "infinity");
+  for (Fp8Kind kind : kAllFp8Kinds) {
+    const auto& f = format_spec(kind);
+    std::printf("%-8s %6d %6d %6d %14.6g %14.6g %10s\n",
+                std::string(to_string(kind)).c_str(), f.exp_bits, f.man_bits, f.bias,
+                f.max_value(), f.min_subnormal(), f.has_infinity() ? "yes" : "no");
+  }
+  return 0;
+}
+
+int cmd_cast(const char* value_str, const char* fmt_str) {
+  const float value = std::strtof(value_str, nullptr);
+  const Fp8Kind kind = fp8_kind_from_string(fmt_str);
+  const std::uint8_t code = fp8_encode(value, kind);
+  std::printf("%g -> %s: value %g, code 0x%02X, abs error %g\n", value,
+              std::string(to_string(kind)).c_str(), fp8_quantize(value, kind), code,
+              std::fabs(value - fp8_quantize(value, kind)));
+  return 0;
+}
+
+int cmd_list() {
+  const auto suite = build_suite();
+  std::printf("%-26s %-6s %-22s %-18s %10s\n", "name", "domain", "task", "family",
+              "size (MB)");
+  for (const auto& w : suite) {
+    Graph g = w.build();
+    std::printf("%-26s %-6s %-22s %-18s %10.3f\n", w.name.c_str(), w.domain.c_str(),
+                w.task.c_str(), w.family.c_str(), g.size_mb());
+  }
+  return 0;
+}
+
+SchemeConfig scheme_from_args(const char* fmt_str, bool dynamic) {
+  const std::string fmt(fmt_str);
+  if (fmt == "INT8" || fmt == "int8") return int8_scheme(dynamic);
+  if (fmt == "mixed") return mixed_fp8_scheme();
+  const Fp8Kind kind = fp8_kind_from_string(fmt);
+  switch (kind) {
+    case Fp8Kind::E5M2: return standard_fp8_scheme(DType::kE5M2, dynamic);
+    case Fp8Kind::E4M3: return standard_fp8_scheme(DType::kE4M3, dynamic);
+    case Fp8Kind::E3M4: return standard_fp8_scheme(DType::kE3M4, dynamic);
+  }
+  throw std::invalid_argument("unknown scheme");
+}
+
+int cmd_eval(const char* workload, const char* fmt, bool dynamic) {
+  const auto suite = build_suite();
+  const Workload& w = find_workload(suite, workload);
+  const auto rec = evaluate_workload(w, scheme_from_args(fmt, dynamic));
+  std::printf("workload:  %s (%s, %s)\n", rec.workload.c_str(), rec.domain.c_str(),
+              w.task.c_str());
+  std::printf("config:    %s\n", rec.config.c_str());
+  std::printf("fp32:      %.4f\n", rec.fp32_accuracy);
+  std::printf("quantized: %.4f\n", rec.quant_accuracy);
+  std::printf("loss:      %.2f%%  -> %s (criterion: <= 1%% relative loss)\n",
+              100.0 * rec.relative_loss(), rec.passes() ? "PASS" : "FAIL");
+  return rec.passes() ? 0 : 1;
+}
+
+int cmd_tune(const char* workload, const char* fmt) {
+  const auto suite = build_suite();
+  const Workload& w = find_workload(suite, workload);
+  DType preferred = DType::kE4M3;
+  const std::string f(fmt);
+  if (f == "E5M2" || f == "e5m2") preferred = DType::kE5M2;
+  if (f == "E3M4" || f == "e3m4") preferred = DType::kE3M4;
+  const TuneResult r = autotune(w, preferred);
+  for (const auto& step : r.history) {
+    std::printf("%-30s loss %6.2f%%  %s\n", step.description.c_str(),
+                100.0 * step.record.relative_loss(), step.met ? "MET" : "");
+  }
+  std::printf("%s; best %s at %.2f%% loss (%d trials)\n",
+              r.success ? "criterion met" : "criterion not met",
+              r.best.scheme.label().c_str(), 100.0 * r.best_record.relative_loss(),
+              r.trials());
+  return r.success ? 0 : 1;
+}
+
+int cmd_sweep(const char* out_path, bool quick) {
+  auto suite = build_suite();
+  if (quick) {
+    std::vector<Workload> subset;
+    for (size_t i = 0; i < suite.size(); i += 5) subset.push_back(suite[i]);
+    suite = std::move(subset);
+  }
+  std::vector<AccuracyRecord> records;
+  int done = 0;
+  for (const auto& w : suite) {
+    for (const auto& scheme : table2_fp8_schemes()) {
+      records.push_back(evaluate_workload(w, scheme));
+    }
+    auto rec = evaluate_workload(w, int8_scheme(w.domain != "CV"));
+    rec.config = "INT8";
+    records.push_back(rec);
+    std::fprintf(stderr, "\r%d/%zu", ++done, suite.size());
+  }
+  std::fprintf(stderr, "\n");
+  std::ofstream out(out_path);
+  records_to_csv(records, out);
+  std::printf("wrote %zu records to %s\n", records.size(), out_path);
+  for (const char* config : {"E5M2/direct", "E4M3/static", "E4M3/dynamic", "E3M4/static",
+                             "E3M4/dynamic", "INT8"}) {
+    const auto sel = filter_config(records, config);
+    std::printf("%-14s pass rate: CV %6.2f%%  NLP %6.2f%%  All %6.2f%%\n", config,
+                pass_rate(filter_domain(sel, "CV")), pass_rate(filter_domain(sel, "NLP")),
+                pass_rate(sel));
+  }
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: fp8q_cli formats\n"
+               "       fp8q_cli cast <value> <E5M2|E4M3|E3M4>\n"
+               "       fp8q_cli list\n"
+               "       fp8q_cli eval <workload> <E5M2|E4M3|E3M4|INT8|mixed> [dynamic]\n"
+               "       fp8q_cli tune <workload> <format>\n"
+               "       fp8q_cli sweep <out.csv> [quick]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "formats") return cmd_formats();
+    if (cmd == "cast" && argc >= 4) return cmd_cast(argv[2], argv[3]);
+    if (cmd == "list") return cmd_list();
+    if (cmd == "eval" && argc >= 4) {
+      return cmd_eval(argv[2], argv[3], argc >= 5 && std::strcmp(argv[4], "dynamic") == 0);
+    }
+    if (cmd == "tune" && argc >= 4) return cmd_tune(argv[2], argv[3]);
+    if (cmd == "sweep" && argc >= 3) {
+      return cmd_sweep(argv[2], argc >= 4 && std::strcmp(argv[3], "quick") == 0);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
