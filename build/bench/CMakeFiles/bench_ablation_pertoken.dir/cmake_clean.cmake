@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pertoken.dir/bench_ablation_pertoken.cpp.o"
+  "CMakeFiles/bench_ablation_pertoken.dir/bench_ablation_pertoken.cpp.o.d"
+  "bench_ablation_pertoken"
+  "bench_ablation_pertoken.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pertoken.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig4_variability.cpp" "bench/CMakeFiles/bench_fig4_variability.dir/bench_fig4_variability.cpp.o" "gcc" "bench/CMakeFiles/bench_fig4_variability.dir/bench_fig4_variability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/fp8q_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/fp8q_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/fp8q_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fp8q_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/fp8/CMakeFiles/fp8q_fp8.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/fp8q_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fp8q_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

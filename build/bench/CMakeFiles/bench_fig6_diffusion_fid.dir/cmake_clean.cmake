@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_diffusion_fid.dir/bench_fig6_diffusion_fid.cpp.o"
+  "CMakeFiles/bench_fig6_diffusion_fid.dir/bench_fig6_diffusion_fid.cpp.o.d"
+  "bench_fig6_diffusion_fid"
+  "bench_fig6_diffusion_fid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_diffusion_fid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_mixed_mse.dir/bench_fig8_mixed_mse.cpp.o"
+  "CMakeFiles/bench_fig8_mixed_mse.dir/bench_fig8_mixed_mse.cpp.o.d"
+  "bench_fig8_mixed_mse"
+  "bench_fig8_mixed_mse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_mixed_mse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

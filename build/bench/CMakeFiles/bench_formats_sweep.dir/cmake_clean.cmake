@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_formats_sweep.dir/bench_formats_sweep.cpp.o"
+  "CMakeFiles/bench_formats_sweep.dir/bench_formats_sweep.cpp.o.d"
+  "bench_formats_sweep"
+  "bench_formats_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_formats_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

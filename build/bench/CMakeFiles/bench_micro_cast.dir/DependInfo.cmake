@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_cast.cpp" "bench/CMakeFiles/bench_micro_cast.dir/bench_micro_cast.cpp.o" "gcc" "bench/CMakeFiles/bench_micro_cast.dir/bench_micro_cast.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/quant/CMakeFiles/fp8q_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fp8q_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/fp8/CMakeFiles/fp8q_fp8.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fp8q_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

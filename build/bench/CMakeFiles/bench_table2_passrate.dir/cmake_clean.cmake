@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_passrate.dir/bench_table2_passrate.cpp.o"
+  "CMakeFiles/bench_table2_passrate.dir/bench_table2_passrate.cpp.o.d"
+  "bench_table2_passrate"
+  "bench_table2_passrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_passrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_mixed_formats.dir/bench_table5_mixed_formats.cpp.o"
+  "CMakeFiles/bench_table5_mixed_formats.dir/bench_table5_mixed_formats.cpp.o.d"
+  "bench_table5_mixed_formats"
+  "bench_table5_mixed_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_mixed_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table_firstlast.dir/bench_table_firstlast.cpp.o"
+  "CMakeFiles/bench_table_firstlast.dir/bench_table_firstlast.cpp.o.d"
+  "bench_table_firstlast"
+  "bench_table_firstlast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_firstlast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

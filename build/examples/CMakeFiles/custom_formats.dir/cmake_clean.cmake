@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_formats.dir/custom_formats.cpp.o"
+  "CMakeFiles/custom_formats.dir/custom_formats.cpp.o.d"
+  "custom_formats"
+  "custom_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

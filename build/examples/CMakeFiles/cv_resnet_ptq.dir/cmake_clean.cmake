@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cv_resnet_ptq.dir/cv_resnet_ptq.cpp.o"
+  "CMakeFiles/cv_resnet_ptq.dir/cv_resnet_ptq.cpp.o.d"
+  "cv_resnet_ptq"
+  "cv_resnet_ptq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cv_resnet_ptq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llm_generation.dir/llm_generation.cpp.o"
+  "CMakeFiles/llm_generation.dir/llm_generation.cpp.o.d"
+  "llm_generation"
+  "llm_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llm_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

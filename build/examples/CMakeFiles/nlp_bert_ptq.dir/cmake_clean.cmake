@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlp_bert_ptq.dir/nlp_bert_ptq.cpp.o"
+  "CMakeFiles/nlp_bert_ptq.dir/nlp_bert_ptq.cpp.o.d"
+  "nlp_bert_ptq"
+  "nlp_bert_ptq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlp_bert_ptq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

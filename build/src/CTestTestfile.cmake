@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("fp8")
+subdirs("tensor")
+subdirs("metrics")
+subdirs("nn")
+subdirs("quant")
+subdirs("models")
+subdirs("workloads")
+subdirs("io")
+subdirs("tune")
+subdirs("core")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fp8/cast.cpp" "src/fp8/CMakeFiles/fp8q_fp8.dir/cast.cpp.o" "gcc" "src/fp8/CMakeFiles/fp8q_fp8.dir/cast.cpp.o.d"
+  "/root/repo/src/fp8/cast_fast.cpp" "src/fp8/CMakeFiles/fp8q_fp8.dir/cast_fast.cpp.o" "gcc" "src/fp8/CMakeFiles/fp8q_fp8.dir/cast_fast.cpp.o.d"
+  "/root/repo/src/fp8/convert.cpp" "src/fp8/CMakeFiles/fp8q_fp8.dir/convert.cpp.o" "gcc" "src/fp8/CMakeFiles/fp8q_fp8.dir/convert.cpp.o.d"
+  "/root/repo/src/fp8/format.cpp" "src/fp8/CMakeFiles/fp8q_fp8.dir/format.cpp.o" "gcc" "src/fp8/CMakeFiles/fp8q_fp8.dir/format.cpp.o.d"
+  "/root/repo/src/fp8/int8.cpp" "src/fp8/CMakeFiles/fp8q_fp8.dir/int8.cpp.o" "gcc" "src/fp8/CMakeFiles/fp8q_fp8.dir/int8.cpp.o.d"
+  "/root/repo/src/fp8/packed.cpp" "src/fp8/CMakeFiles/fp8q_fp8.dir/packed.cpp.o" "gcc" "src/fp8/CMakeFiles/fp8q_fp8.dir/packed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp8q_fp8.dir/cast.cpp.o"
+  "CMakeFiles/fp8q_fp8.dir/cast.cpp.o.d"
+  "CMakeFiles/fp8q_fp8.dir/cast_fast.cpp.o"
+  "CMakeFiles/fp8q_fp8.dir/cast_fast.cpp.o.d"
+  "CMakeFiles/fp8q_fp8.dir/convert.cpp.o"
+  "CMakeFiles/fp8q_fp8.dir/convert.cpp.o.d"
+  "CMakeFiles/fp8q_fp8.dir/format.cpp.o"
+  "CMakeFiles/fp8q_fp8.dir/format.cpp.o.d"
+  "CMakeFiles/fp8q_fp8.dir/int8.cpp.o"
+  "CMakeFiles/fp8q_fp8.dir/int8.cpp.o.d"
+  "CMakeFiles/fp8q_fp8.dir/packed.cpp.o"
+  "CMakeFiles/fp8q_fp8.dir/packed.cpp.o.d"
+  "libfp8q_fp8.a"
+  "libfp8q_fp8.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp8q_fp8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fp8q_fp8.
+# This may be replaced when dependencies are built.

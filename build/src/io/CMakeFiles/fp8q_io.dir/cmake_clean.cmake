@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp8q_io.dir/serialize.cpp.o"
+  "CMakeFiles/fp8q_io.dir/serialize.cpp.o.d"
+  "libfp8q_io.a"
+  "libfp8q_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp8q_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp8q_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/fp8q_metrics.dir/metrics.cpp.o.d"
+  "CMakeFiles/fp8q_metrics.dir/passrate.cpp.o"
+  "CMakeFiles/fp8q_metrics.dir/passrate.cpp.o.d"
+  "libfp8q_metrics.a"
+  "libfp8q_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp8q_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp8q_models.dir/generation.cpp.o"
+  "CMakeFiles/fp8q_models.dir/generation.cpp.o.d"
+  "CMakeFiles/fp8q_models.dir/zoo.cpp.o"
+  "CMakeFiles/fp8q_models.dir/zoo.cpp.o.d"
+  "libfp8q_models.a"
+  "libfp8q_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp8q_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/conv.cpp" "src/nn/CMakeFiles/fp8q_nn.dir/conv.cpp.o" "gcc" "src/nn/CMakeFiles/fp8q_nn.dir/conv.cpp.o.d"
+  "/root/repo/src/nn/elementwise.cpp" "src/nn/CMakeFiles/fp8q_nn.dir/elementwise.cpp.o" "gcc" "src/nn/CMakeFiles/fp8q_nn.dir/elementwise.cpp.o.d"
+  "/root/repo/src/nn/embedding.cpp" "src/nn/CMakeFiles/fp8q_nn.dir/embedding.cpp.o" "gcc" "src/nn/CMakeFiles/fp8q_nn.dir/embedding.cpp.o.d"
+  "/root/repo/src/nn/graph.cpp" "src/nn/CMakeFiles/fp8q_nn.dir/graph.cpp.o" "gcc" "src/nn/CMakeFiles/fp8q_nn.dir/graph.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/fp8q_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/fp8q_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/matmul.cpp" "src/nn/CMakeFiles/fp8q_nn.dir/matmul.cpp.o" "gcc" "src/nn/CMakeFiles/fp8q_nn.dir/matmul.cpp.o.d"
+  "/root/repo/src/nn/norm.cpp" "src/nn/CMakeFiles/fp8q_nn.dir/norm.cpp.o" "gcc" "src/nn/CMakeFiles/fp8q_nn.dir/norm.cpp.o.d"
+  "/root/repo/src/nn/op.cpp" "src/nn/CMakeFiles/fp8q_nn.dir/op.cpp.o" "gcc" "src/nn/CMakeFiles/fp8q_nn.dir/op.cpp.o.d"
+  "/root/repo/src/nn/shape_ops.cpp" "src/nn/CMakeFiles/fp8q_nn.dir/shape_ops.cpp.o" "gcc" "src/nn/CMakeFiles/fp8q_nn.dir/shape_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/fp8q_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

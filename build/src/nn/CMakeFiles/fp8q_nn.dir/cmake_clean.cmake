@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp8q_nn.dir/conv.cpp.o"
+  "CMakeFiles/fp8q_nn.dir/conv.cpp.o.d"
+  "CMakeFiles/fp8q_nn.dir/elementwise.cpp.o"
+  "CMakeFiles/fp8q_nn.dir/elementwise.cpp.o.d"
+  "CMakeFiles/fp8q_nn.dir/embedding.cpp.o"
+  "CMakeFiles/fp8q_nn.dir/embedding.cpp.o.d"
+  "CMakeFiles/fp8q_nn.dir/graph.cpp.o"
+  "CMakeFiles/fp8q_nn.dir/graph.cpp.o.d"
+  "CMakeFiles/fp8q_nn.dir/linear.cpp.o"
+  "CMakeFiles/fp8q_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/fp8q_nn.dir/matmul.cpp.o"
+  "CMakeFiles/fp8q_nn.dir/matmul.cpp.o.d"
+  "CMakeFiles/fp8q_nn.dir/norm.cpp.o"
+  "CMakeFiles/fp8q_nn.dir/norm.cpp.o.d"
+  "CMakeFiles/fp8q_nn.dir/op.cpp.o"
+  "CMakeFiles/fp8q_nn.dir/op.cpp.o.d"
+  "CMakeFiles/fp8q_nn.dir/shape_ops.cpp.o"
+  "CMakeFiles/fp8q_nn.dir/shape_ops.cpp.o.d"
+  "libfp8q_nn.a"
+  "libfp8q_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp8q_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quant/calibrate.cpp" "src/quant/CMakeFiles/fp8q_quant.dir/calibrate.cpp.o" "gcc" "src/quant/CMakeFiles/fp8q_quant.dir/calibrate.cpp.o.d"
+  "/root/repo/src/quant/observer.cpp" "src/quant/CMakeFiles/fp8q_quant.dir/observer.cpp.o" "gcc" "src/quant/CMakeFiles/fp8q_quant.dir/observer.cpp.o.d"
+  "/root/repo/src/quant/qconfig.cpp" "src/quant/CMakeFiles/fp8q_quant.dir/qconfig.cpp.o" "gcc" "src/quant/CMakeFiles/fp8q_quant.dir/qconfig.cpp.o.d"
+  "/root/repo/src/quant/quantized_graph.cpp" "src/quant/CMakeFiles/fp8q_quant.dir/quantized_graph.cpp.o" "gcc" "src/quant/CMakeFiles/fp8q_quant.dir/quantized_graph.cpp.o.d"
+  "/root/repo/src/quant/quantizer.cpp" "src/quant/CMakeFiles/fp8q_quant.dir/quantizer.cpp.o" "gcc" "src/quant/CMakeFiles/fp8q_quant.dir/quantizer.cpp.o.d"
+  "/root/repo/src/quant/smoothquant.cpp" "src/quant/CMakeFiles/fp8q_quant.dir/smoothquant.cpp.o" "gcc" "src/quant/CMakeFiles/fp8q_quant.dir/smoothquant.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fp8/CMakeFiles/fp8q_fp8.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fp8q_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fp8q_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp8q_quant.dir/calibrate.cpp.o"
+  "CMakeFiles/fp8q_quant.dir/calibrate.cpp.o.d"
+  "CMakeFiles/fp8q_quant.dir/observer.cpp.o"
+  "CMakeFiles/fp8q_quant.dir/observer.cpp.o.d"
+  "CMakeFiles/fp8q_quant.dir/qconfig.cpp.o"
+  "CMakeFiles/fp8q_quant.dir/qconfig.cpp.o.d"
+  "CMakeFiles/fp8q_quant.dir/quantized_graph.cpp.o"
+  "CMakeFiles/fp8q_quant.dir/quantized_graph.cpp.o.d"
+  "CMakeFiles/fp8q_quant.dir/quantizer.cpp.o"
+  "CMakeFiles/fp8q_quant.dir/quantizer.cpp.o.d"
+  "CMakeFiles/fp8q_quant.dir/smoothquant.cpp.o"
+  "CMakeFiles/fp8q_quant.dir/smoothquant.cpp.o.d"
+  "libfp8q_quant.a"
+  "libfp8q_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp8q_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

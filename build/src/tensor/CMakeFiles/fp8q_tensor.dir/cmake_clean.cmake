@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp8q_tensor.dir/rng.cpp.o"
+  "CMakeFiles/fp8q_tensor.dir/rng.cpp.o.d"
+  "CMakeFiles/fp8q_tensor.dir/stats.cpp.o"
+  "CMakeFiles/fp8q_tensor.dir/stats.cpp.o.d"
+  "CMakeFiles/fp8q_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/fp8q_tensor.dir/tensor.cpp.o.d"
+  "libfp8q_tensor.a"
+  "libfp8q_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp8q_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp8q_tune.dir/tuner.cpp.o"
+  "CMakeFiles/fp8q_tune.dir/tuner.cpp.o.d"
+  "libfp8q_tune.a"
+  "libfp8q_tune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp8q_tune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp8q_workloads.dir/registry.cpp.o"
+  "CMakeFiles/fp8q_workloads.dir/registry.cpp.o.d"
+  "CMakeFiles/fp8q_workloads.dir/workload.cpp.o"
+  "CMakeFiles/fp8q_workloads.dir/workload.cpp.o.d"
+  "libfp8q_workloads.a"
+  "libfp8q_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp8q_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp8_format_test.dir/fp8/format_test.cpp.o"
+  "CMakeFiles/fp8_format_test.dir/fp8/format_test.cpp.o.d"
+  "fp8_format_test"
+  "fp8_format_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp8_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

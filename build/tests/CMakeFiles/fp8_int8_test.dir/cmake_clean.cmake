@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp8_int8_test.dir/fp8/int8_test.cpp.o"
+  "CMakeFiles/fp8_int8_test.dir/fp8/int8_test.cpp.o.d"
+  "fp8_int8_test"
+  "fp8_int8_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp8_int8_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

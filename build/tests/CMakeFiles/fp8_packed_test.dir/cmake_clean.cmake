@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp8_packed_test.dir/fp8/packed_test.cpp.o"
+  "CMakeFiles/fp8_packed_test.dir/fp8/packed_test.cpp.o.d"
+  "fp8_packed_test"
+  "fp8_packed_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp8_packed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

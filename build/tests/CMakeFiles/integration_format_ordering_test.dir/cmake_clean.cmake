@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_format_ordering_test.dir/integration/format_ordering_test.cpp.o"
+  "CMakeFiles/integration_format_ordering_test.dir/integration/format_ordering_test.cpp.o.d"
+  "integration_format_ordering_test"
+  "integration_format_ordering_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_format_ordering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_passrate_test.dir/metrics/passrate_test.cpp.o"
+  "CMakeFiles/metrics_passrate_test.dir/metrics/passrate_test.cpp.o.d"
+  "metrics_passrate_test"
+  "metrics_passrate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_passrate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

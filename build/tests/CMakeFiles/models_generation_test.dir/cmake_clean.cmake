@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_generation_test.dir/models/generation_test.cpp.o"
+  "CMakeFiles/models_generation_test.dir/models/generation_test.cpp.o.d"
+  "models_generation_test"
+  "models_generation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_generation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_zoo_test.dir/models/zoo_test.cpp.o"
+  "CMakeFiles/models_zoo_test.dir/models/zoo_test.cpp.o.d"
+  "models_zoo_test"
+  "models_zoo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_zoo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_equivalence_test.dir/nn/equivalence_test.cpp.o"
+  "CMakeFiles/nn_equivalence_test.dir/nn/equivalence_test.cpp.o.d"
+  "nn_equivalence_test"
+  "nn_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

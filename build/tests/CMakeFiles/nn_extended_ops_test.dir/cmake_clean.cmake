@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_extended_ops_test.dir/nn/extended_ops_test.cpp.o"
+  "CMakeFiles/nn_extended_ops_test.dir/nn/extended_ops_test.cpp.o.d"
+  "nn_extended_ops_test"
+  "nn_extended_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_extended_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

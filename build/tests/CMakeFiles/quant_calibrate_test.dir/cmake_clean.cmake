@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quant_calibrate_test.dir/quant/calibrate_test.cpp.o"
+  "CMakeFiles/quant_calibrate_test.dir/quant/calibrate_test.cpp.o.d"
+  "quant_calibrate_test"
+  "quant_calibrate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quant_calibrate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

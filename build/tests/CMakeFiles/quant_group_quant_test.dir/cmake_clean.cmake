@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quant_group_quant_test.dir/quant/group_quant_test.cpp.o"
+  "CMakeFiles/quant_group_quant_test.dir/quant/group_quant_test.cpp.o.d"
+  "quant_group_quant_test"
+  "quant_group_quant_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quant_group_quant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quant_observer_test.dir/quant/observer_test.cpp.o"
+  "CMakeFiles/quant_observer_test.dir/quant/observer_test.cpp.o.d"
+  "quant_observer_test"
+  "quant_observer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quant_observer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

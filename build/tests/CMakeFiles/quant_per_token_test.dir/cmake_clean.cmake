@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quant_per_token_test.dir/quant/per_token_test.cpp.o"
+  "CMakeFiles/quant_per_token_test.dir/quant/per_token_test.cpp.o.d"
+  "quant_per_token_test"
+  "quant_per_token_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quant_per_token_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quant_qconfig_test.dir/quant/qconfig_test.cpp.o"
+  "CMakeFiles/quant_qconfig_test.dir/quant/qconfig_test.cpp.o.d"
+  "quant_qconfig_test"
+  "quant_qconfig_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quant_qconfig_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quant_quantized_graph_test.dir/quant/quantized_graph_test.cpp.o"
+  "CMakeFiles/quant_quantized_graph_test.dir/quant/quantized_graph_test.cpp.o.d"
+  "quant_quantized_graph_test"
+  "quant_quantized_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quant_quantized_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

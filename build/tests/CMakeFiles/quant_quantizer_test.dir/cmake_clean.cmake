@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quant_quantizer_test.dir/quant/quantizer_test.cpp.o"
+  "CMakeFiles/quant_quantizer_test.dir/quant/quantizer_test.cpp.o.d"
+  "quant_quantizer_test"
+  "quant_quantizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quant_quantizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quant_smoothquant_test.dir/quant/smoothquant_test.cpp.o"
+  "CMakeFiles/quant_smoothquant_test.dir/quant/smoothquant_test.cpp.o.d"
+  "quant_smoothquant_test"
+  "quant_smoothquant_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quant_smoothquant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_stats_test.dir/tensor/stats_test.cpp.o"
+  "CMakeFiles/tensor_stats_test.dir/tensor/stats_test.cpp.o.d"
+  "tensor_stats_test"
+  "tensor_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

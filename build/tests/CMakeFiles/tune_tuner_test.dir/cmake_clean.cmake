@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_tuner_test.dir/tune/tuner_test.cpp.o"
+  "CMakeFiles/tune_tuner_test.dir/tune/tuner_test.cpp.o.d"
+  "tune_tuner_test"
+  "tune_tuner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_tuner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

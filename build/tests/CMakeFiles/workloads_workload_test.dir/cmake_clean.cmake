@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_workload_test.dir/workloads/workload_test.cpp.o"
+  "CMakeFiles/workloads_workload_test.dir/workloads/workload_test.cpp.o.d"
+  "workloads_workload_test"
+  "workloads_workload_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

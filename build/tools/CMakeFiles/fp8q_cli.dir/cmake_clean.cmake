@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp8q_cli.dir/fp8q_cli.cpp.o"
+  "CMakeFiles/fp8q_cli.dir/fp8q_cli.cpp.o.d"
+  "fp8q_cli"
+  "fp8q_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp8q_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
