@@ -7,11 +7,17 @@
 // Usage: bench_table2_passrate [--quick] [--dump]
 //   --quick  evaluate a 15-workload subset (CI-speed smoke run)
 //   --dump   also print the per-workload accuracy records
+//
+// The sweep fans out over the global thread pool (FP8Q_NUM_THREADS /
+// set_num_threads, see docs/THREADING.md); records are merged in workload
+// order so the output is identical at any thread count.
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "core/parallel.h"
 #include "workloads/registry.h"
 
 namespace {
@@ -52,21 +58,40 @@ int main(int argc, char** argv) {
   }
 
   EvalProtocol protocol;
-  std::vector<AccuracyRecord> records;
-  int done = 0;
-  for (const auto& w : suite) {
-    // The five FP8 configurations.
-    for (const auto& scheme : table2_fp8_schemes()) {
-      records.push_back(evaluate_workload(w, scheme, protocol));
-    }
-    // INT8 baseline: static on CV, dynamic on NLP (paper Table 2 row 6).
-    auto rec = evaluate_workload(w, int8_scheme(w.domain != "CV"), protocol);
-    rec.config = "INT8";
-    records.push_back(rec);
-    ++done;
-    std::fprintf(stderr, "\r[table2] %d/%zu workloads", done, suite.size());
-  }
+  const auto fp8_schemes = table2_fp8_schemes();
+  const size_t total_pairs = suite.size() * (fp8_schemes.size() + 1);
+  auto progress = [total_pairs](int done_pairs) {
+    std::fprintf(stderr, "\r[table2] %d/%zu evaluations (%d threads)", done_pairs,
+                 total_pairs, fp8q::num_threads());
+  };
+
+  // The five FP8 configurations, fanned out over (workload, scheme) pairs.
+  const auto fp8_records = evaluate_suite(suite, fp8_schemes, protocol, progress);
+  // INT8 baseline: static on CV, dynamic on NLP (paper Table 2 row 6) --
+  // the scheme depends on the workload's domain, so it runs as its own
+  // per-workload fan-out.
+  std::atomic<int> int8_done{0};
+  const auto int8_offset = static_cast<int>(fp8_records.size());
+  const auto int8_records =
+      parallel_map(static_cast<std::int64_t>(suite.size()), [&](std::int64_t i) {
+        const auto& w = suite[static_cast<size_t>(i)];
+        auto rec = evaluate_workload(w, int8_scheme(w.domain != "CV"), protocol);
+        rec.config = "INT8";
+        progress(int8_offset + int8_done.fetch_add(1) + 1);
+        return rec;
+      });
   std::fprintf(stderr, "\n");
+
+  // Merge in workload-major order (FP8 rows then INT8), exactly the
+  // sequence the original serial double loop produced.
+  std::vector<AccuracyRecord> records;
+  records.reserve(total_pairs);
+  for (size_t wi = 0; wi < suite.size(); ++wi) {
+    for (size_t si = 0; si < fp8_schemes.size(); ++si) {
+      records.push_back(fp8_records[wi * fp8_schemes.size() + si]);
+    }
+    records.push_back(int8_records[wi]);
+  }
 
   if (dump) {
     std::printf("%-26s %-6s %-14s %8s %8s %8s\n", "workload", "domain", "config", "fp32",

@@ -8,6 +8,26 @@
 // calibration, mixed formats, dynamic quantization), an accuracy-driven
 // auto-tuner and the 75-workload study suite.
 //
+// The three FP8 formats (paper Table 1) at a glance -- every byte is
+// 1 sign bit, e exponent bits, m mantissa bits (1 + e + m == 8), with
+// signed zero and gradual underflow via subnormals:
+//
+//   format  layout        bias  max finite  min subnormal  Inf?  NaN codes
+//   E5M2    s eeeee mm      15     57344        1.53e-5    yes   6 (0x7D-7F/FD-FF)
+//   E4M3    s eeee mmm       7       448        1.95e-3    no    2 (0x7F/0xFF)
+//   E3M4    s eee mmmm       3        30        1.56e-2    no    2 (0x7F/0xFF)
+//
+// E5M2 is IEEE-like: a scaled-down binary16 whose all-ones exponent field
+// is reserved (mantissa == 0 encodes +/-Inf, mantissa != 0 a NaN). E4M3
+// and E3M4 use the paper's extended encoding: the all-ones exponent field
+// holds ordinary values, only the single all-ones exponent+mantissa
+// pattern per sign is NaN, and there is no Inf -- buying one extra binade
+// of finite range. By default casts SATURATE: any value beyond the max
+// finite magnitude (including +/-Inf inputs) clamps to +/-max rather than
+// producing Inf/NaN, which is what PTQ wants after range calibration; the
+// IEEE-faithful overflow-to-Inf/NaN behavior is available per cast via
+// CastOptions::overflow (fp8/cast.h). NaN inputs stay NaN in every mode.
+//
 // Quick start:
 //
 //   #include "core/fp8q.h"
@@ -19,9 +39,16 @@
 //   QuantizedGraph qg(&model, cfg);
 //   qg.prepare(calibration_batches);              // PTQ pipeline
 //   Tensor logits = qg.forward(input);            // FP8 inference
+//
+// Bulk casts, the matmul/conv kernels and the suite-level sweeps run on a
+// global thread pool (core/parallel.h). Results are bit-identical at any
+// thread count; size the pool with FP8Q_NUM_THREADS or set_num_threads()
+// (docs/THREADING.md).
 #pragma once
 
+#include "core/parallel.h" // IWYU pragma: export
 #include "fp8/cast.h"      // IWYU pragma: export
+#include "fp8/convert.h"   // IWYU pragma: export
 #include "fp8/format.h"    // IWYU pragma: export
 #include "fp8/int8.h"      // IWYU pragma: export
 #include "fp8/packed.h"    // IWYU pragma: export

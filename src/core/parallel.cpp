@@ -1,0 +1,217 @@
+#include "core/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace fp8q {
+
+namespace {
+
+/// Set while a thread is executing region tasks (worker, or the caller
+/// participating in its own region): nested parallel calls go inline.
+thread_local bool tls_in_region = false;
+
+constexpr int kMaxThreads = 256;
+
+int clamp_threads(int n) {
+  if (n < 1) return 1;
+  return n < kMaxThreads ? n : kMaxThreads;
+}
+
+/// FP8Q_NUM_THREADS, or hardware_threads() when unset/invalid. Read once.
+int env_default_threads() {
+  static const int value = [] {
+    if (const char* env = std::getenv("FP8Q_NUM_THREADS")) {
+      const int n = std::atoi(env);
+      if (n > 0) return clamp_threads(n);
+    }
+    return hardware_threads();
+  }();
+  return value;
+}
+
+/// set_num_threads() override; 0 means "no override, use the default".
+std::atomic<int> g_thread_override{0};
+
+/// One-job-at-a-time pool. Concurrent top-level regions (from distinct
+/// user threads) serialize on run_mutex_; nested regions never reach the
+/// pool (they run inline via tls_in_region).
+class ThreadPool {
+ public:
+  static ThreadPool& global() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+  /// Executes fn(i) for every i in [0, n) across the workers plus the
+  /// calling thread; returns after all indices complete. Rethrows the
+  /// first captured worker exception.
+  void run(std::int64_t n, const std::function<void(std::int64_t)>& fn) {
+    std::lock_guard<std::mutex> run_lock(run_mutex_);
+    resize_locked(num_threads() - 1);
+
+    std::exception_ptr error;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      job_fn_ = &fn;
+      job_n_ = n;
+      next_.store(0, std::memory_order_relaxed);
+      active_ = static_cast<int>(workers_.size());
+      error_ = nullptr;
+      ++job_id_;
+    }
+    work_cv_.notify_all();
+
+    // The caller participates in its own region.
+    tls_in_region = true;
+    drain(n, fn);
+    tls_in_region = false;
+
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      done_cv_.wait(lock, [this] { return active_ == 0; });
+      job_fn_ = nullptr;
+      error = error_;
+      error_ = nullptr;
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
+  ~ThreadPool() {
+    std::lock_guard<std::mutex> run_lock(run_mutex_);
+    resize_locked(0);
+  }
+
+ private:
+  ThreadPool() = default;
+
+  /// Claims indices until the job is exhausted, capturing the first error.
+  void drain(std::int64_t n, const std::function<void(std::int64_t)>& fn) {
+    for (;;) {
+      const std::int64_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!error_) error_ = std::current_exception();
+      }
+    }
+  }
+
+  void worker_loop() {
+    tls_in_region = true;
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(std::int64_t)>* fn = nullptr;
+      std::int64_t n = 0;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_cv_.wait(lock, [&] { return stop_ || job_id_ != seen; });
+        if (stop_) return;
+        seen = job_id_;
+        fn = job_fn_;
+        n = job_n_;
+      }
+      if (fn) drain(n, *fn);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (--active_ == 0) done_cv_.notify_all();
+      }
+    }
+  }
+
+  /// Adjusts the worker count; requires run_mutex_ held and no active job.
+  void resize_locked(int target) {
+    if (static_cast<int>(workers_.size()) == target) return;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+    workers_.clear();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = false;
+    }
+    workers_.reserve(static_cast<std::size_t>(target));
+    for (int i = 0; i < target; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  std::mutex run_mutex_;  ///< serializes top-level regions
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+
+  // Current job (guarded by mutex_ except the lock-free index counter).
+  const std::function<void(std::int64_t)>* job_fn_ = nullptr;
+  std::int64_t job_n_ = 0;
+  std::atomic<std::int64_t> next_{0};
+  int active_ = 0;
+  std::uint64_t job_id_ = 0;
+  std::exception_ptr error_;
+};
+
+}  // namespace
+
+int hardware_threads() {
+  static const int value = clamp_threads(static_cast<int>(std::thread::hardware_concurrency()));
+  return value;
+}
+
+int num_threads() {
+  const int override_n = g_thread_override.load(std::memory_order_relaxed);
+  return override_n > 0 ? override_n : env_default_threads();
+}
+
+void set_num_threads(int n) {
+  g_thread_override.store(n > 0 ? clamp_threads(n) : 0, std::memory_order_relaxed);
+}
+
+bool in_parallel_region() { return tls_in_region; }
+
+void parallel_run(std::int64_t n, const std::function<void(std::int64_t)>& fn) {
+  if (n <= 0) return;
+  if (n == 1 || num_threads() == 1 || tls_in_region) {
+    for (std::int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool::global().run(n, fn);
+}
+
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return;
+  if (grain < 1) grain = 1;
+
+  // Deterministic static partition: a pure function of the arguments and
+  // num_threads(). chunks = min(threads, ceil(n / grain)); chunk c gets
+  // the c-th near-equal contiguous slice.
+  const std::int64_t max_chunks = (n + grain - 1) / grain;
+  std::int64_t chunks = num_threads();
+  if (chunks > max_chunks) chunks = max_chunks;
+  if (chunks <= 1 || tls_in_region) {
+    fn(begin, end);
+    return;
+  }
+
+  const std::int64_t base = n / chunks;
+  const std::int64_t rem = n % chunks;
+  parallel_run(chunks, [&](std::int64_t c) {
+    const std::int64_t lo = begin + c * base + (c < rem ? c : rem);
+    const std::int64_t hi = lo + base + (c < rem ? 1 : 0);
+    fn(lo, hi);
+  });
+}
+
+}  // namespace fp8q

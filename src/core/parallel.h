@@ -1,0 +1,82 @@
+// Parallel quantization runtime (see docs/THREADING.md for the contract).
+//
+// A lazily-initialized global thread pool drives two primitives:
+//
+//   * parallel_for(begin, end, grain, fn)  -- data-parallel loops. The
+//     range is split into near-equal contiguous chunks, never more than
+//     num_threads() of them and never more than ceil(n / grain), so
+//     `grain` bounds the fan-out for small ranges. The partition depends
+//     only on (begin, end, grain, num_threads()), never on timing, so any
+//     per-chunk accumulation merged in chunk order is bit-identical at
+//     every thread count.
+//   * parallel_map(n, fn)                  -- task-level fan-out. Runs
+//     fn(0..n-1) across the pool (dynamic scheduling for load balance)
+//     and returns the results in index order, so callers observe the
+//     exact sequence a serial loop would have produced.
+//
+// Thread-count precedence: set_num_threads(n) > FP8Q_NUM_THREADS >
+// std::thread::hardware_concurrency(). Nested calls from inside a worker
+// run serially inline (no pool re-entry, no deadlock). Exceptions thrown
+// by workers are captured and the first one (in chunk/index order of
+// observation) is rethrown on the calling thread.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace fp8q {
+
+/// std::thread::hardware_concurrency(), clamped to >= 1. Cached.
+[[nodiscard]] int hardware_threads();
+
+/// The number of threads (pool workers + the calling thread) parallel
+/// regions may use. Resolution order: the last set_num_threads() value,
+/// else FP8Q_NUM_THREADS (read once, on first use), else
+/// hardware_threads(). Always >= 1.
+[[nodiscard]] int num_threads();
+
+/// Overrides the thread count for all subsequent parallel regions.
+/// `n <= 0` clears the override and restores the env-var/hardware default.
+/// The pool resizes lazily at the next parallel region. Not safe to call
+/// concurrently with a running parallel region.
+void set_num_threads(int n);
+
+/// True when the calling thread is already executing inside a parallel
+/// region (pool worker, or the caller participating in its own region).
+/// Such threads execute nested parallel calls serially inline.
+[[nodiscard]] bool in_parallel_region();
+
+/// Splits [begin, end) into min(num_threads(), ceil(n / grain)) near-equal
+/// contiguous chunks (grain < 1 behaves as 1) and invokes
+/// fn(chunk_begin, chunk_end) for each chunk, concurrently. Empty and
+/// single-chunk ranges run inline on the calling thread. The chunk
+/// partition is a pure function of (begin, end, grain, num_threads()):
+/// results that are written per-index, or accumulated per-chunk and merged
+/// in chunk order, are deterministic at any thread count.
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+/// Task-level fan-out: invokes fn(i) for i in [0, n) across the pool.
+/// Scheduling is dynamic (an idle thread takes the next unclaimed index,
+/// which load-balances heterogeneous tasks), but each index is executed
+/// exactly once and completion of the call is a full barrier.
+void parallel_run(std::int64_t n, const std::function<void(std::int64_t)>& fn);
+
+/// Runs fn(i) for i in [0, n) across the pool and collects the results in
+/// INDEX order -- result[i] is always fn(i), regardless of which thread
+/// finished first. The result type must be default-constructible and
+/// movable.
+template <class Fn>
+[[nodiscard]] auto parallel_map(std::int64_t n, Fn&& fn)
+    -> std::vector<std::decay_t<decltype(fn(std::int64_t{}))>> {
+  using R = std::decay_t<decltype(fn(std::int64_t{}))>;
+  if (n < 0) n = 0;
+  std::vector<R> out(static_cast<std::size_t>(n));
+  parallel_run(n, [&out, &fn](std::int64_t i) { out[static_cast<std::size_t>(i)] = fn(i); });
+  return out;
+}
+
+}  // namespace fp8q

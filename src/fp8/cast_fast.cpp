@@ -3,6 +3,8 @@
 #include <bit>
 #include <cmath>
 
+#include "core/parallel.h"
+
 namespace fp8q {
 
 FastCastSpec::FastCastSpec(const FormatSpec& spec)
@@ -61,10 +63,15 @@ void fp8_quantize_scaled_fast(std::span<const float> in, std::span<float> out,
                               const FastCastSpec& spec, float scale) {
   if (!(scale > 0.0f) || !std::isfinite(scale)) scale = 1.0f;
   const float inv = 1.0f / scale;
-  const size_t n = in.size() < out.size() ? in.size() : out.size();
-  for (size_t i = 0; i < n; ++i) {
-    out[i] = fp8_quantize_fast(in[i] * scale, spec) * inv;
-  }
+  const auto n = static_cast<std::int64_t>(in.size() < out.size() ? in.size() : out.size());
+  // Pure per-element bit math: each index writes only out[i], so the
+  // result is bit-identical at any thread count. The fast path runs at a
+  // few ns/element; a large grain keeps single-batch calls inline.
+  parallel_for(0, n, 16384, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      out[i] = fp8_quantize_fast(in[i] * scale, spec) * inv;
+    }
+  });
 }
 
 const FastCastSpec& fast_cast_spec(Fp8Kind kind) {

@@ -1,7 +1,10 @@
 #include "fp8/convert.h"
 
+#include <algorithm>
+#include <array>
 #include <cmath>
 
+#include "core/parallel.h"
 #include "fp8/cast.h"
 
 namespace fp8q {
@@ -10,6 +13,20 @@ std::uint8_t fp8_convert(std::uint8_t code, const FormatSpec& from, const Format
   const float v = fp8_decode(code, from);
   if (std::isnan(v)) return fp8_nan_code(to) | static_cast<std::uint8_t>(code & 0x80);
   return fp8_encode(v, to);  // default options: RNE + saturate
+}
+
+void fp8_convert(std::span<const std::uint8_t> in, std::span<std::uint8_t> out,
+                 const FormatSpec& from, const FormatSpec& to) {
+  std::array<std::uint8_t, 256> lut;
+  for (int c = 0; c < 256; ++c) {
+    lut[static_cast<std::size_t>(c)] = fp8_convert(static_cast<std::uint8_t>(c), from, to);
+  }
+  const auto n = static_cast<std::int64_t>(std::min(in.size(), out.size()));
+  // Table lookups are memory-bound; only tensors of ~100k+ codes are worth
+  // fanning out.
+  parallel_for(0, n, 65536, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) out[i] = lut[in[i]];
+  });
 }
 
 bool fp8_convert_lossless(const FormatSpec& from, const FormatSpec& to) {

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "fp8/format.h"
 
@@ -14,6 +15,15 @@ namespace fp8q {
 /// saturating). NaN maps to NaN; Inf (E5M2) saturates to the target max.
 [[nodiscard]] std::uint8_t fp8_convert(std::uint8_t code, const FormatSpec& from,
                                        const FormatSpec& to);
+
+/// Bulk re-encoding of a tensor of `from`-codes into `to`-codes (the
+/// mixed-format boundary cast of a deployment runtime). Builds the
+/// 256-entry conversion table once, then streams it over the span in
+/// parallel; out[i] == fp8_convert(in[i], from, to) for every i. `in` and
+/// `out` may alias exactly (in-place) but must not partially overlap.
+/// Processes min(in.size(), out.size()) elements.
+void fp8_convert(std::span<const std::uint8_t> in, std::span<std::uint8_t> out,
+                 const FormatSpec& from, const FormatSpec& to);
 
 /// True if every finite value of `from` is exactly representable in `to`
 /// (i.e. conversion is lossless). E.g. no 8-bit pair satisfies this in

@@ -1,14 +1,38 @@
 // FP8 binary format descriptions (paper Table 1).
 //
 // An FP8 format is described by an exponent width `e`, a mantissa width `m`
-// (1 + e + m == 8), an exponent bias, and an encoding family:
+// (1 + e + m == 8), an exponent bias `b`, and an encoding family. The byte
+// layout is sign | exponent | mantissa, most-significant bit first:
+//
+//   E5M2:  s eeeee mm    bias 15   (IEEE family)
+//   E4M3:  s eeee mmm    bias  7   (extended family)
+//   E3M4:  s eee mmmm    bias  3   (extended family)
+//
+// Value rules (identical to IEEE-754 scaled down to 8 bits):
+//   * exponent field E > 0:  value = (-1)^s * (1 + mant/2^m) * 2^(E - b)
+//   * exponent field E == 0: value = (-1)^s * (mant/2^m) * 2^(1 - b)
+//     (subnormals: gradual underflow on the grid of the smallest normal
+//     binade; mant == 0 gives signed zero)
+//
+// The two families differ only in what the TOP exponent field means:
 //   * IEEE-like (E5M2): the all-ones exponent field is reserved for
 //     +/-Infinity (mantissa == 0) and NaNs (mantissa != 0), exactly like
-//     binary16/32/64 scaled down.
-//   * Extended (E4M3, E3M4): +/-Infinity is reclaimed for useful encodings;
-//     the single bit pattern with exponent and mantissa all-ones represents
-//     NaN (both signs), every other code is a finite value.
-// All formats support signed zero and subnormals.
+//     binary16/32/64 scaled down. 6 NaN codes (0x7D-0x7F, 0xFD-0xFF),
+//     Inf at 0x7C/0xFC, max finite 0x7B = 57344.
+//   * Extended (E4M3, E3M4): +/-Infinity is reclaimed for useful
+//     encodings; only the single bit pattern with exponent AND mantissa
+//     all-ones is NaN (one per sign: 0x7F/0xFF), every other code is a
+//     finite value. This buys roughly one extra binade of range:
+//     max finite 0x7E = 448 (E4M3) / 30 (E3M4).
+//
+// Saturation (paper section 2): the default cast policy clamps anything
+// beyond the max finite magnitude -- overflow, and +/-Inf inputs -- to
+// +/-max instead of producing Inf/NaN, the right behavior after PTQ range
+// calibration. CastOptions::overflow == kInfinityNan (fp8/cast.h) selects
+// the IEEE-faithful alternative: overflow goes to Inf where the format
+// has one (E5M2), else to NaN. NaN inputs encode to NaN in every mode.
+// All formats support signed zero and subnormals; canonical constants for
+// the three paper formats are tabulated in core/fp8q.h.
 #pragma once
 
 #include <cstdint>

@@ -1,6 +1,9 @@
 #include "nn/conv.h"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "core/parallel.h"
 
 namespace fp8q {
 
@@ -56,8 +59,16 @@ Tensor Conv2dOp::forward(std::span<const Tensor> inputs) {
   float* yd = y.data();
 
   const std::int64_t oc_per_group = oc / groups_;
-  for (std::int64_t b = 0; b < n; ++b) {
-    for (std::int64_t o = 0; o < oc; ++o) {
+  // Parallel over the n*oc output planes: each plane writes a disjoint
+  // oh*ow block of y with a plane-local accumulator, so results match the
+  // serial loop bit-for-bit. Grain targets ~64k multiply-adds per chunk.
+  const std::int64_t flops_per_plane =
+      std::max<std::int64_t>(std::int64_t{1}, oh * ow * icg * kh * kw);
+  const std::int64_t grain = std::max<std::int64_t>(std::int64_t{1}, 65536 / flops_per_plane);
+  parallel_for(0, n * oc, grain, [&](std::int64_t plane_lo, std::int64_t plane_hi) {
+    for (std::int64_t plane = plane_lo; plane < plane_hi; ++plane) {
+      const std::int64_t b = plane / oc;
+      const std::int64_t o = plane % oc;
       const std::int64_t g = o / oc_per_group;
       const float bias_v = bd ? bd[o] : 0.0f;
       for (std::int64_t oy = 0; oy < oh; ++oy) {
@@ -83,7 +94,7 @@ Tensor Conv2dOp::forward(std::span<const Tensor> inputs) {
         }
       }
     }
-  }
+  });
   return y;
 }
 

@@ -1,6 +1,9 @@
 #include "nn/matmul.h"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "core/parallel.h"
 
 namespace fp8q {
 
@@ -39,11 +42,19 @@ Tensor MatMulOp::forward(std::span<const Tensor> inputs) {
   const std::int64_t b_stride = transpose_b_ ? n * k : k * n;
   const std::int64_t y_stride = m * n;
 
-  for (std::int64_t bi = 0; bi < batch; ++bi) {
-    const float* ab = ad + bi * a_stride;
-    const float* bb = bd + bi * b_stride;
-    float* yb = yd + bi * y_stride;
-    for (std::int64_t i = 0; i < m; ++i) {
+  // Row-blocked parallel loop over all batch*m output rows. Each row owns
+  // a disjoint slice of y and accumulates into row-local scalars, so the
+  // result is bit-identical to the serial loop at any thread count. Grain
+  // targets ~64k multiply-adds per chunk so small matmuls stay inline.
+  const std::int64_t flops_per_row = std::max<std::int64_t>(std::int64_t{1}, n * k);
+  const std::int64_t grain = std::max<std::int64_t>(std::int64_t{1}, 65536 / flops_per_row);
+  parallel_for(0, batch * m, grain, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t r = lo; r < hi; ++r) {
+      const std::int64_t bi = r / m;
+      const std::int64_t i = r % m;
+      const float* ab = ad + bi * a_stride;
+      const float* bb = bd + bi * b_stride;
+      float* yb = yd + bi * y_stride;
       for (std::int64_t j = 0; j < n; ++j) {
         float acc = 0.0f;
         if (transpose_b_) {
@@ -57,7 +68,7 @@ Tensor MatMulOp::forward(std::span<const Tensor> inputs) {
         yb[i * n + j] = acc;
       }
     }
-  }
+  });
   return y;
 }
 

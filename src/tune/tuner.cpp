@@ -2,34 +2,53 @@
 
 #include <algorithm>
 
+#include "core/parallel.h"
+
 namespace fp8q {
 
 namespace {
+
+/// One candidate configuration of the tuning ladder.
+struct Arm {
+  std::string description;
+  ModelQuantConfig config;
+};
+
+/// Evaluates one arm (accuracy record + quantized-compute fraction).
+TuneStep make_step(const Workload& w, const Arm& arm, const EvalProtocol& protocol,
+                   const TuneOptions& options) {
+  TuneStep step;
+  step.description = arm.description;
+  step.config = arm.config;
+  step.record = evaluate_workload_config(w, arm.config, protocol);
+  {
+    Graph g = w.build();
+    QuantizedGraph qg(&g, arm.config);
+    step.quantized_fraction = qg.quantized_compute_fraction();
+  }
+  step.met = step.record.passes(options.accuracy_criterion);
+  return step;
+}
+
+/// Records an evaluated step (best/success bookkeeping); returns step.met.
+bool absorb(TuneResult& result, TuneStep step) {
+  const bool first = result.history.empty();
+  const bool better =
+      first || step.record.relative_loss() < result.best_record.relative_loss();
+  if (better) {
+    result.best = step.config;
+    result.best_record = step.record;
+  }
+  if (step.met) result.success = true;
+  result.history.push_back(std::move(step));
+  return result.history.back().met;
+}
 
 /// Applies one trial and records it; returns true when the criterion is met.
 bool try_config(const Workload& w, const std::string& description,
                 const ModelQuantConfig& config, const EvalProtocol& protocol,
                 const TuneOptions& options, TuneResult& result) {
-  TuneStep step;
-  step.description = description;
-  step.config = config;
-  step.record = evaluate_workload_config(w, config, protocol);
-  {
-    Graph g = w.build();
-    QuantizedGraph qg(&g, config);
-    step.quantized_fraction = qg.quantized_compute_fraction();
-  }
-  step.met = step.record.passes(options.accuracy_criterion);
-  const bool first = result.history.empty();
-  const bool better =
-      first || step.record.relative_loss() < result.best_record.relative_loss();
-  result.history.push_back(step);
-  if (better) {
-    result.best = config;
-    result.best_record = step.record;
-  }
-  if (step.met) result.success = true;
-  return step.met;
+  return absorb(result, make_step(w, {description, config}, protocol, options));
 }
 
 }  // namespace
@@ -45,17 +64,23 @@ std::vector<std::pair<Graph::NodeId, double>> node_sensitivity(
     covered = qg.quantized_nodes();
   }
 
+  // One independent evaluation per node (quantize only that node) -- the
+  // embarrassingly parallel half of the tuner. parallel_map returns the
+  // losses in node order, so the sort below sees the same input sequence
+  // at any thread count.
+  const std::vector<Graph::NodeId> ids(covered.begin(), covered.end());
+  const std::vector<double> losses =
+      parallel_map(static_cast<std::int64_t>(ids.size()), [&](std::int64_t i) {
+        ModelQuantConfig solo = base;
+        for (Graph::NodeId other : covered) {
+          if (other != ids[static_cast<std::size_t>(i)]) solo.fallback_nodes.insert(other);
+        }
+        return evaluate_workload_config(w, solo, protocol).relative_loss();
+      });
+
   std::vector<std::pair<Graph::NodeId, double>> sensitivity;
-  sensitivity.reserve(covered.size());
-  for (Graph::NodeId id : covered) {
-    ModelQuantConfig solo = base;
-    // Quantize only `id`: everything else falls back to FP32.
-    for (Graph::NodeId other : covered) {
-      if (other != id) solo.fallback_nodes.insert(other);
-    }
-    const AccuracyRecord rec = evaluate_workload_config(w, solo, protocol);
-    sensitivity.emplace_back(id, rec.relative_loss());
-  }
+  sensitivity.reserve(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) sensitivity.emplace_back(ids[i], losses[i]);
   std::sort(sensitivity.begin(), sensitivity.end(),
             [](const auto& a, const auto& b) { return a.second > b.second; });
   return sensitivity;
@@ -66,29 +91,30 @@ TuneResult autotune(const Workload& w, DType preferred, const EvalProtocol& prot
   TuneResult result;
   auto budget = [&] { return result.trials() < options.max_trials; };
 
+  // Stages 1-4 form a fixed ladder whose configurations do not depend on
+  // earlier outcomes (only the early exit does), so the arms evaluate in
+  // parallel and are folded in ladder order afterwards: history, best and
+  // trial count are identical to the serial loop, which stops at (and
+  // records) the first arm that meets the criterion.
+  std::vector<Arm> arms;
+
   // 1. Standard scheme, preferred format, static.
   const SchemeConfig standard = standard_fp8_scheme(preferred, false);
-  if (try_config(w, std::string("standard ") + standard.label(),
-                 default_model_config(w, standard, protocol), protocol, options, result)) {
-    return result;
-  }
+  arms.push_back({std::string("standard ") + standard.label(),
+                  default_model_config(w, standard, protocol)});
 
   // 2. Dynamic activation quantization (no effect for E5M2's direct cast).
-  if (preferred != DType::kE5M2 && budget()) {
+  if (preferred != DType::kE5M2) {
     const SchemeConfig dynamic = standard_fp8_scheme(preferred, true);
-    if (try_config(w, std::string("dynamic ") + dynamic.label(),
-                   default_model_config(w, dynamic, protocol), protocol, options, result)) {
-      return result;
-    }
+    arms.push_back({std::string("dynamic ") + dynamic.label(),
+                    default_model_config(w, dynamic, protocol)});
   }
 
   // 3. Mixed FP8 formats: E4M3 activations with E3M4 weights.
-  if (budget()) {
+  {
     const SchemeConfig mixed = mixed_fp8_scheme();
-    if (try_config(w, std::string("mixed ") + mixed.label(),
-                   default_model_config(w, mixed, protocol), protocol, options, result)) {
-      return result;
-    }
+    arms.push_back({std::string("mixed ") + mixed.label(),
+                    default_model_config(w, mixed, protocol)});
   }
 
   // 4. The remaining FP8 formats, static then dynamic.
@@ -96,13 +122,21 @@ TuneResult autotune(const Workload& w, DType preferred, const EvalProtocol& prot
     if (fmt == preferred) continue;
     for (bool dyn : {false, true}) {
       if (fmt == DType::kE5M2 && dyn) continue;
-      if (!budget()) break;
       const SchemeConfig alt = standard_fp8_scheme(fmt, dyn);
-      if (try_config(w, std::string("alt-format ") + alt.label(),
-                     default_model_config(w, alt, protocol), protocol, options, result)) {
-        return result;
-      }
+      arms.push_back({std::string("alt-format ") + alt.label(),
+                      default_model_config(w, alt, protocol)});
     }
+  }
+
+  if (static_cast<int>(arms.size()) > options.max_trials) {
+    arms.resize(static_cast<std::size_t>(options.max_trials));
+  }
+  std::vector<TuneStep> steps =
+      parallel_map(static_cast<std::int64_t>(arms.size()), [&](std::int64_t i) {
+        return make_step(w, arms[static_cast<std::size_t>(i)], protocol, options);
+      });
+  for (TuneStep& step : steps) {
+    if (absorb(result, std::move(step))) return result;
   }
 
   // 5. Operator-kind fallback on the best config so far.

@@ -1,7 +1,9 @@
 #include "workloads/registry.h"
 
+#include <atomic>
 #include <stdexcept>
 
+#include "core/parallel.h"
 #include "models/zoo.h"
 #include "nn/norm.h"
 
@@ -590,6 +592,25 @@ std::vector<Workload> build_suite() {
                            std::to_string(suite.size()));
   }
   return suite;
+}
+
+std::vector<AccuracyRecord> evaluate_suite(const std::vector<Workload>& suite,
+                                           const std::vector<SchemeConfig>& schemes,
+                                           const EvalProtocol& protocol,
+                                           const std::function<void(int)>& progress) {
+  const auto n_schemes = static_cast<std::int64_t>(schemes.size());
+  const auto total = static_cast<std::int64_t>(suite.size()) * n_schemes;
+  std::atomic<int> completed{0};
+  // One task per (workload, scheme) pair; parallel_map stores each record
+  // at its pair index, so the returned order matches the serial double
+  // loop no matter how tasks are scheduled.
+  return parallel_map(total, [&](std::int64_t pair) {
+    const auto& w = suite[static_cast<std::size_t>(pair / n_schemes)];
+    const auto& scheme = schemes[static_cast<std::size_t>(pair % n_schemes)];
+    AccuracyRecord rec = evaluate_workload(w, scheme, protocol);
+    if (progress) progress(completed.fetch_add(1, std::memory_order_relaxed) + 1);
+    return rec;
+  });
 }
 
 const Workload& find_workload(const std::vector<Workload>& suite, const std::string& name) {

@@ -9,6 +9,7 @@
 // used in paper Table 3 ("resnet50-ish", "bloom7b-ish", ...).
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "workloads/workload.h"
@@ -17,6 +18,19 @@ namespace fp8q {
 
 /// Builds the full 75-entry suite (deterministic).
 [[nodiscard]] std::vector<Workload> build_suite();
+
+/// Evaluates every (workload, scheme) pair of the cross product --
+/// suite-level task parallelism over the global thread pool (see
+/// docs/THREADING.md). Records are returned grouped by workload, with the
+/// schemes in the given order within each group: exactly the order a
+/// serial double loop would produce, regardless of which task finished
+/// first. `progress`, if set, is invoked once per completed pair with the
+/// running completion count; it may be called from any pool thread
+/// concurrently with other tasks, so it must be thread-safe.
+[[nodiscard]] std::vector<AccuracyRecord> evaluate_suite(
+    const std::vector<Workload>& suite, const std::vector<SchemeConfig>& schemes,
+    const EvalProtocol& protocol = {},
+    const std::function<void(int)>& progress = nullptr);
 
 /// Finds a workload by exact name; throws std::out_of_range if absent.
 [[nodiscard]] const Workload& find_workload(const std::vector<Workload>& suite,

@@ -1,0 +1,198 @@
+// Concurrency contract of the parallel runtime (docs/THREADING.md):
+// coverage, chunking, nesting, exception propagation, thread-count knobs.
+#include "core/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace fp8q {
+namespace {
+
+/// Restores the default thread count when a test body returns.
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { set_num_threads(0); }
+};
+
+TEST(ParallelFor, EmptyRangeNeverInvokes) {
+  ThreadCountGuard guard;
+  set_num_threads(4);
+  int calls = 0;
+  parallel_for(0, 0, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  parallel_for(5, 5, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  parallel_for(7, 3, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, RangeSmallerThanGrainRunsInlineAsOneChunk) {
+  ThreadCountGuard guard;
+  set_num_threads(8);
+  const std::thread::id caller = std::this_thread::get_id();
+  int calls = 0;
+  std::int64_t lo = -1;
+  std::int64_t hi = -1;
+  parallel_for(2, 7, 100, [&](std::int64_t b, std::int64_t e) {
+    ++calls;
+    lo = b;
+    hi = e;
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(lo, 2);
+  EXPECT_EQ(hi, 7);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadCountGuard guard;
+  set_num_threads(8);
+  constexpr std::int64_t kN = 10007;  // prime: uneven chunks
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(0, kN, 1, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) hits[static_cast<size_t>(i)].fetch_add(1);
+  });
+  for (std::int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, ChunkCountRespectsGrainAndThreads) {
+  ThreadCountGuard guard;
+  set_num_threads(8);
+  // n=10, grain=4 -> ceil(10/4)=3 chunks even with 8 threads available.
+  std::mutex m;
+  std::vector<std::pair<std::int64_t, std::int64_t>> chunks;
+  parallel_for(0, 10, 4, [&](std::int64_t b, std::int64_t e) {
+    std::lock_guard<std::mutex> lock(m);
+    chunks.emplace_back(b, e);
+  });
+  EXPECT_EQ(chunks.size(), 3u);
+  std::int64_t covered = 0;
+  for (const auto& [b, e] : chunks) covered += e - b;
+  EXPECT_EQ(covered, 10);
+}
+
+TEST(ParallelFor, PartitionIsIdenticalAcrossRuns) {
+  ThreadCountGuard guard;
+  set_num_threads(4);
+  auto collect = [] {
+    std::mutex m;
+    std::set<std::pair<std::int64_t, std::int64_t>> chunks;
+    parallel_for(3, 1003, 10, [&](std::int64_t b, std::int64_t e) {
+      std::lock_guard<std::mutex> lock(m);
+      chunks.emplace(b, e);
+    });
+    return chunks;
+  };
+  const auto first = collect();
+  for (int run = 0; run < 5; ++run) EXPECT_EQ(collect(), first);
+}
+
+TEST(ParallelFor, PropagatesWorkerException) {
+  ThreadCountGuard guard;
+  set_num_threads(4);
+  EXPECT_THROW(parallel_for(0, 1000, 1,
+                            [&](std::int64_t b, std::int64_t) {
+                              if (b >= 500) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+  // The pool survives a throwing region and runs the next one normally.
+  std::atomic<std::int64_t> sum{0};
+  parallel_for(0, 100, 1, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) sum.fetch_add(i);
+  });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ParallelRun, PropagatesException) {
+  ThreadCountGuard guard;
+  set_num_threads(4);
+  EXPECT_THROW(parallel_run(64,
+                            [](std::int64_t i) {
+                              if (i == 13) throw std::invalid_argument("task 13");
+                            }),
+               std::invalid_argument);
+}
+
+TEST(ParallelMap, ResultsAreInIndexOrder) {
+  ThreadCountGuard guard;
+  set_num_threads(8);
+  const auto out = parallel_map(257, [](std::int64_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 257u);
+  for (std::int64_t i = 0; i < 257; ++i) EXPECT_EQ(out[static_cast<size_t>(i)], i * i);
+}
+
+TEST(ParallelMap, NegativeAndZeroCountsAreEmpty) {
+  EXPECT_TRUE(parallel_map(0, [](std::int64_t i) { return i; }).empty());
+  EXPECT_TRUE(parallel_map(-3, [](std::int64_t i) { return i; }).empty());
+}
+
+TEST(Parallel, NestedRegionsRunInlineWithoutDeadlock) {
+  ThreadCountGuard guard;
+  set_num_threads(4);
+  EXPECT_FALSE(in_parallel_region());
+  std::vector<std::atomic<int>> hits(64 * 64);
+  parallel_for(0, 64, 1, [&](std::int64_t ob, std::int64_t oe) {
+    EXPECT_TRUE(in_parallel_region());
+    for (std::int64_t o = ob; o < oe; ++o) {
+      parallel_for(0, 64, 1, [&](std::int64_t ib, std::int64_t ie) {
+        for (std::int64_t i = ib; i < ie; ++i) {
+          hits[static_cast<size_t>(o * 64 + i)].fetch_add(1);
+        }
+      });
+    }
+  });
+  EXPECT_FALSE(in_parallel_region());
+  for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, SetNumThreadsOverridesAndClears) {
+  ThreadCountGuard guard;
+  set_num_threads(3);
+  EXPECT_EQ(num_threads(), 3);
+  set_num_threads(1);
+  EXPECT_EQ(num_threads(), 1);
+  set_num_threads(0);  // back to FP8Q_NUM_THREADS / hardware default
+  EXPECT_GE(num_threads(), 1);
+  EXPECT_GE(hardware_threads(), 1);
+}
+
+TEST(Parallel, SingleThreadRunsEverythingOnCaller) {
+  ThreadCountGuard guard;
+  set_num_threads(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  parallel_run(32, [&](std::int64_t) { EXPECT_EQ(std::this_thread::get_id(), caller); });
+  parallel_for(0, 1 << 20, 1, [&](std::int64_t, std::int64_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(Parallel, ConcurrentTopLevelRegionsSerializeSafely) {
+  ThreadCountGuard guard;
+  set_num_threads(4);
+  // Two independent user threads each drive their own region; the pool
+  // serializes them internally and both must complete correctly.
+  std::atomic<std::int64_t> a{0};
+  std::atomic<std::int64_t> b{0};
+  std::thread t1([&] {
+    for (int r = 0; r < 20; ++r) {
+      parallel_for(0, 1000, 10, [&](std::int64_t lo, std::int64_t hi) { a += hi - lo; });
+    }
+  });
+  std::thread t2([&] {
+    for (int r = 0; r < 20; ++r) {
+      parallel_run(100, [&](std::int64_t) { b.fetch_add(1); });
+    }
+  });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(a.load(), 20 * 1000);
+  EXPECT_EQ(b.load(), 20 * 100);
+}
+
+}  // namespace
+}  // namespace fp8q

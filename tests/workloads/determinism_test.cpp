@@ -1,0 +1,116 @@
+// Threading-model determinism contract (docs/THREADING.md): every metric
+// the runtime produces must be bit-identical at any thread count. Run once
+// normally and once under ctest with FP8Q_NUM_THREADS=1 (see
+// tests/CMakeLists.txt); the in-process set_num_threads() sweep below
+// compares 1-thread and 8-thread results directly.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/parallel.h"
+#include "fp8/cast_fast.h"
+#include "nn/conv.h"
+#include "nn/matmul.h"
+#include "tensor/rng.h"
+#include "workloads/registry.h"
+
+namespace fp8q {
+namespace {
+
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { set_num_threads(0); }
+};
+
+EvalProtocol quick_protocol() {
+  EvalProtocol p;
+  p.calib_batches = 2;
+  p.calib_batch_size = 8;
+  p.eval_batches = 2;
+  p.eval_batch_size = 32;
+  p.bn_calibration_batches = 2;
+  return p;
+}
+
+/// A small cross-section of the suite: one CNN, one transformer encoder,
+/// one decoder LM (cheap but exercises conv, matmul and cast paths).
+std::vector<Workload> sample_workloads() {
+  auto suite = build_suite();
+  std::vector<Workload> picked;
+  picked.push_back(find_workload(suite, "resnet50-ish"));
+  picked.push_back(find_workload(suite, "distilbert-mrpc-ish"));
+  picked.push_back(find_workload(suite, "nlp/lm-ish-0"));
+  return picked;
+}
+
+TEST(Determinism, BulkCastBitIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  Rng rng(42);
+  std::vector<float> in(1 << 18);
+  for (float& v : in) v = rng.normal(0.0f, 3.0f);
+
+  set_num_threads(1);
+  std::vector<float> serial(in.size());
+  fp8_quantize_scaled_fast(in, serial, fast_cast_spec(Fp8Kind::E4M3), 0.37f);
+
+  for (int threads : {2, 8}) {
+    set_num_threads(threads);
+    std::vector<float> parallel(in.size());
+    fp8_quantize_scaled_fast(in, parallel, fast_cast_spec(Fp8Kind::E4M3), 0.37f);
+    for (size_t i = 0; i < in.size(); ++i) {
+      ASSERT_EQ(serial[i], parallel[i]) << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(Determinism, MatMulAndConvBitIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  Rng rng(7);
+  const Tensor a = randn(rng, {3, 17, 24});
+  const Tensor b = randn(rng, {3, 24, 19});
+  const Tensor x = randn(rng, {2, 6, 12, 12});
+  const Tensor w = randn(rng, {8, 6, 3, 3});
+  MatMulOp mm(true, false);
+  Conv2dOp conv(w, Tensor{}, 1, 1, 1);
+  const std::vector<Tensor> mm_in = {a, b};
+  const std::vector<Tensor> conv_in = {x};
+
+  set_num_threads(1);
+  const Tensor y1 = mm.forward(mm_in);
+  const Tensor c1 = conv.forward(conv_in);
+  set_num_threads(8);
+  const Tensor y8 = mm.forward(mm_in);
+  const Tensor c8 = conv.forward(conv_in);
+
+  ASSERT_EQ(y1.numel(), y8.numel());
+  for (std::int64_t i = 0; i < y1.numel(); ++i) ASSERT_EQ(y1.flat()[i], y8.flat()[i]);
+  ASSERT_EQ(c1.numel(), c8.numel());
+  for (std::int64_t i = 0; i < c1.numel(); ++i) ASSERT_EQ(c1.flat()[i], c8.flat()[i]);
+}
+
+TEST(Determinism, AccuracyRecordsIdenticalAt1And8Threads) {
+  ThreadCountGuard guard;
+  const auto workloads = sample_workloads();
+  const EvalProtocol protocol = quick_protocol();
+  const std::vector<SchemeConfig> schemes = {standard_fp8_scheme(DType::kE4M3),
+                                             standard_fp8_scheme(DType::kE3M4)};
+
+  set_num_threads(1);
+  const auto serial = evaluate_suite(workloads, schemes, protocol);
+  set_num_threads(8);
+  const auto parallel = evaluate_suite(workloads, schemes, protocol);
+
+  ASSERT_EQ(serial.size(), workloads.size() * schemes.size());
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    // Same pair order as the serial double loop...
+    EXPECT_EQ(serial[i].workload, parallel[i].workload) << i;
+    EXPECT_EQ(serial[i].config, parallel[i].config) << i;
+    // ...and bit-identical metrics (exact double equality, no tolerance).
+    EXPECT_EQ(serial[i].fp32_accuracy, parallel[i].fp32_accuracy) << serial[i].workload;
+    EXPECT_EQ(serial[i].quant_accuracy, parallel[i].quant_accuracy) << serial[i].workload;
+    EXPECT_EQ(serial[i].model_size_mb, parallel[i].model_size_mb) << serial[i].workload;
+  }
+}
+
+}  // namespace
+}  // namespace fp8q
