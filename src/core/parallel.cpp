@@ -103,9 +103,13 @@ class ThreadPool {
     }
   }
 
-  void worker_loop() {
+  /// `seen` starts at the job_id_ current when the worker was spawned:
+  /// job_id_ persists across resize_locked(), so a fresh worker must not
+  /// treat jobs published before its creation as pending (it would pass
+  /// the wait predicate with job_fn_ == nullptr and decrement active_ for
+  /// a job it never joined).
+  void worker_loop(std::uint64_t seen) {
     tls_in_region = true;
-    std::uint64_t seen = 0;
     for (;;) {
       const std::function<void(std::int64_t)>* fn = nullptr;
       std::int64_t n = 0;
@@ -141,7 +145,7 @@ class ThreadPool {
     }
     workers_.reserve(static_cast<std::size_t>(target));
     for (int i = 0; i < target; ++i) {
-      workers_.emplace_back([this] { worker_loop(); });
+      workers_.emplace_back([this, cur = job_id_] { worker_loop(cur); });
     }
   }
 

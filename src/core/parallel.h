@@ -6,9 +6,11 @@
 //     range is split into near-equal contiguous chunks, never more than
 //     num_threads() of them and never more than ceil(n / grain), so
 //     `grain` bounds the fan-out for small ranges. The partition depends
-//     only on (begin, end, grain, num_threads()), never on timing, so any
-//     per-chunk accumulation merged in chunk order is bit-identical at
-//     every thread count.
+//     only on (begin, end, grain, num_threads()), never on timing:
+//     per-index writes are bit-identical at every thread count, while
+//     per-chunk accumulations merged in chunk order are deterministic for
+//     a given num_threads() but may differ across thread counts (chunk
+//     boundaries move with the thread count).
 //   * parallel_map(n, fn)                  -- task-level fan-out. Runs
 //     fn(0..n-1) across the pool (dynamic scheduling for load balance)
 //     and returns the results in index order, so callers observe the
@@ -54,8 +56,10 @@ void set_num_threads(int n);
 /// fn(chunk_begin, chunk_end) for each chunk, concurrently. Empty and
 /// single-chunk ranges run inline on the calling thread. The chunk
 /// partition is a pure function of (begin, end, grain, num_threads()):
-/// results that are written per-index, or accumulated per-chunk and merged
-/// in chunk order, are deterministic at any thread count.
+/// per-index writes are deterministic at any thread count; per-chunk
+/// accumulations merged in chunk order are deterministic for a given
+/// num_threads() but may differ across thread counts as the chunk
+/// boundaries (and thus floating-point summation order) move.
 void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
                   const std::function<void(std::int64_t, std::int64_t)>& fn);
 
@@ -73,6 +77,9 @@ template <class Fn>
 [[nodiscard]] auto parallel_map(std::int64_t n, Fn&& fn)
     -> std::vector<std::decay_t<decltype(fn(std::int64_t{}))>> {
   using R = std::decay_t<decltype(fn(std::int64_t{}))>;
+  static_assert(!std::is_same_v<R, bool>,
+                "parallel_map cannot return bool: std::vector<bool> packs bits, so "
+                "concurrent out[i] writes race on shared words; return e.g. char or int");
   if (n < 0) n = 0;
   std::vector<R> out(static_cast<std::size_t>(n));
   parallel_run(n, [&out, &fn](std::int64_t i) { out[static_cast<std::size_t>(i)] = fn(i); });

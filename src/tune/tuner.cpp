@@ -128,8 +128,12 @@ TuneResult autotune(const Workload& w, DType preferred, const EvalProtocol& prot
     }
   }
 
-  if (static_cast<int>(arms.size()) > options.max_trials) {
-    arms.resize(static_cast<std::size_t>(options.max_trials));
+  // Stage 1 always runs even when max_trials <= 0 (matching the old
+  // unconditional stage-1 behavior); a negative count must not convert to
+  // a huge size_t.
+  const int arm_budget = options.max_trials > 0 ? options.max_trials : 1;
+  if (static_cast<int>(arms.size()) > arm_budget) {
+    arms.resize(static_cast<std::size_t>(arm_budget));
   }
   std::vector<TuneStep> steps =
       parallel_map(static_cast<std::int64_t>(arms.size()), [&](std::int64_t i) {

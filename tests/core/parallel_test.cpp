@@ -171,6 +171,23 @@ TEST(Parallel, SingleThreadRunsEverythingOnCaller) {
   });
 }
 
+TEST(Parallel, ResizeAfterPriorJobsDoesNotCorruptCompletion) {
+  ThreadCountGuard guard;
+  // Regression: job_id_ persists across pool resizes, so workers spawned
+  // after earlier jobs must not treat those published job ids as pending
+  // work (a spurious wake decremented active_ for a job the worker never
+  // joined, letting run() return while another worker still drained it).
+  // Alternate thread counts so every run() follows a resize.
+  for (int round = 0; round < 50; ++round) {
+    set_num_threads(2 + (round % 3) * 3);  // 2, 5, 8, 2, ...
+    std::vector<std::atomic<int>> hits(128);
+    parallel_run(128, [&](std::int64_t i) { hits[static_cast<size_t>(i)].fetch_add(1); });
+    for (std::int64_t i = 0; i < 128; ++i) {
+      ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "round " << round << " index " << i;
+    }
+  }
+}
+
 TEST(Parallel, ConcurrentTopLevelRegionsSerializeSafely) {
   ThreadCountGuard guard;
   set_num_threads(4);
