@@ -11,6 +11,10 @@
 // The sweep fans out over the global thread pool (FP8Q_NUM_THREADS /
 // set_num_threads, see docs/THREADING.md); records are merged in workload
 // order so the output is identical at any thread count.
+//
+// Observability (docs/OBSERVABILITY.md): FP8Q_REPORT=<path> writes a
+// structured run report (per-phase timings, quantization-event counters,
+// all accuracy records); FP8Q_TRACE=1 additionally captures spans.
 #include <atomic>
 #include <cstdio>
 #include <cstring>
@@ -18,6 +22,7 @@
 #include <vector>
 
 #include "core/parallel.h"
+#include "obs/report.h"
 #include "workloads/registry.h"
 
 namespace {
@@ -57,6 +62,11 @@ int main(int argc, char** argv) {
     suite = std::move(subset);
   }
 
+  RunReport report;
+  report.tool = "bench_table2_passrate";
+  report.num_threads = num_threads();
+  set_active_report(&report);
+
   EvalProtocol protocol;
   const auto fp8_schemes = table2_fp8_schemes();
   const size_t total_pairs = suite.size() * (fp8_schemes.size() + 1);
@@ -66,20 +76,28 @@ int main(int argc, char** argv) {
   };
 
   // The five FP8 configurations, fanned out over (workload, scheme) pairs.
-  const auto fp8_records = evaluate_suite(suite, fp8_schemes, protocol, progress);
+  std::vector<AccuracyRecord> fp8_records;
+  {
+    ScopedStage stage("suite/fp8");
+    fp8_records = evaluate_suite(suite, fp8_schemes, protocol, progress);
+  }
   // INT8 baseline: static on CV, dynamic on NLP (paper Table 2 row 6) --
   // the scheme depends on the workload's domain, so it runs as its own
   // per-workload fan-out.
   std::atomic<int> int8_done{0};
   const auto int8_offset = static_cast<int>(fp8_records.size());
-  const auto int8_records =
-      parallel_map(static_cast<std::int64_t>(suite.size()), [&](std::int64_t i) {
-        const auto& w = suite[static_cast<size_t>(i)];
-        auto rec = evaluate_workload(w, int8_scheme(w.domain != "CV"), protocol);
-        rec.config = "INT8";
-        progress(int8_offset + int8_done.fetch_add(1) + 1);
-        return rec;
-      });
+  std::vector<AccuracyRecord> int8_records;
+  {
+    ScopedStage stage("suite/int8");
+    int8_records =
+        parallel_map(static_cast<std::int64_t>(suite.size()), [&](std::int64_t i) {
+          const auto& w = suite[static_cast<size_t>(i)];
+          auto rec = evaluate_workload(w, int8_scheme(w.domain != "CV"), protocol);
+          rec.config = "INT8";
+          progress(int8_offset + int8_done.fetch_add(1) + 1);
+          return rec;
+        });
+  }
   std::fprintf(stderr, "\n");
 
   // Merge in workload-major order (FP8 rows then INT8), exactly the
@@ -121,5 +139,11 @@ int main(int argc, char** argv) {
   }
   std::printf("(* = paper-reported values; shape to match: FP8 > INT8 overall,\n"
               " E4M3 best on NLP, E3M4 best on CV, E5M2 weakest FP8.)\n");
+
+  report.records = records;
+  set_active_report(nullptr);
+  if (write_report_if_requested(report)) {
+    std::fprintf(stderr, "[table2] report written to %s\n", report_env_path());
+  }
   return 0;
 }

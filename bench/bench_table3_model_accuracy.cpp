@@ -1,17 +1,28 @@
 // Reproduces paper Table 3: per-model accuracy for the ten representative
 // workloads across FP32 / E5M2 / E4M3 / E3M4 / INT8. Bold in the paper
 // marks <= 1% relative loss; here passes are marked with '*'.
+//
+// Observability (docs/OBSERVABILITY.md): FP8Q_REPORT=<path> writes a
+// structured run report with one stage per model row plus all accuracy
+// records; FP8Q_TRACE=1 additionally captures spans.
 #include <cstdio>
 
 #include <map>
 #include <string>
 
+#include "core/parallel.h"
+#include "obs/report.h"
 #include "workloads/registry.h"
 
 int main() {
   using namespace fp8q;
   const auto suite = build_suite();
   const EvalProtocol protocol;
+
+  RunReport report;
+  report.tool = "bench_table3_model_accuracy";
+  report.num_threads = num_threads();
+  set_active_report(&report);
 
   struct PaperRow {
     double fp32, e5m2, e4m3, e3m4, int8;
@@ -37,10 +48,14 @@ int main() {
     std::printf("%-22s", name.c_str());
 
     AccuracyRecord recs[4];
-    recs[0] = evaluate_workload(w, standard_fp8_scheme(DType::kE5M2), protocol);
-    recs[1] = evaluate_workload(w, standard_fp8_scheme(DType::kE4M3), protocol);
-    recs[2] = evaluate_workload(w, standard_fp8_scheme(DType::kE3M4), protocol);
-    recs[3] = evaluate_workload(w, int8_scheme(w.domain != "CV"), protocol);
+    {
+      ScopedStage stage("model/" + name);
+      recs[0] = evaluate_workload(w, standard_fp8_scheme(DType::kE5M2), protocol);
+      recs[1] = evaluate_workload(w, standard_fp8_scheme(DType::kE4M3), protocol);
+      recs[2] = evaluate_workload(w, standard_fp8_scheme(DType::kE3M4), protocol);
+      recs[3] = evaluate_workload(w, int8_scheme(w.domain != "CV"), protocol);
+    }
+    for (const auto& r : recs) report.records.push_back(r);
 
     std::printf(" %8.4f", recs[0].fp32_accuracy);
     for (const auto& r : recs) {
@@ -56,5 +71,10 @@ int main() {
   }
   std::printf("\npaper shape: FP8 (especially E4M3/E3M4) within 1%% nearly everywhere;\n"
               "INT8 fails DenseNet/Wav2Vec2/STS-B/LLaMA-class rows.\n");
+
+  set_active_report(nullptr);
+  if (write_report_if_requested(report)) {
+    std::fprintf(stderr, "[table3] report written to %s\n", report_env_path());
+  }
   return 0;
 }

@@ -65,6 +65,9 @@
 #include "nn/matmul.h"     // IWYU pragma: export
 #include "nn/norm.h"       // IWYU pragma: export
 #include "nn/shape_ops.h"  // IWYU pragma: export
+#include "obs/counters.h"  // IWYU pragma: export
+#include "obs/report.h"    // IWYU pragma: export
+#include "obs/trace.h"     // IWYU pragma: export
 #include "quant/calibrate.h"       // IWYU pragma: export
 #include "quant/observer.h"        // IWYU pragma: export
 #include "quant/qconfig.h"         // IWYU pragma: export

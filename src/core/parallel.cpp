@@ -7,6 +7,8 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/trace.h"
+
 namespace fp8q {
 
 namespace {
@@ -183,13 +185,33 @@ void set_num_threads(int n) {
 
 bool in_parallel_region() { return tls_in_region; }
 
-void parallel_run(std::int64_t n, const std::function<void(std::int64_t)>& fn) {
-  if (n <= 0) return;
+namespace {
+
+void run_region(std::int64_t n, const std::function<void(std::int64_t)>& fn) {
   if (n == 1 || num_threads() == 1 || tls_in_region) {
     for (std::int64_t i = 0; i < n; ++i) fn(i);
     return;
   }
   ThreadPool::global().run(n, fn);
+}
+
+}  // namespace
+
+void parallel_run(std::int64_t n, const std::function<void(std::int64_t)>& fn) {
+  if (n <= 0) return;
+  if (!trace_enabled()) {
+    run_region(n, fn);
+    return;
+  }
+  // Per-task spans cross threads when the pool is engaged, so the logical
+  // parent (the innermost span open on the *dispatching* thread) is
+  // captured here and passed explicitly; see obs/trace.h.
+  const std::int64_t parent = current_span_id();
+  const std::function<void(std::int64_t)> traced = [&fn, parent](std::int64_t i) {
+    TraceSpan span("parallel/task", parent);
+    fn(i);
+  };
+  run_region(n, traced);
 }
 
 void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,

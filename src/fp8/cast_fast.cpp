@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/parallel.h"
+#include "obs/counters.h"
 
 namespace fp8q {
 
@@ -12,7 +13,8 @@ FastCastSpec::FastCastSpec(const FormatSpec& spec)
       min_unbiased_exp(spec.min_unbiased_exp()),
       max_bits(std::bit_cast<std::uint32_t>(spec.max_value())),
       half_min_sub(std::bit_cast<std::uint32_t>(spec.min_subnormal() * 0.5f)),
-      min_subnormal(spec.min_subnormal()) {}
+      min_subnormal(spec.min_subnormal()),
+      obs_fmt(obs_format(spec)) {}
 
 float fp8_quantize_fast(float x, const FastCastSpec& spec) {
   std::uint32_t u = std::bit_cast<std::uint32_t>(x);
@@ -64,13 +66,38 @@ void fp8_quantize_scaled_fast(std::span<const float> in, std::span<float> out,
   if (!(scale > 0.0f) || !std::isfinite(scale)) scale = 1.0f;
   const float inv = 1.0f / scale;
   const auto n = static_cast<std::int64_t>(in.size() < out.size() ? in.size() : out.size());
+  // Event counting is decided once per bulk call (not per element); the
+  // instrumented loop classifies each scaled input from its bit pattern --
+  // the same comparisons the cast itself performs -- and flushes one tally
+  // per chunk, so outputs are bit-identical with counters on or off.
+  const bool counted = counters_enabled();
   // Pure per-element bit math: each index writes only out[i], so the
   // result is bit-identical at any thread count. The fast path runs at a
   // few ns/element; a large grain keeps single-batch calls inline.
-  parallel_for(0, n, 16384, [&](std::int64_t lo, std::int64_t hi) {
-    for (std::int64_t i = lo; i < hi; ++i) {
-      out[i] = fp8_quantize_fast(in[i] * scale, spec) * inv;
+  parallel_for(0, n, 16384, [&, counted](std::int64_t lo, std::int64_t hi) {
+    if (!counted) {
+      for (std::int64_t i = lo; i < hi; ++i) {
+        out[i] = fp8_quantize_fast(in[i] * scale, spec) * inv;
+      }
+      return;
     }
+    std::uint64_t saturated = 0;
+    std::uint64_t flushed = 0;
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const float scaled = in[i] * scale;
+      out[i] = fp8_quantize_fast(scaled, spec) * inv;
+      const std::uint32_t au = std::bit_cast<std::uint32_t>(scaled) & 0x7FFFFFFFu;
+      if (au > spec.max_bits) {
+        // Finite overflow and +/-Inf clamp to +/-max; NaN (au above the
+        // Inf pattern) passes through and is not an event.
+        if (au <= 0x7F800000u) ++saturated;
+      } else if (au != 0 && au <= spec.half_min_sub) {
+        ++flushed;  // at or below half the smallest subnormal: rounds to 0
+      }
+    }
+    counter_add(spec.obs_fmt, ObsEvent::kQuantized, static_cast<std::uint64_t>(hi - lo));
+    counter_add(spec.obs_fmt, ObsEvent::kSaturated, saturated);
+    counter_add(spec.obs_fmt, ObsEvent::kFlushedToZero, flushed);
   });
 }
 

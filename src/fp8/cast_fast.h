@@ -22,6 +22,7 @@ struct FastCastSpec {
   std::uint32_t max_bits;      ///< bit pattern of the largest finite value
   std::uint32_t half_min_sub;  ///< bit pattern of min_subnormal / 2
   float min_subnormal;
+  ObsFormat obs_fmt;           ///< counter bucket for event accounting
 };
 
 /// RNE + saturating fake quantization; NaN passes through.

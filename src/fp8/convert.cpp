@@ -6,6 +6,7 @@
 
 #include "core/parallel.h"
 #include "fp8/cast.h"
+#include "obs/counters.h"
 
 namespace fp8q {
 
@@ -15,6 +16,30 @@ std::uint8_t fp8_convert(std::uint8_t code, const FormatSpec& from, const Format
   return fp8_encode(v, to);  // default options: RNE + saturate
 }
 
+namespace {
+
+/// Per-code event bitmask for the bulk converter: events are classified once
+/// per code point against the target format, then chunks tally via lookups.
+enum : std::uint8_t {
+  kEvSaturated = 1u << 0,
+  kEvFlushed = 1u << 1,
+  kEvNan = 1u << 2,
+  kEvInf = 1u << 3,
+};
+
+std::uint8_t classify_convert(std::uint8_t in_code, std::uint8_t out_code,
+                              const FormatSpec& from, const FormatSpec& to) {
+  const float x = fp8_decode(in_code, from);
+  const float q = fp8_decode(out_code, to);
+  if (std::isnan(q)) return std::isnan(x) ? 0 : kEvNan;
+  if (std::isinf(q)) return std::isinf(x) ? 0 : kEvInf;
+  if (q == 0.0f) return x != 0.0f ? kEvFlushed : 0;
+  if (std::fabs(q) == to.max_value() && std::fabs(x) > to.max_value()) return kEvSaturated;
+  return 0;
+}
+
+}  // namespace
+
 void fp8_convert(std::span<const std::uint8_t> in, std::span<std::uint8_t> out,
                  const FormatSpec& from, const FormatSpec& to) {
   std::array<std::uint8_t, 256> lut;
@@ -22,10 +47,44 @@ void fp8_convert(std::span<const std::uint8_t> in, std::span<std::uint8_t> out,
     lut[static_cast<std::size_t>(c)] = fp8_convert(static_cast<std::uint8_t>(c), from, to);
   }
   const auto n = static_cast<std::int64_t>(std::min(in.size(), out.size()));
+  // Event accounting piggybacks on the value LUT: a second 256-entry table
+  // of per-code event bitmasks, classified once up front, attributed to the
+  // TARGET format's counter bucket.
+  const bool counted = counters_enabled();
+  std::array<std::uint8_t, 256> events{};
+  ObsFormat fmt = ObsFormat::kOther;
+  if (counted) {
+    fmt = obs_format(to);
+    for (int c = 0; c < 256; ++c) {
+      const auto code = static_cast<std::uint8_t>(c);
+      events[static_cast<std::size_t>(c)] = classify_convert(code, lut[code], from, to);
+    }
+  }
   // Table lookups are memory-bound; only tensors of ~100k+ codes are worth
   // fanning out.
-  parallel_for(0, n, 65536, [&](std::int64_t lo, std::int64_t hi) {
-    for (std::int64_t i = lo; i < hi; ++i) out[i] = lut[in[i]];
+  parallel_for(0, n, 65536, [&, counted](std::int64_t lo, std::int64_t hi) {
+    if (!counted) {
+      for (std::int64_t i = lo; i < hi; ++i) out[i] = lut[in[i]];
+      return;
+    }
+    std::uint64_t saturated = 0;
+    std::uint64_t flushed = 0;
+    std::uint64_t nans = 0;
+    std::uint64_t infs = 0;
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const std::uint8_t code = in[i];
+      out[i] = lut[code];
+      const std::uint8_t ev = events[code];
+      saturated += (ev >> 0) & 1u;
+      flushed += (ev >> 1) & 1u;
+      nans += (ev >> 2) & 1u;
+      infs += (ev >> 3) & 1u;
+    }
+    counter_add(fmt, ObsEvent::kQuantized, static_cast<std::uint64_t>(hi - lo));
+    counter_add(fmt, ObsEvent::kSaturated, saturated);
+    counter_add(fmt, ObsEvent::kFlushedToZero, flushed);
+    counter_add(fmt, ObsEvent::kNanProduced, nans);
+    counter_add(fmt, ObsEvent::kInfProduced, infs);
   });
 }
 

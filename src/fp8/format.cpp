@@ -74,6 +74,17 @@ FormatSpec make_format(int exp_bits, int man_bits, int bias_override, bool ieee)
 
 std::string_view to_string(Fp8Kind kind) { return format_spec(kind).name; }
 
+ObsFormat obs_format(const FormatSpec& spec) {
+  if (spec.exp_bits == 5 && spec.man_bits == 2 && spec.family == EncodingFamily::kIeee) {
+    return ObsFormat::kE5M2;
+  }
+  if (spec.family == EncodingFamily::kExtended) {
+    if (spec.exp_bits == 4 && spec.man_bits == 3) return ObsFormat::kE4M3;
+    if (spec.exp_bits == 3 && spec.man_bits == 4) return ObsFormat::kE3M4;
+  }
+  return ObsFormat::kOther;
+}
+
 Fp8Kind fp8_kind_from_string(std::string_view s) {
   auto eq = [&](std::string_view t) {
     if (s.size() != t.size()) return false;

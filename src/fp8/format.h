@@ -39,6 +39,8 @@
 #include <string>
 #include <string_view>
 
+#include "obs/counters.h"
+
 namespace fp8q {
 
 /// The three formats studied in the paper.
@@ -100,6 +102,11 @@ struct FormatSpec {
                                      bool ieee = false);
 
 [[nodiscard]] std::string_view to_string(Fp8Kind kind);
+
+/// Counter bucket for quantization-event accounting (obs/counters.h): the
+/// three paper formats map to their own buckets, custom EeMm formats from
+/// make_format to ObsFormat::kOther.
+[[nodiscard]] ObsFormat obs_format(const FormatSpec& spec);
 
 /// Parses "E5M2"/"e4m3"/... ; throws std::invalid_argument on other input.
 [[nodiscard]] Fp8Kind fp8_kind_from_string(std::string_view s);

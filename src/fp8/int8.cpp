@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/counters.h"
+
 namespace fp8q {
 
 namespace {
@@ -58,7 +60,32 @@ float int8_quantize(float x, const Int8Params& p) {
 
 void int8_quantize(std::span<const float> in, std::span<float> out, const Int8Params& p) {
   const size_t n = std::min(in.size(), out.size());
-  for (size_t i = 0; i < n; ++i) out[i] = int8_quantize(in[i], p);
+  if (!counters_enabled()) {
+    for (size_t i = 0; i < n; ++i) out[i] = int8_quantize(in[i], p);
+    return;
+  }
+  // Saturation = rounded value clipped by [qmin, qmax]; flush-to-zero =
+  // nonzero input decodes to exactly 0 (NaN inputs also land here by the
+  // encode rule). Tallied locally, flushed once per call.
+  std::uint64_t saturated = 0;
+  std::uint64_t flushed = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const float x = in[i];
+    const float q = int8_quantize(x, p);
+    out[i] = q;
+    if (!std::isnan(x)) {
+      const float scaled = x / p.scale + static_cast<float>(p.zero_point);
+      const std::int32_t rounded = round_nearest_even(scaled);
+      if (rounded < p.qmin || rounded > p.qmax) {
+        ++saturated;
+      } else if (q == 0.0f && x != 0.0f) {
+        ++flushed;
+      }
+    }
+  }
+  counter_add(ObsFormat::kInt8, ObsEvent::kQuantized, static_cast<std::uint64_t>(n));
+  counter_add(ObsFormat::kInt8, ObsEvent::kSaturated, saturated);
+  counter_add(ObsFormat::kInt8, ObsEvent::kFlushedToZero, flushed);
 }
 
 }  // namespace fp8q

@@ -169,6 +169,316 @@ std::string records_to_csv(const std::vector<AccuracyRecord>& records) {
   return os.str();
 }
 
+namespace {
+
+/// Minimal JSON document model for report_from_json. Objects keep
+/// insertion order; duplicate keys resolve to the first occurrence.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] const JsonValue* find(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+/// Recursive-descent parser over the full JSON grammar (sufficient for the
+/// report schema; \uXXXX escapes decode to UTF-8).
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("fp8q json: " + what + " at offset " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::kString;
+        v.str = parse_string();
+        return v;
+      }
+      case 't':
+      case 'f': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::kBool;
+        v.boolean = peek() == 't';
+        if (!consume_literal(v.boolean ? "true" : "false")) fail("bad literal");
+        return v;
+      }
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return JsonValue{};
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // UTF-8 encode (BMP only; surrogate pairs are not emitted by the
+          // writer, which escapes only control characters).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' || c == '+' ||
+          c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail("expected a value");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    try {
+      v.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+double get_number(const JsonValue& obj, std::string_view key, double fallback = 0.0) {
+  const JsonValue* v = obj.find(key);
+  return (v != nullptr && v->kind == JsonValue::Kind::kNumber) ? v->number : fallback;
+}
+
+std::string get_string(const JsonValue& obj, std::string_view key) {
+  const JsonValue* v = obj.find(key);
+  return (v != nullptr && v->kind == JsonValue::Kind::kString) ? v->str : std::string();
+}
+
+CounterSnapshot parse_counters(const JsonValue* v) {
+  CounterSnapshot snap;
+  if (v == nullptr || v->kind != JsonValue::Kind::kObject) return snap;
+  for (int f = 0; f < kObsFormatCount; ++f) {
+    const JsonValue* fmt = v->find(to_string(static_cast<ObsFormat>(f)));
+    if (fmt == nullptr || fmt->kind != JsonValue::Kind::kObject) continue;
+    for (int e = 0; e < kObsEventCount; ++e) {
+      snap.counts[f][e] = static_cast<std::uint64_t>(
+          get_number(*fmt, to_string(static_cast<ObsEvent>(e))));
+    }
+  }
+  return snap;
+}
+
+}  // namespace
+
+RunReport report_from_json(std::istream& in) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  const JsonValue root = JsonParser(text).parse();
+  if (root.kind != JsonValue::Kind::kObject) {
+    throw std::runtime_error("fp8q report: document is not an object");
+  }
+  const JsonValue* version = root.find("fp8q_report_version");
+  if (version == nullptr || version->kind != JsonValue::Kind::kNumber) {
+    throw std::runtime_error("fp8q report: missing fp8q_report_version");
+  }
+  if (static_cast<int>(version->number) != kReportVersion) {
+    throw std::runtime_error("fp8q report: unsupported version " +
+                             std::to_string(static_cast<int>(version->number)));
+  }
+
+  RunReport report;
+  report.tool = get_string(root, "tool");
+  report.num_threads = static_cast<int>(get_number(root, "num_threads"));
+  report.counters = parse_counters(root.find("counters"));
+  report.spans_dropped = static_cast<std::uint64_t>(get_number(root, "spans_dropped"));
+
+  if (const JsonValue* stages = root.find("stages");
+      stages != nullptr && stages->kind == JsonValue::Kind::kArray) {
+    for (const JsonValue& s : stages->array) {
+      if (s.kind != JsonValue::Kind::kObject) continue;
+      StageReport stage;
+      stage.name = get_string(s, "name");
+      stage.wall_ms = get_number(s, "wall_ms");
+      stage.counters = parse_counters(s.find("counters"));
+      report.stages.push_back(std::move(stage));
+    }
+  }
+
+  if (const JsonValue* records = root.find("records");
+      records != nullptr && records->kind == JsonValue::Kind::kArray) {
+    for (const JsonValue& rec : records->array) {
+      if (rec.kind != JsonValue::Kind::kObject) continue;
+      AccuracyRecord r;
+      r.workload = get_string(rec, "workload");
+      r.domain = get_string(rec, "domain");
+      r.config = get_string(rec, "config");
+      r.fp32_accuracy = get_number(rec, "fp32_accuracy");
+      r.quant_accuracy = get_number(rec, "quant_accuracy");
+      r.model_size_mb = get_number(rec, "model_size_mb");
+      // relative_loss / passes are derived quantities; recomputed on read.
+      report.records.push_back(std::move(r));
+    }
+  }
+
+  if (const JsonValue* spans = root.find("spans");
+      spans != nullptr && spans->kind == JsonValue::Kind::kArray) {
+    for (const JsonValue& s : spans->array) {
+      if (s.kind != JsonValue::Kind::kObject) continue;
+      SpanRecord span;
+      span.id = static_cast<std::int64_t>(get_number(s, "id", -1.0));
+      span.parent = static_cast<std::int64_t>(get_number(s, "parent", -1.0));
+      span.thread_id = static_cast<std::uint32_t>(get_number(s, "thread"));
+      span.name = get_string(s, "name");
+      span.start_ns = static_cast<std::uint64_t>(get_number(s, "start_ns"));
+      span.duration_ns = static_cast<std::uint64_t>(get_number(s, "duration_ns"));
+      report.spans.push_back(std::move(span));
+    }
+  }
+  return report;
+}
+
 std::vector<AccuracyRecord> records_from_csv(std::istream& in) {
   std::vector<AccuracyRecord> records;
   std::string line;

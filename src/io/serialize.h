@@ -14,6 +14,7 @@
 
 #include "metrics/passrate.h"
 #include "nn/graph.h"
+#include "obs/report.h"
 
 namespace fp8q {
 
@@ -33,5 +34,12 @@ void records_to_csv(const std::vector<AccuracyRecord>& records, std::ostream& ou
 
 /// Parses records back from CSV produced by records_to_csv.
 [[nodiscard]] std::vector<AccuracyRecord> records_from_csv(std::istream& in);
+
+/// Parses a structured run report written by RunReport::write_json (the
+/// FP8Q_REPORT output, docs/OBSERVABILITY.md). Uses a self-contained JSON
+/// reader (no external dependencies); unknown keys are ignored so newer
+/// writers stay readable. Throws std::runtime_error on malformed input or
+/// an unsupported fp8q_report_version.
+[[nodiscard]] RunReport report_from_json(std::istream& in);
 
 }  // namespace fp8q

@@ -1,0 +1,190 @@
+#include "obs/report.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fp8q {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::atomic<RunReport*> g_active_report{nullptr};
+std::mutex g_report_mutex;  ///< guards appends to the active report
+
+/// JSON string escaping (control characters, quotes, backslash).
+void write_escaped(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+/// Shortest round-trippable decimal for a double (%.17g is always exact).
+void write_double(std::ostream& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out << buf;
+}
+
+void write_counters(std::ostream& out, const CounterSnapshot& snap,
+                    const char* indent) {
+  out << "{";
+  for (int f = 0; f < kObsFormatCount; ++f) {
+    out << (f == 0 ? "\n" : ",\n") << indent << "  \""
+        << to_string(static_cast<ObsFormat>(f)) << "\": {";
+    for (int e = 0; e < kObsEventCount; ++e) {
+      out << (e == 0 ? "" : ", ") << '"' << to_string(static_cast<ObsEvent>(e))
+          << "\": " << snap.counts[f][e];
+    }
+    out << "}";
+  }
+  out << "\n" << indent << "}";
+}
+
+}  // namespace
+
+void RunReport::write_json(std::ostream& out) const {
+  out << "{\n";
+  out << "  \"fp8q_report_version\": " << kReportVersion << ",\n";
+  out << "  \"tool\": ";
+  write_escaped(out, tool);
+  out << ",\n  \"num_threads\": " << num_threads << ",\n";
+
+  out << "  \"stages\": [";
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    const StageReport& s = stages[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"name\": ";
+    write_escaped(out, s.name);
+    out << ", \"wall_ms\": ";
+    write_double(out, s.wall_ms);
+    out << ", \"counters\": ";
+    write_counters(out, s.counters, "    ");
+    out << "}";
+  }
+  out << (stages.empty() ? "],\n" : "\n  ],\n");
+
+  out << "  \"records\": [";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const AccuracyRecord& r = records[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"workload\": ";
+    write_escaped(out, r.workload);
+    out << ", \"domain\": ";
+    write_escaped(out, r.domain);
+    out << ", \"config\": ";
+    write_escaped(out, r.config);
+    out << ", \"fp32_accuracy\": ";
+    write_double(out, r.fp32_accuracy);
+    out << ", \"quant_accuracy\": ";
+    write_double(out, r.quant_accuracy);
+    out << ", \"model_size_mb\": ";
+    write_double(out, r.model_size_mb);
+    out << ", \"relative_loss\": ";
+    write_double(out, r.relative_loss());
+    out << ", \"passes\": " << (r.passes() ? "true" : "false") << "}";
+  }
+  out << (records.empty() ? "],\n" : "\n  ],\n");
+
+  out << "  \"counters\": ";
+  write_counters(out, counters, "  ");
+  out << ",\n";
+
+  out << "  \"spans_dropped\": " << spans_dropped << ",\n";
+  out << "  \"spans\": [";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& s = spans[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"id\": " << s.id
+        << ", \"parent\": " << s.parent << ", \"thread\": " << s.thread_id
+        << ", \"name\": ";
+    write_escaped(out, s.name);
+    out << ", \"start_ns\": " << s.start_ns << ", \"duration_ns\": " << s.duration_ns
+        << "}";
+  }
+  out << (spans.empty() ? "]\n" : "\n  ]\n");
+  out << "}\n";
+}
+
+std::string RunReport::to_json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+RunReport* active_report() { return g_active_report.load(std::memory_order_acquire); }
+
+void set_active_report(RunReport* report) {
+  g_active_report.store(report, std::memory_order_release);
+}
+
+ScopedStage::ScopedStage(std::string_view name) : span_(name) {
+  if (active_report() == nullptr) return;
+  armed_ = true;
+  name_ = name;
+  start_ns_ = now_ns();
+  start_counters_ = counters_snapshot();
+}
+
+ScopedStage::~ScopedStage() {
+  if (!armed_) return;
+  const double wall_ms = static_cast<double>(now_ns() - start_ns_) / 1e6;
+  report_add_stage(name_, wall_ms, counters_snapshot().since(start_counters_));
+}
+
+void report_add_stage(std::string_view name, double wall_ms,
+                      const CounterSnapshot& counters) {
+  std::lock_guard<std::mutex> lock(g_report_mutex);
+  RunReport* report = active_report();
+  if (report == nullptr) return;
+  StageReport stage;
+  stage.name = name;
+  stage.wall_ms = wall_ms;
+  stage.counters = counters;
+  report->stages.push_back(std::move(stage));
+}
+
+const char* report_env_path() {
+  const char* path = std::getenv("FP8Q_REPORT");
+  return (path != nullptr && path[0] != '\0') ? path : nullptr;
+}
+
+bool write_report_if_requested(RunReport& report) {
+  const char* path = report_env_path();
+  if (path == nullptr) return false;
+  report.counters = counters_snapshot();
+  report.spans = trace_snapshot();
+  report.spans_dropped = trace_dropped();
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error(std::string("fp8q report: cannot open ") + path);
+  report.write_json(out);
+  if (!out) throw std::runtime_error(std::string("fp8q report: write failed: ") + path);
+  return true;
+}
+
+}  // namespace fp8q

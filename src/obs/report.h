@@ -1,0 +1,103 @@
+// Structured run reports (docs/OBSERVABILITY.md).
+//
+// A RunReport is the machine-readable record of one run: coarse named
+// stages (wall time + the quantization-event counter delta over the
+// stage), the final AccuracyRecords, and -- when tracing was on -- the
+// full span list. It serializes to JSON with no external dependencies;
+// io/serialize.h provides the matching reader (report_from_json) so
+// reports round-trip through the library's own I/O layer.
+//
+// Wiring: a tool (bench, CLI, test) owns a RunReport and publishes it with
+// set_active_report(); instrumented code (the tuner's stages, the benches'
+// sweep phases) appends stages through ScopedStage without knowing who is
+// collecting. With no active report, ScopedStage only emits a TraceSpan
+// (itself a no-op when tracing is off). write_report_if_requested() writes
+// the JSON to the path in FP8Q_REPORT, making every instrumented binary
+// report-capable via the environment alone.
+//
+// Determinism note (docs/THREADING.md): stage wall times are
+// nondeterministic, and a stage's counter delta is the *process-global*
+// total over the stage's wall window -- under concurrent stages (the
+// tuner's parallel ladder) events are attributed to every stage whose
+// window they fall in. Stage order, record order and counter totals over
+// the whole run are deterministic.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "metrics/passrate.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
+
+namespace fp8q {
+
+/// Schema version written as "fp8q_report_version".
+inline constexpr int kReportVersion = 1;
+
+/// One named phase of a run.
+struct StageReport {
+  std::string name;
+  double wall_ms = 0.0;
+  /// Counter delta over the stage window (see determinism note above).
+  CounterSnapshot counters;
+};
+
+/// The full structured record of one run.
+struct RunReport {
+  std::string tool;     ///< producing binary, e.g. "bench_table2_passrate"
+  int num_threads = 0;  ///< fp8q::num_threads() at collection time
+  std::vector<StageReport> stages;
+  std::vector<AccuracyRecord> records;
+  /// Cumulative counters at write time (totals, independent of stages).
+  CounterSnapshot counters;
+  std::vector<SpanRecord> spans;
+  std::uint64_t spans_dropped = 0;  ///< trace_dropped() at write time
+
+  void write_json(std::ostream& out) const;
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// The report instrumented code appends to, or nullptr. One report is
+/// active at a time, process-wide; appends are internally synchronized.
+[[nodiscard]] RunReport* active_report();
+void set_active_report(RunReport* report);
+
+/// RAII stage: measures wall time and the counter delta of a scope and
+/// appends a StageReport to the active report (if any) on destruction.
+/// Also opens a TraceSpan of the same name. With no active report and
+/// tracing off, cost is two relaxed flag checks.
+class ScopedStage {
+ public:
+  explicit ScopedStage(std::string_view name);
+  ~ScopedStage();
+
+  ScopedStage(const ScopedStage&) = delete;
+  ScopedStage& operator=(const ScopedStage&) = delete;
+
+ private:
+  bool armed_ = false;
+  std::string name_;
+  std::uint64_t start_ns_ = 0;
+  CounterSnapshot start_counters_;
+  TraceSpan span_;
+};
+
+/// Appends a pre-measured stage to the active report (thread-safe; no-op
+/// without an active report). For sites that time work themselves, e.g.
+/// the tuner recording each trial in deterministic history order.
+void report_add_stage(std::string_view name, double wall_ms,
+                      const CounterSnapshot& counters = {});
+
+/// The FP8Q_REPORT path, or nullptr when unset/empty.
+[[nodiscard]] const char* report_env_path();
+
+/// If FP8Q_REPORT is set: finalizes `report` (fills counters and spans
+/// from the process-wide buffers) and writes JSON to that path. The caller
+/// sets `tool` and `num_threads` itself (obs sits below core in the link
+/// graph, so it cannot ask the runtime). Returns true when a report was
+/// written; throws on I/O failure.
+bool write_report_if_requested(RunReport& report);
+
+}  // namespace fp8q

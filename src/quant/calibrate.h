@@ -2,6 +2,15 @@
 // from which the scale s = float_max / max_T is derived (paper section 3.1
 // and Appendix A.1).
 //
+// This is the middle third of the static-activation pipeline of the
+// paper's standard scheme: observers (quant/observer.h) collect ranges,
+// calibrate_clip reduces them to one clip magnitude per activation edge,
+// fp8_activation_scale turns the clip into the scale the quantizer
+// (quant/quantizer.h) applies at inference. E5M2 is the exception at
+// every step: the paper uses direct quantization for it (scale 1, its
+// dynamic range already covers activations), so its scale ignores the
+// calibrated clip.
+//
 // The paper found plain absmax ("max") scaling sufficient for FP8 and
 // reports that KL / percentile / MSE bring no additional benefit; all four
 // are implemented so the Appendix A.1 / Figure 9 study can be reproduced.

@@ -1,7 +1,21 @@
 // Range observers: accumulate statistics of activation tensors during the
-// calibration pass. Besides the running absmax/min/max they keep a bounded
-// reservoir sample of values so the percentile / KL / MSE calibrators can
-// be evaluated after the fact (Appendix A.1).
+// calibration pass.
+//
+// Static activation quantization (the paper's standard scheme, section
+// 3.1) needs the activation range before inference: QuantizedGraph
+// attaches one Observer per quantized activation edge, streams the
+// calibration batches through the FP32 graph, then hands each observer
+// to calibrate_clip (quant/calibrate.h) to produce the clip value its
+// scale is derived from. Dynamic quantization (section 3.2) skips this
+// machinery entirely -- scales come from the runtime tensor.
+//
+// Besides the running absmax/min/max the observer keeps a bounded
+// uniform reservoir sample of values so the percentile / KL / MSE
+// calibrators can be evaluated after the fact (Appendix A.1) without
+// retaining whole tensors. absmax/min/max are always exact; only the
+// sample-based methods see the reservoir. observe() mutates state and is
+// intentionally serial -- calibration streams batches in batch order
+// (docs/THREADING.md, "What is intentionally serial").
 #pragma once
 
 #include <cstdint>

@@ -1,6 +1,24 @@
 // Quantization configuration vocabulary: data types, granularity,
-// calibration methods and the per-op / whole-model scheme descriptions of
-// the paper's standard and extended quantization schemes (section 3).
+// calibration methods and the whole-model scheme description.
+//
+// A SchemeConfig is one column of paper Table 2 -- the complete recipe
+// for quantizing a model. The paper's two recipes map onto it directly:
+//
+//   standard scheme (section 3.1, standard_fp8_scheme): one FP8 format
+//   for weights and activations, per-channel weight scales, per-tensor
+//   static activation scales from absmax calibration, compute ops only
+//   (Linear/MatMul/Conv), CNN first-conv/last-FC kept in FP32.
+//
+//   extended scheme (section 3.2): everything the standard scheme leaves
+//   on the table, each behind its own flag so the ablations can toggle
+//   them independently -- quantize_extended_ops (LayerNorm/BatchNorm/
+//   Add/Mul coverage), dynamic_activations (Table 6), mixed formats
+//   (mixed_fp8_scheme: E4M3 activations + E3M4 weights), smoothquant
+//   (NLP outlier smoothing), per_token_activations (ablation only).
+//
+// The auto-tuner (tune/tuner.h) searches over exactly this space: its
+// ladder arms are SchemeConfigs, its fallbacks mutate the per-op
+// coverage a SchemeConfig implies.
 #pragma once
 
 #include <string>

@@ -1,8 +1,10 @@
 #include "quant/quantized_graph.h"
 
+#include <optional>
 #include <stdexcept>
 
 #include "nn/norm.h"
+#include "obs/trace.h"
 #include "quant/calibrate.h"
 #include "quant/smoothquant.h"
 #include "tensor/stats.h"
@@ -45,6 +47,7 @@ bool QuantizedGraph::slot_quantized(Graph::NodeId id, int slot) const {
 }
 
 void QuantizedGraph::run_smoothquant(std::span<const std::vector<Tensor>> calib_batches) {
+  TraceSpan span("qgraph/smoothquant");
   // Collect per-channel absmax of every quantized Linear's input.
   std::map<Graph::NodeId, std::vector<float>> act_cmax;
   graph_->set_input_tap(
@@ -79,6 +82,7 @@ void QuantizedGraph::run_smoothquant(std::span<const std::vector<Tensor>> calib_
 }
 
 void QuantizedGraph::quantize_weights() {
+  TraceSpan span("qgraph/quantize-weights");
   for (Graph::NodeId id : quantized_nodes_) {
     auto& node = graph_->node(id);
     if (!is_compute_op(node.kind)) continue;  // gamma/beta etc. stay FP32
@@ -95,6 +99,7 @@ void QuantizedGraph::quantize_weights() {
 
 void QuantizedGraph::calibrate_activations(
     std::span<const std::vector<Tensor>> calib_batches) {
+  TraceSpan span("qgraph/calibrate-activations");
   observers_.clear();
   graph_->set_input_tap(
       [&](Graph::NodeId id, int slot, const Tensor& v) -> std::optional<Tensor> {
@@ -130,6 +135,7 @@ void QuantizedGraph::calibrate_activations(
 
 void QuantizedGraph::calibrate_batchnorm(
     std::span<const std::vector<Tensor>> calib_batches) {
+  TraceSpan span("qgraph/calibrate-batchnorm");
   std::vector<BatchNorm2dOp*> bns;
   for (Graph::NodeId id : graph_->node_ids()) {
     if (auto* bn = dynamic_cast<BatchNorm2dOp*>(graph_->node(id).op.get())) {
@@ -145,6 +151,7 @@ void QuantizedGraph::calibrate_batchnorm(
 }
 
 void QuantizedGraph::prepare(std::span<const std::vector<Tensor>> calib_batches) {
+  TraceSpan span("qgraph/prepare");
   if (prepared_) restore_weights();
   select_quantized_nodes();
 
@@ -200,6 +207,13 @@ std::optional<Tensor> QuantizedGraph::quantize_input(Graph::NodeId id, int slot,
                                                      const Tensor& value) {
   if (!slot_quantized(id, slot)) return std::nullopt;
 
+  // Per-op span; the name (with the op kind) is only built when tracing
+  // is on, so the quantize boundary stays allocation-free otherwise.
+  std::optional<TraceSpan> span;
+  if (trace_enabled()) {
+    span.emplace("qgraph/input:" + std::string(to_string(graph_->node(id).kind)));
+  }
+
   Tensor out = value;
   const auto sf = smooth_factors_.find(id);
   if (sf != smooth_factors_.end() && slot == 0) divide_channels(out, sf->second);
@@ -229,6 +243,7 @@ std::optional<Tensor> QuantizedGraph::quantize_input(Graph::NodeId id, int slot,
 }
 
 Tensor QuantizedGraph::forward(std::span<const Tensor> inputs) {
+  TraceSpan span("qgraph/forward");
   if (!prepared_) throw std::logic_error("QuantizedGraph::forward: call prepare() first");
   graph_->set_input_tap([this](Graph::NodeId id, int slot, const Tensor& v) {
     return quantize_input(id, slot, v);

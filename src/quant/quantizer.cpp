@@ -6,6 +6,7 @@
 
 #include "fp8/cast.h"
 #include "fp8/cast_fast.h"
+#include "obs/trace.h"
 #include "quant/calibrate.h"
 #include "tensor/stats.h"
 
@@ -172,13 +173,16 @@ QuantParams make_group_weight_params(const Tensor& w, DType dtype, std::int64_t 
 void apply_quant_inplace(Tensor& t, const QuantParams& p) {
   if (p.is_noop() || t.empty()) return;
   if (p.granularity == Granularity::kPerGroup) {
+    TraceSpan span("quant/apply-group");
     apply_per_group(t, p);
     return;
   }
   if (p.granularity == Granularity::kPerChannel) {
+    TraceSpan span("quant/apply-channel");
     apply_per_channel(t, p);
     return;
   }
+  TraceSpan span("quant/apply-tensor");
   auto data = t.flat();
   if (is_fp8(p.dtype)) {
     fp8_quantize_scaled_fast(data, data, fast_cast_spec(fp8_kind(p.dtype)), p.scale);
@@ -189,6 +193,7 @@ void apply_quant_inplace(Tensor& t, const QuantParams& p) {
 
 void apply_per_token_dynamic(Tensor& x, DType dtype) {
   if (dtype == DType::kFP32 || x.dim() < 1 || x.empty()) return;
+  TraceSpan span("quant/apply-per-token");
   const std::int64_t d = x.size(-1);
   const std::int64_t rows = x.numel() / d;
   auto data = x.flat();

@@ -1,8 +1,24 @@
 // Tensor-level fake quantization: resolved parameters + application.
 //
-// Weights: per-channel symmetric scaling on axis 0 (paper section 3.1).
-// Activations: per-tensor scaling; static parameters come from calibrated
-// ranges, dynamic parameters from the runtime tensor itself.
+// The bottom of the quantization stack: a QuantParams is a fully
+// resolved recipe for one tensor (format, granularity, scales), and
+// apply_quant snaps the tensor through the FP8/INT8 grid and back to
+// FP32 -- the software emulation of a hardware cast that the whole
+// repro rests on. Everything above (QuantizedGraph, the tuner) only
+// decides *which* QuantParams each tensor gets.
+//
+// The paper's standard scheme (section 3.1) maps to: weights via
+// make_weight_params (per-channel symmetric absmax on axis 0),
+// activations via make_activation_params from a calibrated range
+// (per-tensor; E5M2 direct with scale 1). The extended additions map
+// to make_dynamic_activation_params (runtime per-batch scales, section
+// 3.2) and the ablation-only make_group_weight_params /
+// apply_per_token_dynamic granularities.
+//
+// Observability: apply_quant_inplace and apply_per_token_dynamic open
+// trace spans (quant/apply-tensor, -channel, -group, -per-token) when
+// FP8Q_TRACE is on, and the bulk casts they call feed the
+// quantization-event counters (docs/OBSERVABILITY.md).
 #pragma once
 
 #include <vector>

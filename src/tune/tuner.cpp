@@ -1,8 +1,12 @@
 #include "tune/tuner.h"
 
 #include <algorithm>
+#include <chrono>
+#include <optional>
 
 #include "core/parallel.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 
 namespace fp8q {
 
@@ -20,18 +24,27 @@ TuneStep make_step(const Workload& w, const Arm& arm, const EvalProtocol& protoc
   TuneStep step;
   step.description = arm.description;
   step.config = arm.config;
+  std::optional<TraceSpan> span;
+  if (trace_enabled()) span.emplace("tune/trial:" + arm.description);
+  const auto t0 = std::chrono::steady_clock::now();
   step.record = evaluate_workload_config(w, arm.config, protocol);
   {
     Graph g = w.build();
     QuantizedGraph qg(&g, arm.config);
     step.quantized_fraction = qg.quantized_compute_fraction();
   }
+  step.eval_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+          .count();
   step.met = step.record.passes(options.accuracy_criterion);
   return step;
 }
 
 /// Records an evaluated step (best/success bookkeeping); returns step.met.
+/// Runs on the folding thread, so trials reach the active report in
+/// deterministic history order even when the arms evaluated in parallel.
 bool absorb(TuneResult& result, TuneStep step) {
+  report_add_stage("trial:" + step.description, step.eval_ms);
   const bool first = result.history.empty();
   const bool better =
       first || step.record.relative_loss() < result.best_record.relative_loss();
@@ -55,6 +68,7 @@ bool try_config(const Workload& w, const std::string& description,
 
 std::vector<std::pair<Graph::NodeId, double>> node_sensitivity(
     const Workload& w, const SchemeConfig& scheme, const EvalProtocol& protocol) {
+  ScopedStage stage("tune/sensitivity");
   Graph g = w.build();
   const ModelQuantConfig base = default_model_config(w, scheme, protocol);
   // Node set actually covered under this config.
@@ -135,30 +149,37 @@ TuneResult autotune(const Workload& w, DType preferred, const EvalProtocol& prot
   if (static_cast<int>(arms.size()) > arm_budget) {
     arms.resize(static_cast<std::size_t>(arm_budget));
   }
-  std::vector<TuneStep> steps =
-      parallel_map(static_cast<std::int64_t>(arms.size()), [&](std::int64_t i) {
-        return make_step(w, arms[static_cast<std::size_t>(i)], protocol, options);
-      });
-  for (TuneStep& step : steps) {
-    if (absorb(result, std::move(step))) return result;
+  {
+    ScopedStage stage("tune/ladder");
+    std::vector<TuneStep> steps =
+        parallel_map(static_cast<std::int64_t>(arms.size()), [&](std::int64_t i) {
+          return make_step(w, arms[static_cast<std::size_t>(i)], protocol, options);
+        });
+    for (TuneStep& step : steps) {
+      if (absorb(result, std::move(step))) return result;
+    }
   }
 
   // 5. Operator-kind fallback on the best config so far.
   const ModelQuantConfig base = result.best;
-  for (OpKind kind : {OpKind::kBatchMatMul, OpKind::kMatMul, OpKind::kEmbedding,
-                      OpKind::kConv2d}) {
-    if (!budget()) break;
-    ModelQuantConfig cfg = base;
-    if (cfg.fallback_kinds.contains(kind)) continue;
-    cfg.fallback_kinds.insert(kind);
-    if (try_config(w, std::string("fallback-kind ") + std::string(to_string(kind)), cfg,
-                   protocol, options, result)) {
-      return result;
+  {
+    ScopedStage stage("tune/fallback-kinds");
+    for (OpKind kind : {OpKind::kBatchMatMul, OpKind::kMatMul, OpKind::kEmbedding,
+                        OpKind::kConv2d}) {
+      if (!budget()) break;
+      ModelQuantConfig cfg = base;
+      if (cfg.fallback_kinds.contains(kind)) continue;
+      cfg.fallback_kinds.insert(kind);
+      if (try_config(w, std::string("fallback-kind ") + std::string(to_string(kind)), cfg,
+                     protocol, options, result)) {
+        return result;
+      }
     }
   }
 
   // 6. Per-node fallback, most sensitive first (cumulative).
   if (budget() && options.max_node_fallbacks > 0) {
+    ScopedStage stage("tune/fallback-nodes");
     const auto sensitivity = node_sensitivity(w, base.scheme, protocol);
     ModelQuantConfig cfg = result.best;
     int disabled = 0;

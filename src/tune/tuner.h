@@ -33,6 +33,9 @@ struct TuneStep {
   /// Parameter-weighted fraction of compute quantized under this config
   /// (the Pareto efficiency axis of Appendix A.1).
   double quantized_fraction = 0.0;
+  /// Wall time spent evaluating this trial (nondeterministic; reported to
+  /// the active RunReport as a "trial:..." stage, see obs/report.h).
+  double eval_ms = 0.0;
   bool met = false;
 };
 

@@ -1,0 +1,172 @@
+// Structured run reports (src/obs/report.h): JSON round-trip through the
+// io/serialize reader, ScopedStage collection, and env-gated emission.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "io/serialize.h"
+#include "obs/counters.h"
+#include "obs/report.h"
+
+namespace fp8q {
+namespace {
+
+struct ReportGuard {
+  ~ReportGuard() {
+    set_active_report(nullptr);
+    set_counters_enabled(false);
+    counters_reset();
+    ::unsetenv("FP8Q_REPORT");
+  }
+};
+
+RunReport sample_report() {
+  RunReport r;
+  r.tool = "unit-test";
+  r.num_threads = 3;
+
+  StageReport stage;
+  stage.name = "phase \"one\"\nwith newline";  // exercises escaping
+  stage.wall_ms = 12.625;
+  stage.counters.counts[static_cast<int>(ObsFormat::kE4M3)]
+                       [static_cast<int>(ObsEvent::kSaturated)] = 42;
+  r.stages.push_back(stage);
+
+  AccuracyRecord rec;
+  rec.workload = "resnet50-ish";
+  rec.domain = "CV";
+  rec.config = "E4M3/static";
+  rec.fp32_accuracy = 0.7615;
+  rec.quant_accuracy = 0.7592;
+  rec.model_size_mb = 97.5;
+  r.records.push_back(rec);
+
+  r.counters.counts[static_cast<int>(ObsFormat::kE5M2)]
+                   [static_cast<int>(ObsEvent::kQuantized)] = 123456789;
+  r.spans_dropped = 2;
+
+  SpanRecord span;
+  span.name = "qgraph/forward";
+  span.start_ns = 1000;
+  span.duration_ns = 2500;
+  span.thread_id = 1;
+  span.id = 7;
+  span.parent = 3;
+  r.spans.push_back(span);
+  return r;
+}
+
+TEST(Report, JsonRoundTripsThroughSerializeReader) {
+  const RunReport original = sample_report();
+  std::istringstream in(original.to_json());
+  const RunReport parsed = report_from_json(in);
+
+  EXPECT_EQ(parsed.tool, original.tool);
+  EXPECT_EQ(parsed.num_threads, original.num_threads);
+  EXPECT_TRUE(parsed.counters == original.counters);
+  EXPECT_EQ(parsed.spans_dropped, original.spans_dropped);
+
+  ASSERT_EQ(parsed.stages.size(), 1u);
+  EXPECT_EQ(parsed.stages[0].name, original.stages[0].name);
+  EXPECT_EQ(parsed.stages[0].wall_ms, original.stages[0].wall_ms);
+  EXPECT_TRUE(parsed.stages[0].counters == original.stages[0].counters);
+
+  ASSERT_EQ(parsed.records.size(), 1u);
+  EXPECT_EQ(parsed.records[0].workload, original.records[0].workload);
+  EXPECT_EQ(parsed.records[0].domain, original.records[0].domain);
+  EXPECT_EQ(parsed.records[0].config, original.records[0].config);
+  EXPECT_EQ(parsed.records[0].fp32_accuracy, original.records[0].fp32_accuracy);
+  EXPECT_EQ(parsed.records[0].quant_accuracy, original.records[0].quant_accuracy);
+  EXPECT_EQ(parsed.records[0].model_size_mb, original.records[0].model_size_mb);
+
+  ASSERT_EQ(parsed.spans.size(), 1u);
+  EXPECT_EQ(parsed.spans[0].name, original.spans[0].name);
+  EXPECT_EQ(parsed.spans[0].start_ns, original.spans[0].start_ns);
+  EXPECT_EQ(parsed.spans[0].duration_ns, original.spans[0].duration_ns);
+  EXPECT_EQ(parsed.spans[0].thread_id, original.spans[0].thread_id);
+  EXPECT_EQ(parsed.spans[0].id, original.spans[0].id);
+  EXPECT_EQ(parsed.spans[0].parent, original.spans[0].parent);
+}
+
+TEST(Report, EmptyReportRoundTrips) {
+  RunReport empty;
+  std::istringstream in(empty.to_json());
+  const RunReport parsed = report_from_json(in);
+  EXPECT_TRUE(parsed.stages.empty());
+  EXPECT_TRUE(parsed.records.empty());
+  EXPECT_TRUE(parsed.spans.empty());
+  EXPECT_FALSE(parsed.counters.any());
+}
+
+TEST(Report, ScopedStageAppendsToActiveReport) {
+  ReportGuard guard;
+  set_counters_enabled(true);
+  counters_reset();
+
+  RunReport report;
+  set_active_report(&report);
+  {
+    ScopedStage stage("stage-a");
+    counter_add(ObsFormat::kE4M3, ObsEvent::kSaturated, 5);
+  }
+  set_active_report(nullptr);
+
+  ASSERT_EQ(report.stages.size(), 1u);
+  EXPECT_EQ(report.stages[0].name, "stage-a");
+  EXPECT_GE(report.stages[0].wall_ms, 0.0);
+  EXPECT_EQ(report.stages[0].counters.get(ObsFormat::kE4M3, ObsEvent::kSaturated), 5u);
+}
+
+TEST(Report, StageAppendsAreNoopsWithoutActiveReport) {
+  ReportGuard guard;
+  set_active_report(nullptr);
+  report_add_stage("orphan", 1.0);
+  { ScopedStage stage("also-orphan"); }
+  // Nothing to observe beyond "does not crash"; a later active report must
+  // not receive stages from before it was published.
+  RunReport report;
+  set_active_report(&report);
+  set_active_report(nullptr);
+  EXPECT_TRUE(report.stages.empty());
+}
+
+TEST(Report, WriteIsGatedOnEnvironment) {
+  ReportGuard guard;
+  ::unsetenv("FP8Q_REPORT");
+  RunReport report = sample_report();
+  EXPECT_EQ(report_env_path(), nullptr);
+  EXPECT_FALSE(write_report_if_requested(report));
+
+  const std::string path = testing::TempDir() + "fp8q_report_test.json";
+  ::setenv("FP8Q_REPORT", path.c_str(), 1);
+  EXPECT_TRUE(write_report_if_requested(report));
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  const RunReport parsed = report_from_json(in);
+  EXPECT_EQ(parsed.tool, "unit-test");
+  // write_report_if_requested refreshed these from the live buffers.
+  EXPECT_TRUE(parsed.counters == counters_snapshot());
+  std::remove(path.c_str());
+}
+
+TEST(Report, MalformedJsonThrows) {
+  std::istringstream truncated("{\"fp8q_report_version\": 1,");
+  EXPECT_THROW((void)report_from_json(truncated), std::runtime_error);
+
+  std::istringstream not_object("[1, 2, 3]");
+  EXPECT_THROW((void)report_from_json(not_object), std::runtime_error);
+
+  std::istringstream wrong_version("{\"fp8q_report_version\": 99}");
+  EXPECT_THROW((void)report_from_json(wrong_version), std::runtime_error);
+
+  std::istringstream no_version("{\"tool\": \"x\"}");
+  EXPECT_THROW((void)report_from_json(no_version), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fp8q

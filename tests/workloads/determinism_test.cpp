@@ -11,6 +11,7 @@
 #include "fp8/cast_fast.h"
 #include "nn/conv.h"
 #include "nn/matmul.h"
+#include "obs/counters.h"
 #include "tensor/rng.h"
 #include "workloads/registry.h"
 
@@ -110,6 +111,35 @@ TEST(Determinism, AccuracyRecordsIdenticalAt1And8Threads) {
     EXPECT_EQ(serial[i].quant_accuracy, parallel[i].quant_accuracy) << serial[i].workload;
     EXPECT_EQ(serial[i].model_size_mb, parallel[i].model_size_mb) << serial[i].workload;
   }
+}
+
+TEST(Determinism, CountersDoNotPerturbAccuracyRecords) {
+  ThreadCountGuard guard;
+  set_num_threads(8);
+  const auto workloads = sample_workloads();
+  const EvalProtocol protocol = quick_protocol();
+  const std::vector<SchemeConfig> schemes = {standard_fp8_scheme(DType::kE4M3)};
+
+  // Event counting classifies from values the cast computes anyway and
+  // never feeds back into outputs (obs/counters.h) -- the records must be
+  // bit-identical with counting on and off.
+  set_counters_enabled(false);
+  const auto plain = evaluate_suite(workloads, schemes, protocol);
+  set_counters_enabled(true);
+  counters_reset();
+  const auto counted = evaluate_suite(workloads, schemes, protocol);
+  const CounterSnapshot totals = counters_snapshot();
+  set_counters_enabled(false);
+
+  ASSERT_EQ(plain.size(), counted.size());
+  for (size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i].fp32_accuracy, counted[i].fp32_accuracy) << plain[i].workload;
+    EXPECT_EQ(plain[i].quant_accuracy, counted[i].quant_accuracy) << plain[i].workload;
+    EXPECT_EQ(plain[i].model_size_mb, counted[i].model_size_mb) << plain[i].workload;
+  }
+  // ...and the counted run actually counted: an E4M3 evaluation pushes
+  // every weight and activation through the instrumented casts.
+  EXPECT_GT(totals.get(ObsFormat::kE4M3, ObsEvent::kQuantized), 0u);
 }
 
 }  // namespace

@@ -6,6 +6,11 @@
 //   fp8q_cli eval <workload> <fmt> [dyn]  PTQ + evaluate one workload
 //   fp8q_cli tune <workload> <fmt>        accuracy-driven auto-tuning
 //   fp8q_cli sweep <out.csv> [quick]      full Table-2 sweep to CSV
+//
+// `eval` and `tune` honor FP8Q_REPORT=<path> (and FP8Q_TRACE=1): the run
+// emits a structured JSON report with quantization-event counters and,
+// for tune, one stage per trial -- see docs/OBSERVABILITY.md and the
+// "Debugging a failed tuning trial" walkthrough in EXPERIMENTS.md.
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -68,7 +73,12 @@ SchemeConfig scheme_from_args(const char* fmt_str, bool dynamic) {
 int cmd_eval(const char* workload, const char* fmt, bool dynamic) {
   const auto suite = build_suite();
   const Workload& w = find_workload(suite, workload);
+  RunReport report;
+  report.tool = "fp8q_cli eval";
+  report.num_threads = num_threads();
+  set_active_report(&report);
   const auto rec = evaluate_workload(w, scheme_from_args(fmt, dynamic));
+  set_active_report(nullptr);
   std::printf("workload:  %s (%s, %s)\n", rec.workload.c_str(), rec.domain.c_str(),
               w.task.c_str());
   std::printf("config:    %s\n", rec.config.c_str());
@@ -76,6 +86,10 @@ int cmd_eval(const char* workload, const char* fmt, bool dynamic) {
   std::printf("quantized: %.4f\n", rec.quant_accuracy);
   std::printf("loss:      %.2f%%  -> %s (criterion: <= 1%% relative loss)\n",
               100.0 * rec.relative_loss(), rec.passes() ? "PASS" : "FAIL");
+  report.records.push_back(rec);
+  if (write_report_if_requested(report)) {
+    std::fprintf(stderr, "[eval] report written to %s\n", report_env_path());
+  }
   return rec.passes() ? 0 : 1;
 }
 
@@ -86,15 +100,24 @@ int cmd_tune(const char* workload, const char* fmt) {
   const std::string f(fmt);
   if (f == "E5M2" || f == "e5m2") preferred = DType::kE5M2;
   if (f == "E3M4" || f == "e3m4") preferred = DType::kE3M4;
+  RunReport report;
+  report.tool = "fp8q_cli tune";
+  report.num_threads = num_threads();
+  set_active_report(&report);
   const TuneResult r = autotune(w, preferred);
+  set_active_report(nullptr);
   for (const auto& step : r.history) {
     std::printf("%-30s loss %6.2f%%  %s\n", step.description.c_str(),
                 100.0 * step.record.relative_loss(), step.met ? "MET" : "");
+    report.records.push_back(step.record);
   }
   std::printf("%s; best %s at %.2f%% loss (%d trials)\n",
               r.success ? "criterion met" : "criterion not met",
               r.best.scheme.label().c_str(), 100.0 * r.best_record.relative_loss(),
               r.trials());
+  if (write_report_if_requested(report)) {
+    std::fprintf(stderr, "[tune] report written to %s\n", report_env_path());
+  }
   return r.success ? 0 : 1;
 }
 
