@@ -7,6 +7,7 @@
 #include <mutex>
 #include <thread>
 
+#include "core/thread_annotations.h"
 #include "obs/trace.h"
 
 namespace fp8q {
@@ -52,7 +53,8 @@ class ThreadPool {
   /// Executes fn(i) for every i in [0, n) across the workers plus the
   /// calling thread; returns after all indices complete. Rethrows the
   /// first captured worker exception.
-  void run(std::int64_t n, const std::function<void(std::int64_t)>& fn) {
+  void run(std::int64_t n, const std::function<void(std::int64_t)>& fn)
+      FP8Q_EXCLUDES(run_mutex_) {
     std::lock_guard<std::mutex> run_lock(run_mutex_);
     resize_locked(num_threads() - 1);
 
@@ -132,7 +134,7 @@ class ThreadPool {
   }
 
   /// Adjusts the worker count; requires run_mutex_ held and no active job.
-  void resize_locked(int target) {
+  void resize_locked(int target) FP8Q_REQUIRES(run_mutex_) {
     if (static_cast<int>(workers_.size()) == target) return;
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -151,20 +153,20 @@ class ThreadPool {
     }
   }
 
-  std::mutex run_mutex_;  ///< serializes top-level regions
+  std::mutex run_mutex_ FP8Q_ACQUIRED_BEFORE(mutex_);  ///< serializes top-level regions
   std::mutex mutex_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
-  std::vector<std::thread> workers_;
-  bool stop_ = false;
+  std::vector<std::thread> workers_ FP8Q_GUARDED_BY(run_mutex_);
+  bool stop_ FP8Q_GUARDED_BY(mutex_) = false;
 
   // Current job (guarded by mutex_ except the lock-free index counter).
-  const std::function<void(std::int64_t)>* job_fn_ = nullptr;
-  std::int64_t job_n_ = 0;
+  const std::function<void(std::int64_t)>* job_fn_ FP8Q_GUARDED_BY(mutex_) = nullptr;
+  std::int64_t job_n_ FP8Q_GUARDED_BY(mutex_) = 0;
   std::atomic<std::int64_t> next_{0};
-  int active_ = 0;
-  std::uint64_t job_id_ = 0;
-  std::exception_ptr error_;
+  int active_ FP8Q_GUARDED_BY(mutex_) = 0;
+  std::uint64_t job_id_ FP8Q_GUARDED_BY(mutex_) = 0;
+  std::exception_ptr error_ FP8Q_GUARDED_BY(mutex_);
 };
 
 }  // namespace

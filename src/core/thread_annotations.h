@@ -1,0 +1,68 @@
+// Portable clang thread-safety annotation macros (docs/STATIC_ANALYSIS.md).
+//
+// Clang's -Wthread-safety analysis statically proves that every access to
+// a FP8Q_GUARDED_BY(mu) member happens with `mu` held, that functions
+// marked FP8Q_REQUIRES(mu) are only called under the lock, and so on.
+// The attributes are a clang extension: on every other compiler the
+// macros expand to nothing, so annotated code stays portable. The root
+// CMakeLists.txt adds -Wthread-safety -Werror=thread-safety on clang
+// (FP8Q_THREAD_SAFETY=OFF opts out on toolchains whose standard library
+// does not expose capability attributes on std::mutex).
+//
+// Naming follows the conventional capability vocabulary (see the clang
+// Thread Safety Analysis manual); annotate the *data* with
+// FP8Q_GUARDED_BY and the *functions* with FP8Q_REQUIRES/FP8Q_EXCLUDES.
+#pragma once
+
+#if defined(__clang__)
+#define FP8Q_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define FP8Q_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op off clang
+#endif
+
+/// Declares a type to be a lockable capability (mutex wrappers).
+#define FP8Q_CAPABILITY(x) FP8Q_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor
+/// and releases it in its destructor (lock-guard wrappers).
+#define FP8Q_SCOPED_CAPABILITY FP8Q_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// The annotated member may only be read or written with `x` held.
+#define FP8Q_GUARDED_BY(x) FP8Q_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// The data *pointed to* by the annotated pointer is guarded by `x`
+/// (the pointer itself may be read freely).
+#define FP8Q_PT_GUARDED_BY(x) FP8Q_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Lock-ordering edges: this capability must be acquired before/after
+/// the listed ones.
+#define FP8Q_ACQUIRED_BEFORE(...) \
+  FP8Q_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define FP8Q_ACQUIRED_AFTER(...) \
+  FP8Q_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+/// The annotated function may only be called with the capability held;
+/// it does not acquire or release it.
+#define FP8Q_REQUIRES(...) \
+  FP8Q_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// The annotated function acquires/releases the capability.
+#define FP8Q_ACQUIRE(...) \
+  FP8Q_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define FP8Q_RELEASE(...) \
+  FP8Q_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define FP8Q_TRY_ACQUIRE(...) \
+  FP8Q_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// The annotated function must NOT be called with the capability held
+/// (it acquires the lock itself; calling under the lock would deadlock).
+#define FP8Q_EXCLUDES(...) FP8Q_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// The annotated function returns a reference to the named capability.
+#define FP8Q_RETURN_CAPABILITY(x) FP8Q_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Use only where
+/// the locking pattern is correct but inexpressible (e.g. condition
+/// variable predicates re-checked under a lock the analysis cannot see).
+#define FP8Q_NO_THREAD_SAFETY_ANALYSIS \
+  FP8Q_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)

@@ -48,21 +48,24 @@ std::uint32_t round_significand(double v, const CastOptions& opts) {
   return fi;
 }
 
+// Code-point assembly is done in unsigned arithmetic throughout: shifting
+// into (or past) the sign bit of a signed int is implementation-defined at
+// best, and the 8-bit codes are bit patterns, not quantities.
 std::uint8_t max_finite_code(const FormatSpec& spec) {
-  const int m = spec.man_bits;
+  const unsigned m = static_cast<unsigned>(spec.man_bits);
   if (spec.family == EncodingFamily::kIeee) {
-    const int exp_field = (1 << spec.exp_bits) - 2;
-    const int mant = (1 << m) - 1;
+    const unsigned exp_field = (1u << spec.exp_bits) - 2u;
+    const unsigned mant = (1u << m) - 1u;
     return static_cast<std::uint8_t>((exp_field << m) | mant);
   }
-  const int exp_field = (1 << spec.exp_bits) - 1;
-  const int mant = (1 << m) - 2;
+  const unsigned exp_field = (1u << spec.exp_bits) - 1u;
+  const unsigned mant = (1u << m) - 2u;
   return static_cast<std::uint8_t>((exp_field << m) | mant);
 }
 
 std::uint8_t infinity_code(const FormatSpec& spec) {
   // Only meaningful for the IEEE family: top exponent, zero mantissa.
-  return static_cast<std::uint8_t>(((1 << spec.exp_bits) - 1) << spec.man_bits);
+  return static_cast<std::uint8_t>(((1u << spec.exp_bits) - 1u) << spec.man_bits);
 }
 
 /// Per-chunk quantization-event tally for the reference bulk casts; events
@@ -109,21 +112,21 @@ std::uint8_t fp8_nan_code(const FormatSpec& /*spec*/) {
 }
 
 bool fp8_is_nan(std::uint8_t code, const FormatSpec& spec) {
-  const int m = spec.man_bits;
-  const int exp_field = (code >> m) & ((1 << spec.exp_bits) - 1);
-  const int mant = code & ((1 << m) - 1);
+  const unsigned m = static_cast<unsigned>(spec.man_bits);
+  const unsigned exp_field = (code >> m) & ((1u << spec.exp_bits) - 1u);
+  const unsigned mant = code & ((1u << m) - 1u);
   if (spec.family == EncodingFamily::kIeee) {
-    return exp_field == (1 << spec.exp_bits) - 1 && mant != 0;
+    return exp_field == (1u << spec.exp_bits) - 1u && mant != 0u;
   }
   return (code & 0x7F) == 0x7F;
 }
 
 bool fp8_is_inf(std::uint8_t code, const FormatSpec& spec) {
   if (spec.family != EncodingFamily::kIeee) return false;
-  const int m = spec.man_bits;
-  const int exp_field = (code >> m) & ((1 << spec.exp_bits) - 1);
-  const int mant = code & ((1 << m) - 1);
-  return exp_field == (1 << spec.exp_bits) - 1 && mant == 0;
+  const unsigned m = static_cast<unsigned>(spec.man_bits);
+  const unsigned exp_field = (code >> m) & ((1u << spec.exp_bits) - 1u);
+  const unsigned mant = code & ((1u << m) - 1u);
+  return exp_field == (1u << spec.exp_bits) - 1u && mant == 0u;
 }
 
 std::uint8_t fp8_encode(float x, const FormatSpec& spec, const CastOptions& opts) {
@@ -175,7 +178,8 @@ std::uint8_t fp8_encode(float x, const FormatSpec& spec, const CastOptions& opts
       }
       return static_cast<std::uint8_t>(sign | max_finite_code(spec));
     }
-    code = static_cast<std::uint8_t>((biased << m) | mant);
+    code = static_cast<std::uint8_t>((static_cast<unsigned>(biased) << m) |
+                                     static_cast<unsigned>(mant));
   }
   return static_cast<std::uint8_t>(sign | code);
 }
@@ -183,8 +187,9 @@ std::uint8_t fp8_encode(float x, const FormatSpec& spec, const CastOptions& opts
 float fp8_decode(std::uint8_t code, const FormatSpec& spec) {
   const int m = spec.man_bits;
   const bool negative = (code & 0x80) != 0;
-  const int exp_field = (code >> m) & ((1 << spec.exp_bits) - 1);
-  const int mant = code & ((1 << m) - 1);
+  const int exp_field =
+      static_cast<int>((code >> static_cast<unsigned>(m)) & ((1u << spec.exp_bits) - 1u));
+  const int mant = static_cast<int>(code & ((1u << m) - 1u));
 
   if (fp8_is_nan(code, spec)) return std::numeric_limits<float>::quiet_NaN();
   if (fp8_is_inf(code, spec)) {

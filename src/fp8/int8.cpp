@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "obs/counters.h"
 
@@ -10,7 +11,15 @@ namespace fp8q {
 namespace {
 
 /// Round half to even, matching the FP8 cast path and typical INT8 kernels.
+/// Total over all finite floats: inputs beyond the int32 range clamp to the
+/// range bounds first — converting an out-of-range float to an integer is
+/// undefined behaviour (UBSan float-cast-overflow), and every caller clamps
+/// to [qmin, qmax] afterwards anyway, so the result is unchanged.
 std::int32_t round_nearest_even(float v) {
+  constexpr float kLo = -2147483648.0f;  // exactly INT32_MIN
+  constexpr float kHi = 2147483520.0f;   // largest float < INT32_MAX
+  if (v <= kLo) return std::numeric_limits<std::int32_t>::min();
+  if (v >= kHi) return std::numeric_limits<std::int32_t>::max();
   const float f = std::floor(v);
   const float frac = v - f;
   auto fi = static_cast<std::int64_t>(f);

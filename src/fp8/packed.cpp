@@ -9,6 +9,10 @@ namespace fp8q {
 
 PackedFp8Tensor PackedFp8Tensor::pack_per_channel(const Tensor& t, Fp8Kind kind) {
   if (t.dim() < 1) throw std::invalid_argument("pack_per_channel: need rank >= 1");
+  if (t.size(0) == 0) {
+    // channels == 0 would divide by zero computing the block size below.
+    throw std::invalid_argument("pack_per_channel: need size(0) > 0");
+  }
   PackedFp8Tensor p;
   p.kind_ = kind;
   p.shape_ = t.shape();

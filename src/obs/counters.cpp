@@ -5,6 +5,8 @@
 #include <mutex>
 #include <vector>
 
+#include "core/thread_annotations.h"
+
 namespace fp8q {
 
 namespace {
@@ -21,8 +23,8 @@ struct Shard {
 /// outlive static destruction can still flush into it safely.
 struct Registry {
   std::mutex mutex;
-  std::vector<Shard*> live;
-  CounterSnapshot retired;
+  std::vector<Shard*> live FP8Q_GUARDED_BY(mutex);
+  CounterSnapshot retired FP8Q_GUARDED_BY(mutex);
 };
 
 Registry& registry() {

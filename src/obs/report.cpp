@@ -1,7 +1,6 @@
 #include "obs/report.h"
 
 #include <atomic>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -10,19 +9,18 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/thread_annotations.h"
+
 namespace fp8q {
 
 namespace {
 
-std::uint64_t now_ns() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
-
 std::atomic<RunReport*> g_active_report{nullptr};
-std::mutex g_report_mutex;  ///< guards appends to the active report
+
+/// Guards appends to the active report's stage list. The report pointer
+/// itself is the atomic above (lock-free null check on the hot path); the
+/// *pointed-to* stages vector is only mutated under this mutex.
+std::mutex g_report_mutex;
 
 /// JSON string escaping (control characters, quotes, backslash).
 void write_escaped(std::ostream& out, const std::string& s) {
@@ -147,13 +145,13 @@ ScopedStage::ScopedStage(std::string_view name) : span_(name) {
   if (active_report() == nullptr) return;
   armed_ = true;
   name_ = name;
-  start_ns_ = now_ns();
+  start_ns_ = obs_now_ns();
   start_counters_ = counters_snapshot();
 }
 
 ScopedStage::~ScopedStage() {
   if (!armed_) return;
-  const double wall_ms = static_cast<double>(now_ns() - start_ns_) / 1e6;
+  const double wall_ms = static_cast<double>(obs_now_ns() - start_ns_) / 1e6;
   report_add_stage(name_, wall_ms, counters_snapshot().since(start_counters_));
 }
 

@@ -7,25 +7,20 @@
 #include <memory>
 #include <mutex>
 
+#include "core/thread_annotations.h"
+
 namespace fp8q {
 
 namespace {
-
-std::uint64_t now_ns() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
 
 /// One thread's completed-span buffer. Appends and snapshot reads are
 /// serialized per buffer; spans are per-region (not per-element) events, so
 /// the uncontended lock is noise next to the work being measured.
 struct SpanBuffer {
   std::mutex mutex;
-  std::vector<SpanRecord> records;
-  std::uint64_t dropped = 0;
-  std::uint32_t thread_id = 0;
+  std::vector<SpanRecord> records FP8Q_GUARDED_BY(mutex);
+  std::uint64_t dropped FP8Q_GUARDED_BY(mutex) = 0;
+  std::uint32_t thread_id = 0;  ///< set once at registration, then read-only
 };
 
 /// Registry of all span buffers ever created. Buffers are shared_ptr-held
@@ -35,8 +30,8 @@ struct SpanBuffer {
 /// counters registry.
 struct Registry {
   std::mutex mutex;
-  std::vector<std::shared_ptr<SpanBuffer>> buffers;
-  std::uint32_t next_thread_id = 0;
+  std::vector<std::shared_ptr<SpanBuffer>> buffers FP8Q_GUARDED_BY(mutex);
+  std::uint32_t next_thread_id FP8Q_GUARDED_BY(mutex) = 0;
 };
 
 Registry& registry() {
@@ -74,6 +69,13 @@ bool env_default_enabled() {
 
 }  // namespace
 
+std::uint64_t obs_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 bool trace_enabled() {
   const int override_v = g_enabled_override.load(std::memory_order_relaxed);
   return override_v >= 0 ? override_v != 0 : env_default_enabled();
@@ -95,13 +97,13 @@ TraceSpan::TraceSpan(std::string_view name, std::int64_t parent) {
   id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
   parent_ = parent;
   name_ = name;
-  start_ns_ = now_ns();
+  start_ns_ = obs_now_ns();
   tls_open_spans.push_back(id_);
 }
 
 TraceSpan::~TraceSpan() {
   if (id_ < 0) return;
-  const std::uint64_t end = now_ns();
+  const std::uint64_t end = obs_now_ns();
   // Pop this span (it is the innermost open one on this thread; spans are
   // stack-scoped by construction).
   if (!tls_open_spans.empty() && tls_open_spans.back() == id_) tls_open_spans.pop_back();

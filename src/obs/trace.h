@@ -44,6 +44,13 @@ struct SpanRecord {
   std::int64_t parent = -1;
 };
 
+/// Monotonic nanosecond timestamp (steady_clock). The observability layer
+/// owns the process's wall clocks: library code outside src/obs/ must take
+/// timing through this helper rather than <chrono> directly, so every
+/// nondeterministic clock read is auditable in one place (the `determinism`
+/// rule of tools/fp8q_lint.cpp enforces this).
+[[nodiscard]] std::uint64_t obs_now_ns();
+
 /// True when spans record. Defaults to the FP8Q_TRACE environment variable
 /// (truthy = on); set_trace_enabled overrides it.
 [[nodiscard]] bool trace_enabled();

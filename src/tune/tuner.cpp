@@ -1,7 +1,6 @@
 #include "tune/tuner.h"
 
 #include <algorithm>
-#include <chrono>
 #include <optional>
 
 #include "core/parallel.h"
@@ -26,16 +25,16 @@ TuneStep make_step(const Workload& w, const Arm& arm, const EvalProtocol& protoc
   step.config = arm.config;
   std::optional<TraceSpan> span;
   if (trace_enabled()) span.emplace("tune/trial:" + arm.description);
-  const auto t0 = std::chrono::steady_clock::now();
+  // Timing goes through the obs-owned clock: wall-clock reads outside
+  // src/obs/ are a determinism hazard the linter rejects (fp8q_lint).
+  const std::uint64_t t0 = obs_now_ns();
   step.record = evaluate_workload_config(w, arm.config, protocol);
   {
     Graph g = w.build();
     QuantizedGraph qg(&g, arm.config);
     step.quantized_fraction = qg.quantized_compute_fraction();
   }
-  step.eval_ms =
-      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
-          .count();
+  step.eval_ms = static_cast<double>(obs_now_ns() - t0) / 1e6;
   step.met = step.record.passes(options.accuracy_criterion);
   return step;
 }

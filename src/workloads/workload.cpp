@@ -59,6 +59,8 @@ std::vector<float> margins_from(const Tensor& scores) {
 
 /// Running accumulator for the three metric kinds.
 struct ScoreAccumulator {
+  ScoreAccumulator(MetricKind k, double mq) : kind(k), margin_quantile(mq) {}
+
   MetricKind kind;
   double margin_quantile = 0.0;
   std::int64_t agree = 0;

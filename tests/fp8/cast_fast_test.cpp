@@ -97,8 +97,8 @@ TEST_P(FastCast, ScaledVectorMatchesScalarReference) {
 
 INSTANTIATE_TEST_SUITE_P(AllFormats, FastCast,
                          ::testing::Values(Fp8Kind::E5M2, Fp8Kind::E4M3, Fp8Kind::E3M4),
-                         [](const auto& info) {
-                           return std::string(to_string(info.param));
+                         [](const auto& suite_info) {
+                           return std::string(to_string(suite_info.param));
                          });
 
 }  // namespace

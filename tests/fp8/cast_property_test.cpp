@@ -157,8 +157,8 @@ TEST_P(CastProperty, StochasticRoundingStaysOnAdjacentGrid) {
 
 INSTANTIATE_TEST_SUITE_P(AllFormats, CastProperty,
                          ::testing::Values(Fp8Kind::E5M2, Fp8Kind::E4M3, Fp8Kind::E3M4),
-                         [](const auto& info) {
-                           return std::string(to_string(info.param));
+                         [](const auto& suite_info) {
+                           return std::string(to_string(suite_info.param));
                          });
 
 TEST(CastPropertyCustomFormats, GenericEeMmFormatsRoundTrip) {

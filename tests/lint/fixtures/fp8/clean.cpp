@@ -1,0 +1,18 @@
+// Lint fixture: a clean library file. Mentions of banned constructs in
+// comments ("std::thread", "rand()") and string literals must NOT be
+// flagged, and a marked line is suppressed. Expected finding count: zero
+// (tests/lint/lint_test.cpp).
+#include <string>
+
+namespace fp8q {
+
+// Prose only: std::thread, std::async, rand(), steady_clock, std::cout.
+std::string fixture_describe() {
+  return "uses std::thread and rand() only inside a string literal";
+}
+
+long fixture_suppressed() {
+  return clock();  // deliberate, measured elsewhere -- fp8q-lint: allow(determinism)
+}
+
+}  // namespace fp8q

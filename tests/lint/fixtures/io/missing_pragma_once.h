@@ -1,0 +1,11 @@
+// Lint fixture: header with no #pragma once, and not self-contained (uses
+// std::vector without including <vector>). The textual linter flags the
+// missing pragma (`pragma-once` rule); the compiled self-containment check
+// (cmake/HeaderSelfContain.cmake) is what would catch the missing include
+// on a real tree header. Seeded violation for tests/lint/lint_test.cpp.
+
+namespace fp8q {
+
+std::vector<float> fixture_values();
+
+}  // namespace fp8q

@@ -1,0 +1,11 @@
+// Lint fixture: direct wall-clock read outside src/obs/. Seeded violation
+// for the `determinism` rule (tests/lint/lint_test.cpp).
+#include <chrono>
+
+namespace fp8q {
+
+long fixture_now() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fp8q

@@ -1,0 +1,12 @@
+// Lint fixture: raw std::thread in library code outside core/parallel.
+// Seeded violation for the `raw-thread` rule (tests/lint/lint_test.cpp).
+#include <thread>
+
+namespace fp8q {
+
+void fixture_spawn() {
+  std::thread worker([] {});
+  worker.join();
+}
+
+}  // namespace fp8q

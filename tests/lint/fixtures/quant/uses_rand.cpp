@@ -1,0 +1,9 @@
+// Lint fixture: libc rand() in library code. Seeded violation for the
+// `determinism` rule (tests/lint/lint_test.cpp).
+#include <cstdlib>
+
+namespace fp8q {
+
+float fixture_noise() { return static_cast<float>(rand()) / 32768.0f; }
+
+}  // namespace fp8q

@@ -1,0 +1,9 @@
+// Lint fixture: console output from library code. Seeded violation for
+// the `io-stream` rule (tests/lint/lint_test.cpp).
+#include <iostream>
+
+namespace fp8q {
+
+void fixture_log() { std::cout << "quantized!\n"; }
+
+}  // namespace fp8q

@@ -15,7 +15,7 @@ TEST(Metrics, MseBasics) {
   std::vector<float> b = {1, 2, 5};
   EXPECT_DOUBLE_EQ(mse(a, b), 4.0 / 3.0);
   EXPECT_DOUBLE_EQ(mse(a, a), 0.0);
-  EXPECT_THROW(mse(a, std::vector<float>{1.0f}), std::invalid_argument);
+  EXPECT_THROW((void)mse(a, std::vector<float>{1.0f}), std::invalid_argument);
 }
 
 TEST(Metrics, MseSkipsNan) {
@@ -94,7 +94,7 @@ TEST(Metrics, Top1Agreement) {
   Tensor flipped({2, 3}, {0, 1, 0, /**/ 0, 1, 0});
   EXPECT_DOUBLE_EQ(top1_agreement(ref, flipped), 0.5);
   Tensor wrong_shape({3, 2});
-  EXPECT_THROW(top1_agreement(ref, wrong_shape), std::invalid_argument);
+  EXPECT_THROW((void)top1_agreement(ref, wrong_shape), std::invalid_argument);
 }
 
 TEST(Metrics, NmseAccuracy) {
@@ -129,7 +129,7 @@ TEST(Metrics, FrechetDetectsVarianceChange) {
   Tensor a = randn(rng, {4000, 4});
   Tensor b = randn(rng, {4000, 4}, 0.0f, 2.0f);
   EXPECT_GT(frechet_distance_diag(a, b), 1.0);
-  EXPECT_THROW(frechet_distance_diag(a, Tensor({4000, 5})), std::invalid_argument);
+  EXPECT_THROW((void)frechet_distance_diag(a, Tensor({4000, 5})), std::invalid_argument);
 }
 
 }  // namespace

@@ -9,12 +9,17 @@
 #                        examples/... — must exist; brace lists
 #                        (parallel.{h,cpp}) expand, globs (src/quant/*.h)
 #                        must match at least one file
-#   2. bench binaries    bench_foo — bench/bench_foo.cpp must exist
+#   2. bench binaries    bench_foo — bench/bench_foo.cpp must exist AND the
+#                        name must be registered in bench/CMakeLists.txt
+#                        (a source file that never builds is as stale as a
+#                        missing one)
 #   3. FP8Q_* knobs      env vars / CMake options — must appear in the
 #                        source tree or a CMakeLists.txt
 #   4. backticked        `like_this` / `Class::member` — underscore- or
 #      identifiers       ::-containing inline-code tokens must appear
 #                        somewhere in the source tree
+#   5. check_* targets   build/ctest gate names (check_static, check_tsan,
+#                        ...) — must be defined in a CMakeLists.txt
 #
 # Heuristics, deliberately: the goal is catching renames and deletions,
 # not proving the docs correct. Tokens that don't look like identifiers
@@ -63,7 +68,17 @@ done < <(grep -ohP '(?<![/\w.])(src|tests|bench|docs|tools|examples)/[A-Za-z0-9_
 while IFS= read -r b; do
   allowed "$b" && continue
   [[ -f bench/$b.cpp ]] || err "unknown bench binary '$b' (no bench/$b.cpp)"
+  grep -qE "\b$b\b" bench/CMakeLists.txt ||
+    err "bench binary '$b' not registered in bench/CMakeLists.txt"
 done < <(grep -ohE '\bbench_[a-z0-9_]+' "${DOCS[@]}" | sort -u)
+
+# --- 2b. check_* gate targets ----------------------------------------------
+# Docs that tell the operator to run `--target check_foo` (or a ctest test
+# named check_foo) must name a target/test some CMakeLists actually defines.
+while IFS= read -r t; do
+  grep -rq --include=CMakeLists.txt -E "\b$t\b" "${SRC_DIRS[@]}" CMakeLists.txt ||
+    err "gate target '$t' not defined in any CMakeLists.txt"
+done < <(grep -ohE '\bcheck_[a-z0-9_]+' "${DOCS[@]}" | sort -u)
 
 # --- 3. FP8Q_* knobs -------------------------------------------------------
 while IFS= read -r v; do

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# One-shot correctness gate (docs/STATIC_ANALYSIS.md). Runs, in order:
+#
+#   1. warnings-as-errors build (FP8Q_WERROR=ON) + full ctest suite
+#   2. static-analysis gate: project linter, linter self-test, header
+#      self-containment, docs freshness (`check_static`)
+#   3. AddressSanitizer build + full ctest suite (`check_asan`)
+#   4. UndefinedBehaviorSanitizer build + full ctest suite (`check_ubsan`)
+#   5. ThreadSanitizer build + concurrency suite (`check_tsan`)
+#
+# Any failure stops the script with a non-zero exit. Build trees default to
+# build-ci-* next to the source tree; override the prefix with
+# FP8Q_CI_BUILD_PREFIX. FP8Q_CI_SKIP_SANITIZERS=1 runs only steps 1-2
+# (useful on machines where three extra build trees are too slow).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+PREFIX="${FP8Q_CI_BUILD_PREFIX:-$ROOT/build-ci}"
+JOBS="${FP8Q_CI_JOBS:-$(nproc)}"
+
+step() { echo; echo "=== ci: $* ==="; }
+
+step "warnings-as-errors build + full suite"
+cmake -B "$PREFIX" -S "$ROOT" -DFP8Q_WERROR=ON
+cmake --build "$PREFIX" -j "$JOBS"
+ctest --test-dir "$PREFIX" --output-on-failure
+
+step "static-analysis gate (check_static)"
+cmake --build "$PREFIX" --target check_static
+
+if [[ "${FP8Q_CI_SKIP_SANITIZERS:-0}" != "1" ]]; then
+  step "AddressSanitizer build + full suite (check_asan)"
+  cmake -B "$PREFIX-asan" -S "$ROOT" -DFP8Q_SANITIZE=address -DFP8Q_WERROR=ON
+  cmake --build "$PREFIX-asan" -j "$JOBS"
+  cmake --build "$PREFIX-asan" --target check_asan
+
+  step "UndefinedBehaviorSanitizer build + full suite (check_ubsan)"
+  cmake -B "$PREFIX-ubsan" -S "$ROOT" -DFP8Q_SANITIZE=undefined -DFP8Q_WERROR=ON
+  cmake --build "$PREFIX-ubsan" -j "$JOBS"
+  cmake --build "$PREFIX-ubsan" --target check_ubsan
+
+  step "ThreadSanitizer build + concurrency suite (check_tsan)"
+  cmake -B "$PREFIX-tsan" -S "$ROOT" -DFP8Q_SANITIZE=thread -DFP8Q_WERROR=ON
+  cmake --build "$PREFIX-tsan" -j "$JOBS" --target check_tsan
+fi
+
+echo
+echo "=== ci: all gates passed ==="

@@ -1,0 +1,42 @@
+// fp8q_lint — project-invariant linter CLI (docs/STATIC_ANALYSIS.md).
+//
+//   fp8q_lint <src-root>
+//
+// Scans every .h/.hpp/.cpp/.cc under <src-root> (normally the repo's src/
+// directory) against the repo-specific rules in fp8q_lint_lib.h and prints
+// one "file:line: [rule] message" per violation. Exit status 0 on a clean
+// tree, 1 when findings exist, 2 on usage/I-O errors. Registered with
+// ctest as `check_lint` and runs as one leg of `check_static`.
+#include <filesystem>
+#include <iostream>
+
+#include "fp8q_lint_lib.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: fp8q_lint <src-root>\n";
+    return 2;
+  }
+  const std::filesystem::path root(argv[1]);
+  if (!std::filesystem::is_directory(root)) {
+    std::cerr << "fp8q_lint: not a directory: " << root.string() << "\n";
+    return 2;
+  }
+
+  std::string io_errors;
+  const auto findings = fp8q::lint::lint_tree(root, &io_errors);
+  if (!io_errors.empty()) {
+    std::cerr << io_errors;
+    return 2;
+  }
+  for (const auto& f : findings) {
+    std::cout << fp8q::lint::format_finding(f) << "\n";
+  }
+  if (!findings.empty()) {
+    std::cout << "fp8q_lint: " << findings.size() << " finding(s) in "
+              << root.string() << "\n";
+    return 1;
+  }
+  std::cout << "fp8q_lint: OK (" << root.string() << " clean)\n";
+  return 0;
+}

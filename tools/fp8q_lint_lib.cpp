@@ -1,0 +1,232 @@
+#include "fp8q_lint_lib.h"
+
+#include <algorithm>
+#include <fstream>
+#include <regex>
+#include <sstream>
+
+namespace fp8q::lint {
+
+namespace {
+
+/// One textual rule: files for which `exempt` returns true are skipped.
+struct Rule {
+  const char* id;
+  const char* pattern;
+  bool (*exempt)(const std::string& rel);
+  const char* message;
+};
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+const Rule kRules[] = {
+    {"raw-thread",
+     R"(std::(thread|jthread|async)\b|#\s*include\s*<(thread|future)>)",
+     [](const std::string& rel) { return starts_with(rel, "core/parallel."); },
+     "raw threading primitive outside core/parallel.{h,cpp}; use "
+     "parallel_for/parallel_run (docs/THREADING.md)"},
+    {"determinism",
+     R"(\bsrand\s*\(|\brand\s*\(|\brandom_device\b|\bsystem_clock\b|\bsteady_clock\b|\bhigh_resolution_clock\b|\bgettimeofday\b|\btime\s*\(|\bclock\s*\(|#\s*include\s*<chrono>|#\s*include\s*<random>)",
+     [](const std::string& rel) {
+       return starts_with(rel, "obs/") || rel == "tensor/rng.cpp" || rel == "tensor/rng.h";
+     },
+     "nondeterminism source (clock/rand) outside src/obs/ and tensor/rng; "
+     "library results must be pure functions of their inputs (use "
+     "obs_now_ns() for timing, fp8q::Rng for randomness)"},
+    {"io-stream",
+     R"(#\s*include\s*<iostream>|std::(cout|cerr|clog)\b|\b(printf|fprintf|puts|fputs|putchar)\s*\()",
+     [](const std::string& rel) { return starts_with(rel, "obs/"); },
+     "console output from library code; only the gated obs report/trace "
+     "writers may emit (docs/OBSERVABILITY.md)"},
+};
+
+bool is_header(const std::string& rel) {
+  return rel.size() > 2 && (rel.ends_with(".h") || rel.ends_with(".hpp"));
+}
+
+/// Splits into lines (newline excluded). A trailing newline does not add
+/// an empty final line.
+std::vector<std::string> split_lines(const std::string& s) {
+  std::vector<std::string> lines;
+  std::string::size_type pos = 0;
+  while (pos <= s.size()) {
+    const auto nl = s.find('\n', pos);
+    if (nl == std::string::npos) {
+      if (pos < s.size()) lines.push_back(s.substr(pos));
+      break;
+    }
+    lines.push_back(s.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  return lines;
+}
+
+bool line_allows(const std::string& raw_line, const char* rule_id) {
+  const std::string marker = std::string("fp8q-lint: allow(") + rule_id + ")";
+  return raw_line.find(marker) != std::string::npos;
+}
+
+bool file_allows(const std::string& raw_content, const char* rule_id) {
+  const std::string marker = std::string("fp8q-lint: allow-file(") + rule_id + ")";
+  return raw_content.find(marker) != std::string::npos;
+}
+
+}  // namespace
+
+std::string format_finding(const Finding& f) {
+  std::ostringstream os;
+  os << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message;
+  return os.str();
+}
+
+std::string strip_comments_and_strings(const std::string& content) {
+  std::string out = content;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_terminator;  // for raw strings: )delim"
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(out[i - 1])) &&
+                               out[i - 1] != '_'))) {
+          // Raw string literal R"delim( ... )delim".
+          std::size_t p = i + 2;
+          std::string delim;
+          while (p < out.size() && out[p] != '(') delim += out[p++];
+          raw_terminator = ")" + delim + "\"";
+          state = State::kRawString;
+          for (std::size_t k = i; k <= p && k < out.size(); ++k) {
+            if (out[k] != '\n') out[k] = ' ';
+          }
+          i = p;
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = out[i + 1] = ' ';
+          state = State::kCode;
+          ++i;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        const char quote = state == State::kString ? '"' : '\'';
+        if (c == '\\') {
+          out[i] = ' ';
+          if (i + 1 < out.size() && out[i + 1] != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == quote) {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      }
+      case State::kRawString:
+        if (out.compare(i, raw_terminator.size(), raw_terminator) == 0) {
+          for (std::size_t k = i; k < i + raw_terminator.size(); ++k) out[k] = ' ';
+          i += raw_terminator.size() - 1;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<Finding> lint_file(const std::string& rel_path, const std::string& content) {
+  std::vector<Finding> findings;
+  const std::string stripped = strip_comments_and_strings(content);
+  const std::vector<std::string> raw_lines = split_lines(content);
+  const std::vector<std::string> code_lines = split_lines(stripped);
+
+  for (const Rule& rule : kRules) {
+    if (rule.exempt(rel_path) || file_allows(content, rule.id)) continue;
+    const std::regex pattern(rule.pattern);
+    for (std::size_t i = 0; i < code_lines.size(); ++i) {
+      if (!std::regex_search(code_lines[i], pattern)) continue;
+      if (i < raw_lines.size() && line_allows(raw_lines[i], rule.id)) continue;
+      findings.push_back({rel_path, static_cast<int>(i) + 1, rule.id, rule.message});
+    }
+  }
+
+  if (is_header(rel_path) && !file_allows(content, "pragma-once") &&
+      stripped.find("#pragma once") == std::string::npos) {
+    findings.push_back({rel_path, 1, "pragma-once",
+                        "header missing #pragma once (headers must be include-once and "
+                        "self-contained; see cmake/HeaderSelfContain.cmake)"});
+  }
+  return findings;
+}
+
+std::vector<Finding> lint_tree(const std::filesystem::path& src_root, std::string* error) {
+  namespace fs = std::filesystem;
+  std::vector<Finding> findings;
+  std::vector<fs::path> files;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(src_root, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) break;
+    if (!it->is_regular_file()) continue;
+    const std::string ext = it->path().extension().string();
+    if (ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc") {
+      files.push_back(it->path());
+    }
+  }
+  if (ec && error != nullptr) {
+    *error += "fp8q_lint: error walking " + src_root.string() + ": " + ec.message() + "\n";
+  }
+  std::sort(files.begin(), files.end());
+
+  for (const fs::path& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      const std::string rel = path.lexically_relative(src_root).generic_string();
+      findings.push_back({rel, 0, "io-error", "cannot read file"});
+      if (error != nullptr) *error += "fp8q_lint: cannot read " + path.string() + "\n";
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string rel = path.lexically_relative(src_root).generic_string();
+    auto file_findings = lint_file(rel, buf.str());
+    findings.insert(findings.end(), file_findings.begin(), file_findings.end());
+  }
+
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return findings;
+}
+
+}  // namespace fp8q::lint
