@@ -1,0 +1,277 @@
+// Hot-path kernel performance snapshot (docs/PERFORMANCE.md). Measures:
+//
+//   * fake-quant cast throughput, scalar fast-cast loop vs the batched
+//     branch-free kernel, per FP8 format, pinned to one thread;
+//   * blocked matmul throughput in GFLOP/s;
+//   * accuracy-tuner wall time with the quantized-weight cache off vs on
+//     (embedding-heavy workload, where weight quantization dominates).
+//
+// Writes BENCH_kernels.json (override with --out=<path>). `--smoke` runs a
+// reduced configuration for the CI perf gate: it still enforces that the
+// batched kernel is no slower than the scalar loop, exiting nonzero on a
+// regression, but skips the long tuner sweep.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/parallel.h"
+#include "fp8/cast_fast.h"
+#include "nn/matmul.h"
+#include "obs/trace.h"
+#include "quant/weight_cache.h"
+#include "tensor/rng.h"
+#include "tune/tuner.h"
+#include "workloads/registry.h"
+
+namespace {
+
+using namespace fp8q;
+
+double seconds_since(std::uint64_t t0_ns) {
+  return static_cast<double>(obs_now_ns() - t0_ns) / 1e9;
+}
+
+struct CastResult {
+  const char* format;
+  double scalar_elems_per_sec;
+  double batched_elems_per_sec;
+};
+
+CastResult measure_cast(Fp8Kind kind, std::int64_t n, int iters, int reps) {
+  const FastCastSpec& spec = fast_cast_spec(kind);
+  Rng rng(17);
+  Tensor data = randn(rng, {n});
+  Tensor out(data.shape());
+  const float scale = spec.max_value / 17.0f;
+  const float inv = 1.0f / scale;
+  const auto in = data.flat();
+  auto dst = out.flat();
+
+  double scalar_best = 0.0;
+  double batched_best = 0.0;
+  volatile float sink = 0.0f;
+  for (int r = 0; r < reps; ++r) {
+    std::uint64_t t0 = obs_now_ns();
+    for (int it = 0; it < iters; ++it) {
+      for (std::size_t i = 0; i < in.size(); ++i) {
+        dst[i] = fp8_quantize_fast(in[i] * scale, spec) * inv;
+      }
+      sink = dst[0];
+    }
+    const double scalar_rate =
+        static_cast<double>(n) * iters / seconds_since(t0);
+
+    t0 = obs_now_ns();
+    for (int it = 0; it < iters; ++it) {
+      fp8_quantize_batch(in, dst, spec, scale);
+      sink = dst[0];
+    }
+    const double batched_rate =
+        static_cast<double>(n) * iters / seconds_since(t0);
+
+    if (scalar_rate > scalar_best) scalar_best = scalar_rate;
+    if (batched_rate > batched_best) batched_best = batched_rate;
+  }
+  (void)sink;
+  return {to_string(kind).data(), scalar_best, batched_best};
+}
+
+struct MatmulResult {
+  std::int64_t m, k, n;
+  double gflops;
+};
+
+MatmulResult measure_matmul(std::int64_t m, std::int64_t k, std::int64_t n, int iters,
+                            int reps) {
+  Rng rng(23);
+  Tensor a = randn(rng, {m, k});
+  Tensor b = randn(rng, {k, n});
+  MatMulOp op(false, false);
+  const std::vector<Tensor> in = {a, b};
+  double best = 0.0;
+  volatile float sink = 0.0f;
+  for (int r = 0; r < reps; ++r) {
+    const std::uint64_t t0 = obs_now_ns();
+    for (int it = 0; it < iters; ++it) {
+      const Tensor y = op.forward(in);
+      sink = y[0];
+    }
+    const double flops = 2.0 * static_cast<double>(m) * static_cast<double>(k) *
+                         static_cast<double>(n) * iters;
+    const double rate = flops / seconds_since(t0) / 1e9;
+    if (rate > best) best = rate;
+  }
+  (void)sink;
+  return {m, k, n, best};
+}
+
+struct TunerResult {
+  std::string workload;
+  int trials_off = 0;
+  int trials_on = 0;
+  double wall_ms_off = 0.0;
+  double wall_ms_on = 0.0;
+  double reduction_pct = 0.0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+};
+
+/// Times `rounds` autotune sweeps on one workload with the weight cache
+/// disabled, then enabled. Embedding-heavy workloads spend most of each
+/// trial quantizing the same large tables, which is exactly what the cache
+/// elides; forward-dominated workloads see little change (the caveat is
+/// documented in docs/PERFORMANCE.md). Multiple rounds amortize timer
+/// noise and match the suite-sweep usage where one process tunes many
+/// configurations against the same models.
+TunerResult measure_tuner(const Workload& w, const EvalProtocol& protocol, int rounds) {
+  TunerResult r;
+  r.workload = w.name;
+  TuneOptions options;
+  options.accuracy_criterion = -1.0;  // never met: every arm runs
+
+  set_weight_cache_capacity_bytes(0);
+  weight_cache_clear();
+  std::uint64_t t0 = obs_now_ns();
+  for (int round = 0; round < rounds; ++round) {
+    const TuneResult off = autotune(w, DType::kE4M3, protocol, options);
+    r.trials_off = off.trials();
+  }
+  r.wall_ms_off = seconds_since(t0) * 1e3;
+
+  set_weight_cache_capacity_bytes(256ll << 20);
+  weight_cache_clear();
+  const auto stats_before = weight_cache_stats();
+  t0 = obs_now_ns();
+  for (int round = 0; round < rounds; ++round) {
+    const TuneResult on = autotune(w, DType::kE4M3, protocol, options);
+    r.trials_on = on.trials();
+  }
+  r.wall_ms_on = seconds_since(t0) * 1e3;
+  const auto stats_after = weight_cache_stats();
+  r.cache_hits = stats_after.hits - stats_before.hits;
+  r.cache_misses = stats_after.misses - stats_before.misses;
+
+  set_weight_cache_capacity_bytes(-1);
+  weight_cache_clear();
+  r.reduction_pct =
+      r.wall_ms_off > 0.0 ? (r.wall_ms_off - r.wall_ms_on) / r.wall_ms_off * 100.0 : 0.0;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_kernels.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    }
+  }
+
+  // One thread: the numbers measure the kernels, not the parallel runtime
+  // (bench_parallel_scaling covers scaling).
+  set_num_threads(1);
+
+  const std::int64_t cast_n = smoke ? 65536 : 1 << 20;
+  const int cast_iters = smoke ? 8 : 32;
+  const int reps = smoke ? 2 : 3;
+
+  std::vector<CastResult> casts;
+  for (Fp8Kind kind : {Fp8Kind::E5M2, Fp8Kind::E4M3, Fp8Kind::E3M4}) {
+    casts.push_back(measure_cast(kind, cast_n, cast_iters, reps));
+  }
+
+  std::vector<MatmulResult> matmuls;
+  matmuls.push_back(measure_matmul(64, 256, 256, smoke ? 4 : 16, reps));
+  if (!smoke) matmuls.push_back(measure_matmul(128, 512, 512, 8, reps));
+
+  std::vector<TunerResult> tuners;
+  if (!smoke) {
+    const auto suite = build_suite();
+    EvalProtocol protocol;  // trimmed: weight quantization dominates
+    protocol.calib_batches = 1;
+    protocol.calib_batch_size = 4;
+    protocol.eval_batches = 1;
+    protocol.eval_batch_size = 8;
+    protocol.bn_calibration_batches = 0;
+    // The cache's target population: weight-quantization-dominated models
+    // (large embedding tables, cheap forwards). Compute-dominated models
+    // spend their trials in matmuls, not weight quantization, so they are
+    // measured by the cast/matmul sections above instead.
+    for (const char* name : {"dlrm-ish"}) {
+      tuners.push_back(measure_tuner(find_workload(suite, name), protocol, 10));
+    }
+  }
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_kernels: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"version\": 1,\n  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  std::fprintf(f, "  \"cast\": [\n");
+  for (std::size_t i = 0; i < casts.size(); ++i) {
+    const auto& c = casts[i];
+    std::fprintf(f,
+                 "    {\"format\": \"%s\", \"scalar_elems_per_sec\": %.3e, "
+                 "\"batched_elems_per_sec\": %.3e, \"speedup\": %.2f}%s\n",
+                 c.format, c.scalar_elems_per_sec, c.batched_elems_per_sec,
+                 c.batched_elems_per_sec / c.scalar_elems_per_sec,
+                 i + 1 < casts.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"matmul\": [\n");
+  for (std::size_t i = 0; i < matmuls.size(); ++i) {
+    const auto& m = matmuls[i];
+    std::fprintf(f,
+                 "    {\"m\": %lld, \"k\": %lld, \"n\": %lld, \"gflops\": %.2f}%s\n",
+                 static_cast<long long>(m.m), static_cast<long long>(m.k),
+                 static_cast<long long>(m.n), m.gflops,
+                 i + 1 < matmuls.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"tuner\": [\n");
+  for (std::size_t i = 0; i < tuners.size(); ++i) {
+    const auto& t = tuners[i];
+    std::fprintf(f,
+                 "    {\"workload\": \"%s\", \"trials\": %d, "
+                 "\"wall_ms_cache_off\": %.1f, \"wall_ms_cache_on\": %.1f, "
+                 "\"reduction_pct\": %.1f, \"cache_hits\": %llu, "
+                 "\"cache_misses\": %llu}%s\n",
+                 t.workload.c_str(), t.trials_on, t.wall_ms_off, t.wall_ms_on,
+                 t.reduction_pct, static_cast<unsigned long long>(t.cache_hits),
+                 static_cast<unsigned long long>(t.cache_misses),
+                 i + 1 < tuners.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+
+  std::printf("bench_kernels (%s) -> %s\n", smoke ? "smoke" : "full", out_path.c_str());
+  for (const auto& c : casts) {
+    std::printf("  cast %-5s scalar %.3e elem/s  batched %.3e elem/s  (%.2fx)\n",
+                c.format, c.scalar_elems_per_sec, c.batched_elems_per_sec,
+                c.batched_elems_per_sec / c.scalar_elems_per_sec);
+  }
+  for (const auto& m : matmuls) {
+    std::printf("  matmul %lldx%lldx%lld: %.2f GFLOP/s\n", static_cast<long long>(m.m),
+                static_cast<long long>(m.k), static_cast<long long>(m.n), m.gflops);
+  }
+  for (const auto& t : tuners) {
+    std::printf("  tuner %-16s off %.0f ms  on %.0f ms  (-%.1f%%, %llu hits)\n",
+                t.workload.c_str(), t.wall_ms_off, t.wall_ms_on, t.reduction_pct,
+                static_cast<unsigned long long>(t.cache_hits));
+  }
+
+  // Perf gate: the batched kernel must never lose to the scalar loop.
+  bool ok = true;
+  for (const auto& c : casts) {
+    if (c.batched_elems_per_sec < c.scalar_elems_per_sec) {
+      std::fprintf(stderr, "bench_kernels: batched cast slower than scalar for %s\n",
+                   c.format);
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}

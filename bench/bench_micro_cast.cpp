@@ -3,6 +3,7 @@
 #include <benchmark/benchmark.h>
 
 #include "fp8/cast.h"
+#include "fp8/cast_fast.h"
 #include "fp8/int8.h"
 #include "nn/linear.h"
 #include "quant/quantizer.h"
@@ -53,6 +54,44 @@ void BM_Fp8QuantizeScaled(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_Fp8QuantizeScaled)->Arg(65536);
+
+// Scalar fast-cast loop vs the batched branch-free kernel, per format: the
+// pair measures what the auto-vectorizable rewrite buys on the same data
+// (docs/PERFORMANCE.md). Both compute out = quantize(x * scale) / scale.
+void BM_Fp8QuantizeScaledScalarLoop(benchmark::State& state) {
+  const auto kind = static_cast<Fp8Kind>(state.range(0));
+  const FastCastSpec& spec = fast_cast_spec(kind);
+  Tensor data = make_data(65536);
+  Tensor out(data.shape());
+  const float scale = spec.max_value / 17.0f;
+  const float inv = 1.0f / scale;
+  const auto in = data.flat();
+  auto dst = out.flat();
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      dst[i] = fp8_quantize_fast(in[i] * scale, spec) * inv;
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(in.size()));
+}
+BENCHMARK(BM_Fp8QuantizeScaledScalarLoop)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_Fp8QuantizeBatched(benchmark::State& state) {
+  const auto kind = static_cast<Fp8Kind>(state.range(0));
+  const FastCastSpec& spec = fast_cast_spec(kind);
+  Tensor data = make_data(65536);
+  Tensor out(data.shape());
+  const float scale = spec.max_value / 17.0f;
+  const auto in = data.flat();
+  auto dst = out.flat();
+  for (auto _ : state) {
+    fp8_quantize_batch(in, dst, spec, scale);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(in.size()));
+}
+BENCHMARK(BM_Fp8QuantizeBatched)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_Int8Quantize(benchmark::State& state) {
   Tensor data = make_data(state.range(0));

@@ -31,6 +31,30 @@
 
 namespace fp8q {
 
+/// Parallelization grain for memory-bound elementwise kernels, in BYTES of
+/// input touched per chunk. Pass `kParallelGrainBytes / sizeof(T)` as the
+/// parallel_for grain so a chunk covers ~64 KiB regardless of element
+/// width -- enough work to amortize the fork/join handshake, small enough
+/// that short tensors still fan out. Kernels must not hard-code their own
+/// thresholds (lint rule "parallel-grain", tools/fp8q_lint_lib.cpp).
+inline constexpr std::int64_t kParallelGrainBytes = 65536;
+
+/// Parallelization grain for compute-bound kernels (matmul/linear/conv), in
+/// FLOPs per chunk: the parallel_for grain is kParallelGrainFlops divided by
+/// the per-iteration cost, so a chunk carries ~64k FLOPs no matter how the
+/// loop is shaped.
+inline constexpr std::int64_t kParallelGrainFlops = 65536;
+
+/// Overflow-safe cost product for grain heuristics: a * b saturated to
+/// `cap`. Chainable (capped_cost(capped_cost(a, b, cap), c, cap)) because a
+/// saturated intermediate stays saturated. Any zero factor gives zero; the
+/// caller clamps (grain heuristics use max(1, ...) on both cost and grain).
+[[nodiscard]] constexpr std::int64_t capped_cost(std::int64_t a, std::int64_t b,
+                                                std::int64_t cap) {
+  if (a <= 0 || b <= 0) return 0;
+  return a > cap / b ? cap : a * b;
+}
+
 /// std::thread::hardware_concurrency(), clamped to >= 1. Cached.
 [[nodiscard]] int hardware_threads();
 

@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cmath>
+#include <cstddef>
 
 #include "core/parallel.h"
 #include "obs/counters.h"
@@ -14,6 +15,8 @@ FastCastSpec::FastCastSpec(const FormatSpec& spec)
       max_bits(std::bit_cast<std::uint32_t>(spec.max_value())),
       half_min_sub(std::bit_cast<std::uint32_t>(spec.min_subnormal() * 0.5f)),
       min_subnormal(spec.min_subnormal()),
+      min_biased_exp(static_cast<std::uint32_t>(spec.min_unbiased_exp() + 127)),
+      max_value(spec.max_value()),
       obs_fmt(obs_format(spec)) {}
 
 float fp8_quantize_fast(float x, const FastCastSpec& spec) {
@@ -61,43 +64,100 @@ float fp8_quantize_fast(float x, const FastCastSpec& spec) {
   return std::bit_cast<float>(sign | au);
 }
 
+void fp8_quantize_batch(std::span<const float> in, std::span<float> out,
+                        const FastCastSpec& spec, float scale, CastTally* tally) {
+  const std::size_t n = in.size() < out.size() ? in.size() : out.size();
+  const float inv = 1.0f / scale;
+  const auto man = static_cast<std::uint32_t>(spec.man_bits);
+  const std::uint32_t min_eb = spec.min_biased_exp;
+  const std::uint32_t max_bits = spec.max_bits;
+  const std::uint32_t half_min_sub = spec.half_min_sub;
+  const float max_value = spec.max_value;
+
+  if (tally != nullptr) {
+    // Classification pass over the inputs FIRST: `out` may alias `in`, and
+    // tallying in a separate read-only sweep keeps the quantize loop below
+    // byte-identical whether or not events are being counted.
+    std::uint64_t saturated = 0;
+    std::uint64_t flushed = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t au = std::bit_cast<std::uint32_t>(in[i] * scale) & 0x7FFFFFFFu;
+      // Finite overflow and +/-Inf clamp to +/-max; NaN (above the Inf
+      // pattern) passes through and is not an event.
+      saturated += static_cast<std::uint64_t>(au > max_bits && au <= 0x7F800000u);
+      // Nonzero but at or below half the smallest subnormal: rounds to 0.
+      flushed += static_cast<std::uint64_t>(au != 0u && au <= half_min_sub);
+    }
+    tally->quantized += static_cast<std::uint64_t>(n);
+    tally->saturated += saturated;
+    tally->flushed += flushed;
+  }
+
+  // Branch-free rounding in the float domain. For a magnitude `ax` with
+  // (clamped) biased exponent eb, the grid spacing is step = 2^(eb-127-man)
+  // -- man mantissa bits per binade, widening to the shared subnormal grid
+  // below min_biased_exp. Both step and 1/step are built by shifting an
+  // exponent into a float, so `v = ax / step` and the final `k * step` are
+  // EXACT power-of-two scalings; the single rounding happens in the magic
+  // add, which snaps v < 2^22 to the nearest integer with ties-to-even.
+  // That reproduces the scalar path bit for bit, including its two rounding
+  // corners: in the lowest subnormal binade v lies in [1, 2), where the
+  // RNE tie at 1.5 picks 2 (the even integer) -- the scalar shift == 23
+  // round-half-up -- and in (half_min_sub, min_subnormal), v lies in
+  // (0.5, 1), rounding up to one grid step, the scalar shift >= 24 case.
+  // Inf survives the arithmetic (v = k = q = Inf) and the saturate select
+  // clamps it to max_value; NaN fails every compare and is passed through
+  // by the final select with its payload intact. All operations are
+  // constant shifts, adds, multiplies and compare-selects, so the loop
+  // auto-vectorizes (this file builds at -O3, src/fp8/CMakeLists.txt).
+  constexpr float kRoundMagic = 12582912.0f;  // 1.5 * 2^23
+  for (std::size_t i = 0; i < n; ++i) {
+    const float scaled = in[i] * scale;
+    const std::uint32_t u = std::bit_cast<std::uint32_t>(scaled);
+    const std::uint32_t sign = u & 0x80000000u;
+    const std::uint32_t au = u & 0x7FFFFFFFu;
+    std::uint32_t eb = au >> 23;
+    eb = eb < min_eb ? min_eb : eb;
+    const float step = std::bit_cast<float>((eb - man) << 23);
+    const float inv_step = std::bit_cast<float>((254u + man - eb) << 23);
+    const float ax = std::bit_cast<float>(au);
+    const float v = ax * inv_step;                        // exact
+    const float k = (v + kRoundMagic) - kRoundMagic;      // RNE to integer
+    float q = k * step;                                   // exact
+    q = q > max_value ? max_value : q;                    // saturate
+    std::uint32_t rbits = sign | std::bit_cast<std::uint32_t>(q);
+    rbits = au <= half_min_sub ? sign : rbits;            // flush to zero
+    rbits = au > 0x7F800000u ? u : rbits;                 // NaN passthrough
+    out[i] = std::bit_cast<float>(rbits) * inv;
+  }
+}
+
 void fp8_quantize_scaled_fast(std::span<const float> in, std::span<float> out,
                               const FastCastSpec& spec, float scale) {
   if (!(scale > 0.0f) || !std::isfinite(scale)) scale = 1.0f;
-  const float inv = 1.0f / scale;
   const auto n = static_cast<std::int64_t>(in.size() < out.size() ? in.size() : out.size());
-  // Event counting is decided once per bulk call (not per element); the
-  // instrumented loop classifies each scaled input from its bit pattern --
-  // the same comparisons the cast itself performs -- and flushes one tally
-  // per chunk, so outputs are bit-identical with counters on or off.
+  // Event counting is decided once per bulk call (not per element); tallies
+  // are folded into the sharded counters once per chunk, and the batch
+  // kernel computes them in a separate pass so outputs are bit-identical
+  // with counters on or off.
   const bool counted = counters_enabled();
   // Pure per-element bit math: each index writes only out[i], so the
   // result is bit-identical at any thread count. The fast path runs at a
-  // few ns/element; a large grain keeps single-batch calls inline.
-  parallel_for(0, n, 16384, [&, counted](std::int64_t lo, std::int64_t hi) {
+  // fraction of a ns/element; a large grain keeps single-batch calls inline.
+  constexpr std::int64_t kGrain = kParallelGrainBytes / static_cast<std::int64_t>(sizeof(float));
+  parallel_for(0, n, kGrain, [&, counted](std::int64_t lo, std::int64_t hi) {
+    const auto len = static_cast<std::size_t>(hi - lo);
+    const auto src = in.subspan(static_cast<std::size_t>(lo), len);
+    const auto dst = out.subspan(static_cast<std::size_t>(lo), len);
     if (!counted) {
-      for (std::int64_t i = lo; i < hi; ++i) {
-        out[i] = fp8_quantize_fast(in[i] * scale, spec) * inv;
-      }
+      fp8_quantize_batch(src, dst, spec, scale);
       return;
     }
-    std::uint64_t saturated = 0;
-    std::uint64_t flushed = 0;
-    for (std::int64_t i = lo; i < hi; ++i) {
-      const float scaled = in[i] * scale;
-      out[i] = fp8_quantize_fast(scaled, spec) * inv;
-      const std::uint32_t au = std::bit_cast<std::uint32_t>(scaled) & 0x7FFFFFFFu;
-      if (au > spec.max_bits) {
-        // Finite overflow and +/-Inf clamp to +/-max; NaN (au above the
-        // Inf pattern) passes through and is not an event.
-        if (au <= 0x7F800000u) ++saturated;
-      } else if (au != 0 && au <= spec.half_min_sub) {
-        ++flushed;  // at or below half the smallest subnormal: rounds to 0
-      }
-    }
-    counter_add(spec.obs_fmt, ObsEvent::kQuantized, static_cast<std::uint64_t>(hi - lo));
-    counter_add(spec.obs_fmt, ObsEvent::kSaturated, saturated);
-    counter_add(spec.obs_fmt, ObsEvent::kFlushedToZero, flushed);
+    CastTally tally;
+    fp8_quantize_batch(src, dst, spec, scale, &tally);
+    counter_add(spec.obs_fmt, ObsEvent::kQuantized, tally.quantized);
+    counter_add(spec.obs_fmt, ObsEvent::kSaturated, tally.saturated);
+    counter_add(spec.obs_fmt, ObsEvent::kFlushedToZero, tally.flushed);
   });
 }
 

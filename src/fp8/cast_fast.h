@@ -5,8 +5,18 @@
 // against the reference implementation in the test suite. This is the hot
 // path of the emulation framework: every activation element of every
 // quantized operator passes through it.
+//
+// Two forms (docs/PERFORMANCE.md):
+//   * fp8_quantize_fast      -- scalar, early-exit branches. Kept as the
+//                               exhaustive-test reference.
+//   * fp8_quantize_batch     -- branch-free loop over a contiguous chunk,
+//                               written so the compiler auto-vectorizes it
+//                               (constant shifts, compare-selects, no
+//                               per-lane control flow). Bit-identical to
+//                               the scalar path, including NaN payloads.
 #pragma once
 
+#include <cstdint>
 #include <span>
 
 #include "fp8/format.h"
@@ -18,18 +28,45 @@ struct FastCastSpec {
   explicit FastCastSpec(const FormatSpec& spec);
 
   int man_bits;
-  int min_unbiased_exp;        ///< grid exponent floor (1 - bias)
-  std::uint32_t max_bits;      ///< bit pattern of the largest finite value
-  std::uint32_t half_min_sub;  ///< bit pattern of min_subnormal / 2
+  int min_unbiased_exp;           ///< grid exponent floor (1 - bias)
+  std::uint32_t max_bits;         ///< bit pattern of the largest finite value
+  std::uint32_t half_min_sub;     ///< bit pattern of min_subnormal / 2
   float min_subnormal;
-  ObsFormat obs_fmt;           ///< counter bucket for event accounting
+  std::uint32_t min_biased_exp;   ///< min_unbiased_exp + 127 (float32 bias)
+  float max_value;                ///< largest finite representable magnitude
+  ObsFormat obs_fmt;              ///< counter bucket for event accounting
+};
+
+/// Per-chunk quantization-event tally produced by fp8_quantize_batch.
+/// Semantics match the per-element counters the scalar path feeds into
+/// obs/counters.h: `quantized` counts every element, `saturated` counts
+/// finite overflow and +/-Inf (not NaN), `flushed` counts nonzero inputs
+/// at or below half the smallest subnormal -- all classified on the
+/// SCALED value, before dividing the scale back out.
+struct CastTally {
+  std::uint64_t quantized = 0;
+  std::uint64_t saturated = 0;
+  std::uint64_t flushed = 0;
 };
 
 /// RNE + saturating fake quantization; NaN passes through.
 [[nodiscard]] float fp8_quantize_fast(float x, const FastCastSpec& spec);
 
+/// Batched chunk kernel: out[i] = fp8_quantize_fast(in[i] * scale) / scale
+/// for i in [0, min(in.size, out.size)), single-threaded and branch-free.
+/// `out` may alias `in` exactly (same base pointer) or not overlap at all.
+/// The caller must pre-sanitize `scale` (positive, finite). When `tally`
+/// is non-null the chunk's events are accumulated into it via a separate
+/// classification pass over `in` BEFORE quantizing, so outputs are
+/// bit-identical whether or not events are tallied.
+void fp8_quantize_batch(std::span<const float> in, std::span<float> out,
+                        const FastCastSpec& spec, float scale,
+                        CastTally* tally = nullptr);
+
 /// Vector form: out[i] = fp8_quantize_fast(in[i] * scale) / scale.
 /// `out` may alias `in`. A non-finite or non-positive scale is treated as 1.
+/// Parallelizes over ~kParallelGrainBytes chunks and folds one event tally
+/// per chunk into the sharded counters when counting is enabled.
 void fp8_quantize_scaled_fast(std::span<const float> in, std::span<float> out,
                               const FastCastSpec& spec, float scale);
 

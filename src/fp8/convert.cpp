@@ -61,8 +61,9 @@ void fp8_convert(std::span<const std::uint8_t> in, std::span<std::uint8_t> out,
     }
   }
   // Table lookups are memory-bound; only tensors of ~100k+ codes are worth
-  // fanning out.
-  parallel_for(0, n, 65536, [&, counted](std::int64_t lo, std::int64_t hi) {
+  // fanning out (one code is one byte, so the byte grain is the grain).
+  constexpr std::int64_t kGrain = kParallelGrainBytes / static_cast<std::int64_t>(sizeof(std::uint8_t));
+  parallel_for(0, n, kGrain, [&, counted](std::int64_t lo, std::int64_t hi) {
     if (!counted) {
       for (std::int64_t i = lo; i < hi; ++i) out[i] = lut[in[i]];
       return;

@@ -423,7 +423,10 @@ RunReport report_from_json(std::istream& in) {
   if (version == nullptr || version->kind != JsonValue::Kind::kNumber) {
     throw std::runtime_error("fp8q report: missing fp8q_report_version");
   }
-  if (static_cast<int>(version->number) != kReportVersion) {
+  // Older reports (v1: no "weight_cache" block) parse fine with the
+  // missing fields defaulted, so accept every version up to the current.
+  if (static_cast<int>(version->number) < 1 ||
+      static_cast<int>(version->number) > kReportVersion) {
     throw std::runtime_error("fp8q report: unsupported version " +
                              std::to_string(static_cast<int>(version->number)));
   }
@@ -432,6 +435,13 @@ RunReport report_from_json(std::istream& in) {
   report.tool = get_string(root, "tool");
   report.num_threads = static_cast<int>(get_number(root, "num_threads"));
   report.counters = parse_counters(root.find("counters"));
+  if (const JsonValue* wc = root.find("weight_cache");
+      wc != nullptr && wc->kind == JsonValue::Kind::kObject) {
+    for (int e = 0; e < kObsCacheEventCount; ++e) {
+      report.weight_cache.counts[e] = static_cast<std::uint64_t>(
+          get_number(*wc, to_string(static_cast<ObsCacheEvent>(e))));
+    }
+  }
   report.spans_dropped = static_cast<std::uint64_t>(get_number(root, "spans_dropped"));
 
   if (const JsonValue* stages = root.find("stages");

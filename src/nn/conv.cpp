@@ -61,37 +61,57 @@ Tensor Conv2dOp::forward(std::span<const Tensor> inputs) {
   const std::int64_t oc_per_group = oc / groups_;
   // Parallel over the n*oc output planes: each plane writes a disjoint
   // oh*ow block of y with a plane-local accumulator, so results match the
-  // serial loop bit-for-bit. Grain targets ~64k multiply-adds per chunk.
-  const std::int64_t flops_per_plane =
-      std::max<std::int64_t>(std::int64_t{1}, oh * ow * icg * kh * kw);
-  const std::int64_t grain = std::max<std::int64_t>(std::int64_t{1}, 65536 / flops_per_plane);
+  // serial loop bit-for-bit. Grain targets ~kParallelGrainFlops
+  // multiply-adds per chunk; the chained capped_cost keeps the five-factor
+  // product from overflowing for huge shapes.
+  const std::int64_t flops_per_plane = std::max<std::int64_t>(
+      std::int64_t{1},
+      capped_cost(capped_cost(capped_cost(capped_cost(oh, ow, kParallelGrainFlops), icg,
+                                          kParallelGrainFlops),
+                              kh, kParallelGrainFlops),
+                  kw, kParallelGrainFlops));
+  const std::int64_t grain =
+      std::max<std::int64_t>(std::int64_t{1}, kParallelGrainFlops / flops_per_plane);
   parallel_for(0, n * oc, grain, [&](std::int64_t plane_lo, std::int64_t plane_hi) {
+    // Decode (batch, out-channel) once per chunk and step incrementally;
+    // the division leaves the plane loop entirely.
+    std::int64_t b = plane_lo / oc;
+    std::int64_t o = plane_lo - b * oc;
     for (std::int64_t plane = plane_lo; plane < plane_hi; ++plane) {
-      const std::int64_t b = plane / oc;
-      const std::int64_t o = plane % oc;
       const std::int64_t g = o / oc_per_group;
       const float bias_v = bd ? bd[o] : 0.0f;
       for (std::int64_t oy = 0; oy < oh; ++oy) {
+        const std::int64_t iy0 = oy * stride_ - padding_;
+        // Clamp the kernel window to the input once per output row /
+        // column instead of bounds-testing every tap. Out-of-range taps
+        // never contributed to the sum, so skipping them wholesale leaves
+        // the in-range accumulation order -- and thus the result bits --
+        // unchanged.
+        const std::int64_t ky_lo = std::max<std::int64_t>(std::int64_t{0}, -iy0);
+        const std::int64_t ky_hi = std::min<std::int64_t>(kh, h - iy0);
         for (std::int64_t ox = 0; ox < ow; ++ox) {
           float acc = bias_v;
-          const std::int64_t iy0 = oy * stride_ - padding_;
           const std::int64_t ix0 = ox * stride_ - padding_;
+          const std::int64_t kx_lo = std::max<std::int64_t>(std::int64_t{0}, -ix0);
+          const std::int64_t kx_hi = std::min<std::int64_t>(kw, w - ix0);
           for (std::int64_t c = 0; c < icg; ++c) {
             const std::int64_t in_c = g * icg + c;
             const float* xplane = xd + ((b * ic + in_c) * h) * w;
             const float* wplane = wd + ((o * icg + c) * kh) * kw;
-            for (std::int64_t ky = 0; ky < kh; ++ky) {
-              const std::int64_t iy = iy0 + ky;
-              if (iy < 0 || iy >= h) continue;
-              for (std::int64_t kx = 0; kx < kw; ++kx) {
-                const std::int64_t ix = ix0 + kx;
-                if (ix < 0 || ix >= w) continue;
-                acc += xplane[iy * w + ix] * wplane[ky * kw + kx];
+            for (std::int64_t ky = ky_lo; ky < ky_hi; ++ky) {
+              const float* xrow = xplane + (iy0 + ky) * w + ix0;
+              const float* wrow = wplane + ky * kw;
+              for (std::int64_t kx = kx_lo; kx < kx_hi; ++kx) {
+                acc += xrow[kx] * wrow[kx];
               }
             }
           }
           yd[((b * oc + o) * oh + oy) * ow + ox] = acc;
         }
+      }
+      if (++o == oc) {
+        o = 0;
+        ++b;
       }
     }
   });

@@ -24,6 +24,8 @@ class Conv2dOp final : public Op {
   [[nodiscard]] Tensor& weight() { return weight_; }
   [[nodiscard]] Tensor& bias() { return bias_; }
 
+  [[nodiscard]] OpPtr clone() const override { return std::make_unique<Conv2dOp>(*this); }
+
  private:
   Tensor weight_;  ///< [oc, ic/groups, kh, kw]
   Tensor bias_;    ///< [oc] or empty

@@ -15,6 +15,8 @@ class BinaryOp final : public Op {
   [[nodiscard]] OpKind kind() const override { return kind_; }
   [[nodiscard]] int arity() const override { return 2; }
 
+  [[nodiscard]] OpPtr clone() const override { return std::make_unique<BinaryOp>(*this); }
+
  private:
   OpKind kind_;
 };
@@ -27,6 +29,8 @@ class ActivationOp final : public Op {
   Tensor forward(std::span<const Tensor> inputs) override;
   [[nodiscard]] OpKind kind() const override { return kind_; }
 
+  [[nodiscard]] OpPtr clone() const override { return std::make_unique<ActivationOp>(*this); }
+
  private:
   OpKind kind_;
 };
@@ -36,6 +40,7 @@ class SoftmaxOp final : public Op {
  public:
   Tensor forward(std::span<const Tensor> inputs) override;
   [[nodiscard]] OpKind kind() const override { return OpKind::kSoftmax; }
+  [[nodiscard]] OpPtr clone() const override { return std::make_unique<SoftmaxOp>(*this); }
 };
 
 /// Multiplies by a compile-time constant (e.g. attention 1/sqrt(d)).
@@ -46,6 +51,8 @@ class ScaleOp final : public Op {
   Tensor forward(std::span<const Tensor> inputs) override;
   [[nodiscard]] OpKind kind() const override { return OpKind::kScale; }
   [[nodiscard]] float factor() const { return factor_; }
+
+  [[nodiscard]] OpPtr clone() const override { return std::make_unique<ScaleOp>(*this); }
 
  private:
   float factor_;

@@ -21,6 +21,8 @@ class EmbeddingOp final : public Op {
   [[nodiscard]] std::int64_t dim() const { return table_.size(1); }
   [[nodiscard]] Tensor& table() { return table_; }
 
+  [[nodiscard]] OpPtr clone() const override { return std::make_unique<EmbeddingOp>(*this); }
+
  private:
   Tensor table_;
 };

@@ -39,6 +39,18 @@ void Graph::clear_taps() {
   output_tap_ = nullptr;
 }
 
+Graph Graph::clone() const {
+  Graph copy;
+  copy.nodes_.reserve(nodes_.size());
+  for (const Node& node : nodes_) {
+    copy.nodes_.push_back(
+        Node{node.name, node.op ? node.op->clone() : nullptr, node.inputs, node.kind});
+  }
+  copy.input_ids_ = input_ids_;
+  copy.output_ = output_;
+  return copy;
+}
+
 Tensor Graph::forward(std::span<const Tensor> inputs) {
   if (inputs.size() != input_ids_.size()) {
     throw std::invalid_argument("Graph::forward: wrong number of inputs");

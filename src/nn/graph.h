@@ -54,6 +54,13 @@ class Graph {
   void set_output_tap(OutputTap tap) { output_tap_ = std::move(tap); }
   void clear_taps();
 
+  /// Deep copy: every op (and its weights) is cloned, so the copy can be
+  /// mutated, quantized and run concurrently with the original. Cloned
+  /// weight tensors adopt the source's identity (Tensor::identity()), so
+  /// quantizing a clone hits the weight cache warmed by a sibling. Taps
+  /// are NOT copied -- they hold caller context bound to this graph.
+  [[nodiscard]] Graph clone() const;
+
   [[nodiscard]] int node_count() const { return static_cast<int>(nodes_.size()); }
   [[nodiscard]] Node& node(NodeId id) { return nodes_[static_cast<size_t>(id)]; }
   [[nodiscard]] const Node& node(NodeId id) const { return nodes_[static_cast<size_t>(id)]; }

@@ -16,6 +16,7 @@ class LinearOp final : public Op {
 
   [[nodiscard]] OpKind kind() const override { return OpKind::kLinear; }
   [[nodiscard]] std::vector<Tensor*> weights() override;
+  [[nodiscard]] OpPtr clone() const override { return std::make_unique<LinearOp>(*this); }
 
   [[nodiscard]] std::int64_t in_features() const { return weight_.size(1); }
   [[nodiscard]] std::int64_t out_features() const { return weight_.size(0); }

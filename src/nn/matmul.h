@@ -21,6 +21,7 @@ class MatMulOp final : public Op {
     return batched_ ? OpKind::kBatchMatMul : OpKind::kMatMul;
   }
   [[nodiscard]] int arity() const override { return 2; }
+  [[nodiscard]] OpPtr clone() const override { return std::make_unique<MatMulOp>(*this); }
 
  private:
   bool batched_;

@@ -23,6 +23,8 @@ class LayerNormOp final : public Op {
   [[nodiscard]] Tensor& gamma() { return gamma_; }
   [[nodiscard]] Tensor& beta() { return beta_; }
 
+  [[nodiscard]] OpPtr clone() const override { return std::make_unique<LayerNormOp>(*this); }
+
  private:
   Tensor gamma_;
   Tensor beta_;
@@ -42,6 +44,8 @@ class GroupNormOp final : public Op {
   [[nodiscard]] OpKind kind() const override { return OpKind::kGroupNorm; }
   [[nodiscard]] std::vector<Tensor*> weights() override { return {&gamma_, &beta_}; }
   [[nodiscard]] int groups() const { return groups_; }
+
+  [[nodiscard]] OpPtr clone() const override { return std::make_unique<GroupNormOp>(*this); }
 
  private:
   int groups_;
@@ -70,6 +74,8 @@ class BatchNorm2dOp final : public Op {
 
   [[nodiscard]] Tensor& running_mean() { return running_mean_; }
   [[nodiscard]] Tensor& running_var() { return running_var_; }
+
+  [[nodiscard]] OpPtr clone() const override { return std::make_unique<BatchNorm2dOp>(*this); }
 
  private:
   Tensor gamma_;

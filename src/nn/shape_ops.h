@@ -14,6 +14,8 @@ class ReshapeOp final : public Op {
   Tensor forward(std::span<const Tensor> inputs) override;
   [[nodiscard]] OpKind kind() const override { return OpKind::kReshape; }
 
+  [[nodiscard]] OpPtr clone() const override { return std::make_unique<ReshapeOp>(*this); }
+
  private:
   Shape target_;
 };
@@ -23,6 +25,7 @@ class TransposeLastTwoOp final : public Op {
  public:
   Tensor forward(std::span<const Tensor> inputs) override;
   [[nodiscard]] OpKind kind() const override { return OpKind::kTranspose; }
+  [[nodiscard]] OpPtr clone() const override { return std::make_unique<TransposeLastTwoOp>(*this); }
 };
 
 /// Global average pooling over the spatial dims: [n, c, h, w] -> [n, c].
@@ -30,6 +33,7 @@ class GlobalAvgPoolOp final : public Op {
  public:
   Tensor forward(std::span<const Tensor> inputs) override;
   [[nodiscard]] OpKind kind() const override { return OpKind::kAvgPool; }
+  [[nodiscard]] OpPtr clone() const override { return std::make_unique<GlobalAvgPoolOp>(*this); }
 };
 
 /// 2x2 stride-2 max pooling: [n, c, h, w] -> [n, c, h/2, w/2].
@@ -37,6 +41,7 @@ class MaxPool2x2Op final : public Op {
  public:
   Tensor forward(std::span<const Tensor> inputs) override;
   [[nodiscard]] OpKind kind() const override { return OpKind::kMaxPool; }
+  [[nodiscard]] OpPtr clone() const override { return std::make_unique<MaxPool2x2Op>(*this); }
 };
 
 /// Concatenates two tensors along the channel axis (axis 1):
@@ -46,6 +51,7 @@ class ConcatChannelsOp final : public Op {
   Tensor forward(std::span<const Tensor> inputs) override;
   [[nodiscard]] OpKind kind() const override { return OpKind::kConcat; }
   [[nodiscard]] int arity() const override { return 2; }
+  [[nodiscard]] OpPtr clone() const override { return std::make_unique<ConcatChannelsOp>(*this); }
 };
 
 /// Nearest-neighbour 2x upsampling: [n, c, h, w] -> [n, c, 2h, 2w]
@@ -54,6 +60,7 @@ class Upsample2xOp final : public Op {
  public:
   Tensor forward(std::span<const Tensor> inputs) override;
   [[nodiscard]] OpKind kind() const override { return OpKind::kReshape; }
+  [[nodiscard]] OpPtr clone() const override { return std::make_unique<Upsample2xOp>(*this); }
 };
 
 }  // namespace fp8q

@@ -178,4 +178,42 @@ void counters_reset() {
   }
 }
 
+namespace {
+std::atomic<std::uint64_t> g_cache_counts[kObsCacheEventCount] = {};
+}  // namespace
+
+const char* to_string(ObsCacheEvent event) {
+  switch (event) {
+    case ObsCacheEvent::kHit: return "hit";
+    case ObsCacheEvent::kMiss: return "miss";
+    case ObsCacheEvent::kEvict: return "evict";
+    case ObsCacheEvent::kBypass: return "bypass";
+  }
+  return "?";
+}
+
+void cache_counter_add(ObsCacheEvent event, std::uint64_t n) {
+  if (n == 0) return;
+  g_cache_counts[static_cast<int>(event)].fetch_add(n, std::memory_order_relaxed);
+}
+
+bool CacheCounterSnapshot::any() const {
+  for (int e = 0; e < kObsCacheEventCount; ++e) {
+    if (counts[e] != 0) return true;
+  }
+  return false;
+}
+
+CacheCounterSnapshot cache_counters_snapshot() {
+  CacheCounterSnapshot snap;
+  for (int e = 0; e < kObsCacheEventCount; ++e) {
+    snap.counts[e] = g_cache_counts[e].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void cache_counters_reset() {
+  for (auto& c : g_cache_counts) c.store(0, std::memory_order_relaxed);
+}
+
 }  // namespace fp8q

@@ -90,4 +90,46 @@ struct CounterSnapshot {
 /// Zeroes every shard. Call only while no instrumented work is running.
 void counters_reset();
 
+// ---------------------------------------------------------------------------
+// Cache-event counters (the quantized-weight cache, quant/weight_cache.h).
+//
+// Orders of magnitude rarer than quantization events (one per weight-quant
+// call, not per element), so these are plain process-global atomics rather
+// than per-thread shards, and they are always on -- the cache mirrors its
+// internal stats here unconditionally so a report written after the fact
+// still sees them. Kept obs-local so the cache's owner (quant/) stays above
+// obs/ in the link order, same as the format counters.
+
+/// What happened to one cache lookup.
+enum class ObsCacheEvent : std::uint8_t {
+  kHit,     ///< entry found; quantized data copied out, tally replayed
+  kMiss,    ///< computed and inserted
+  kEvict,   ///< entry dropped to satisfy the capacity cap
+  kBypass,  ///< uncacheable request (dtype/granularity), computed directly
+};
+inline constexpr int kObsCacheEventCount = 4;
+
+/// Stable lowercase names used in report.json ("hit", "miss", ...).
+[[nodiscard]] const char* to_string(ObsCacheEvent event);
+
+/// Adds `n` to one cache-event cell. Thread-safe, relaxed.
+void cache_counter_add(ObsCacheEvent event, std::uint64_t n);
+
+/// Point-in-time aggregate of the cache-event counters.
+struct CacheCounterSnapshot {
+  std::uint64_t counts[kObsCacheEventCount] = {};
+
+  [[nodiscard]] std::uint64_t get(ObsCacheEvent event) const {
+    return counts[static_cast<int>(event)];
+  }
+  [[nodiscard]] bool any() const;
+
+  friend bool operator==(const CacheCounterSnapshot&, const CacheCounterSnapshot&) = default;
+};
+
+[[nodiscard]] CacheCounterSnapshot cache_counters_snapshot();
+
+/// Zeroes the cache-event counters. Call only between runs.
+void cache_counters_reset();
+
 }  // namespace fp8q

@@ -114,6 +114,13 @@ void RunReport::write_json(std::ostream& out) const {
   write_counters(out, counters, "  ");
   out << ",\n";
 
+  out << "  \"weight_cache\": {";
+  for (int e = 0; e < kObsCacheEventCount; ++e) {
+    out << (e == 0 ? "" : ", ") << '"' << to_string(static_cast<ObsCacheEvent>(e))
+        << "\": " << weight_cache.counts[e];
+  }
+  out << "},\n";
+
   out << "  \"spans_dropped\": " << spans_dropped << ",\n";
   out << "  \"spans\": [";
   for (std::size_t i = 0; i < spans.size(); ++i) {
@@ -176,6 +183,7 @@ bool write_report_if_requested(RunReport& report) {
   const char* path = report_env_path();
   if (path == nullptr) return false;
   report.counters = counters_snapshot();
+  report.weight_cache = cache_counters_snapshot();
   report.spans = trace_snapshot();
   report.spans_dropped = trace_dropped();
   std::ofstream out(path);

@@ -34,7 +34,9 @@
 namespace fp8q {
 
 /// Schema version written as "fp8q_report_version".
-inline constexpr int kReportVersion = 1;
+/// v2 added the "weight_cache" block (quantized-weight cache counters);
+/// the reader accepts v1 reports, defaulting the block to zeros.
+inline constexpr int kReportVersion = 2;
 
 /// One named phase of a run.
 struct StageReport {
@@ -52,6 +54,8 @@ struct RunReport {
   std::vector<AccuracyRecord> records;
   /// Cumulative counters at write time (totals, independent of stages).
   CounterSnapshot counters;
+  /// Quantized-weight cache events at write time (quant/weight_cache.h).
+  CacheCounterSnapshot weight_cache;
   std::vector<SpanRecord> spans;
   std::uint64_t spans_dropped = 0;  ///< trace_dropped() at write time
 

@@ -7,6 +7,7 @@
 #include "obs/trace.h"
 #include "quant/calibrate.h"
 #include "quant/smoothquant.h"
+#include "quant/weight_cache.h"
 #include "tensor/stats.h"
 
 namespace fp8q {
@@ -91,9 +92,7 @@ void QuantizedGraph::quantize_weights() {
     // The main weight (index 0) is quantized per-channel on axis 0; biases
     // and other parameters stay FP32.
     Tensor& w = *ws[0];
-    const auto params =
-        make_weight_params(w, config_.scheme.weight_dtype, Granularity::kPerChannel, 0);
-    apply_quant_inplace(w, params);
+    quantize_weight_cached(w, config_.scheme.weight_dtype, Granularity::kPerChannel, 0);
   }
 }
 
@@ -164,7 +163,15 @@ void QuantizedGraph::prepare(std::span<const std::vector<Tensor>> calib_batches)
     if (ws.empty()) continue;
     std::vector<Tensor> copy;
     copy.reserve(ws.size());
-    for (Tensor* w : ws) copy.push_back(*w);
+    for (Tensor* w : ws) {
+      // Stamp the identity before copying: the backup then carries the
+      // stamped (id, version), and restoring it by copy-assignment gives
+      // the live tensor the SAME identity -- so the weight cache's
+      // identity memo keeps hitting across prepare() cycles instead of
+      // rehashing unchanged weights every trial (quant/weight_cache.h).
+      (void)w->identity();
+      copy.push_back(*w);
+    }
     weight_backup_[id] = std::move(copy);
   }
 

@@ -1,0 +1,300 @@
+#include "quant/weight_cache.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/thread_annotations.h"
+#include "fp8/cast_fast.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
+#include "quant/quantizer.h"
+#include "tensor/stats.h"
+
+namespace fp8q {
+
+namespace {
+
+constexpr std::int64_t kDefaultCapacityMb = 64;
+
+std::int64_t env_capacity_bytes() {
+  const char* v = std::getenv("FP8Q_WEIGHT_CACHE_MB");
+  if (v == nullptr || v[0] == '\0') return kDefaultCapacityMb * (1 << 20);
+  char* end = nullptr;
+  const long long mb = std::strtoll(v, &end, 10);
+  if (end == v || mb < 0) return kDefaultCapacityMb * (1 << 20);
+  return static_cast<std::int64_t>(mb) * (1 << 20);
+}
+
+std::uint64_t mix64(std::uint64_t x) {
+  // splitmix64 finalizer: full-avalanche, cheap.
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// 128-bit content hash: two independently-seeded 64-bit lanes over the
+/// shape dims and the raw element bits. 128 bits makes an accidental
+/// collision astronomically unlikely; the stored-shape compare on hit
+/// guards the remaining possibility of serving a wrong-shaped payload.
+struct Hash128 {
+  std::uint64_t h1 = 0;
+  std::uint64_t h2 = 0;
+
+  [[nodiscard]] bool operator==(const Hash128&) const = default;
+};
+
+Hash128 hash_tensor(const Tensor& w) {
+  Hash128 h{0x8BADF00D5EEDC0DEull, 0xC0FFEE0DDF00DF17ull};
+  auto feed = [&h](std::uint64_t word) {
+    h.h1 = mix64(h.h1 ^ word);
+    h.h2 = mix64(h.h2 ^ (word * 0x9E3779B97F4A7C15ull + 1));
+  };
+  for (const std::int64_t d : w.shape()) feed(static_cast<std::uint64_t>(d));
+  const auto data = w.flat();
+  std::size_t i = 0;
+  for (; i + 2 <= data.size(); i += 2) {
+    const auto lo = static_cast<std::uint64_t>(std::bit_cast<std::uint32_t>(data[i]));
+    const auto hi = static_cast<std::uint64_t>(std::bit_cast<std::uint32_t>(data[i + 1]));
+    feed(lo | (hi << 32));
+  }
+  if (i < data.size()) {
+    feed(static_cast<std::uint64_t>(std::bit_cast<std::uint32_t>(data[i])));
+  }
+  return h;
+}
+
+struct Key {
+  Hash128 content;
+  DType dtype = DType::kFP32;
+
+  [[nodiscard]] bool operator==(const Key&) const = default;
+};
+
+struct KeyHash {
+  std::size_t operator()(const Key& k) const {
+    return static_cast<std::size_t>(
+        mix64(k.content.h1 ^ (k.content.h2 << 1) ^ static_cast<std::uint64_t>(k.dtype)));
+  }
+};
+
+struct Entry {
+  std::vector<float> data;  ///< bit-exact quantized payload
+  Shape shape;              ///< collision guard, compared on every hit
+  CastTally tally;          ///< events the miss computation produced
+  ObsFormat fmt = ObsFormat::kOther;
+  std::list<Key>::iterator lru_it;
+};
+
+/// Identity memo: (tensor id) -> (version, content hash). Lets an
+/// unmutated tensor skip the content rehash entirely. Bounded; cleared
+/// wholesale when it outgrows the bound (entries are one pointer-sized
+/// record each, so the bound is generous).
+struct MemoEntry {
+  std::uint64_t version = 0;
+  Hash128 content;
+};
+constexpr std::size_t kMemoCap = 4096;
+
+struct Cache {
+  std::mutex mutex;
+  std::unordered_map<Key, Entry, KeyHash> map FP8Q_GUARDED_BY(mutex);
+  std::list<Key> lru FP8Q_GUARDED_BY(mutex);  ///< front = most recent
+  std::unordered_map<std::uint64_t, MemoEntry> memo FP8Q_GUARDED_BY(mutex);
+  std::int64_t capacity FP8Q_GUARDED_BY(mutex) = env_capacity_bytes();  ///< bytes; 0 disables
+  std::int64_t bytes FP8Q_GUARDED_BY(mutex) = 0;
+  WeightCacheStats stats FP8Q_GUARDED_BY(mutex);
+};
+
+Cache& cache() {
+  static Cache* c = new Cache();  // leaked: usable during static teardown
+  return *c;
+}
+
+std::int64_t entry_bytes(const Entry& e) {
+  return static_cast<std::int64_t>(e.data.size() * sizeof(float)) + 64;
+}
+
+void evict_until_within(Cache& c) FP8Q_REQUIRES(c.mutex) {
+  while (c.bytes > c.capacity && !c.lru.empty()) {
+    const Key victim = c.lru.back();
+    auto it = c.map.find(victim);
+    if (it != c.map.end()) {
+      c.bytes -= entry_bytes(it->second);
+      c.map.erase(it);
+    }
+    c.lru.pop_back();
+    ++c.stats.evictions;
+    cache_counter_add(ObsCacheEvent::kEvict, 1);
+  }
+  c.stats.bytes = static_cast<std::uint64_t>(c.bytes);
+  c.stats.entries = static_cast<std::uint64_t>(c.map.size());
+}
+
+/// The uncached miss computation: per-channel absmax scales exactly as
+/// make_weight_params builds them (absmax_per_channel, zero-max channels
+/// get scale 1), each contiguous channel block pushed through the batched
+/// kernel with the same scale sanitization fp8_quantize_scaled_fast
+/// applies. Bit-identical to the uncached path; the tally is always
+/// collected so a later hit can replay it.
+void quantize_fp8_per_channel(Tensor& w, DType dtype, CastTally* tally) {
+  const auto maxima = absmax_per_channel(w, 0);
+  const std::int64_t channels = w.size(0);
+  const std::int64_t block = w.numel() / channels;
+  const float fmax = fp8_spec(dtype).max_value();
+  const FastCastSpec& spec = fast_cast_spec(fp8_kind(dtype));
+  auto data = w.flat();
+  for (std::int64_t c = 0; c < channels; ++c) {
+    auto span = data.subspan(static_cast<std::size_t>(c * block),
+                             static_cast<std::size_t>(block));
+    float scale = maxima[static_cast<std::size_t>(c)] > 0.0f
+                      ? fmax / maxima[static_cast<std::size_t>(c)]
+                      : 1.0f;
+    if (!(scale > 0.0f) || !std::isfinite(scale)) scale = 1.0f;
+    fp8_quantize_batch(span, span, spec, scale, tally);
+  }
+}
+
+void replay_tally(const Entry& e) {
+  if (!counters_enabled()) return;
+  counter_add(e.fmt, ObsEvent::kQuantized, e.tally.quantized);
+  counter_add(e.fmt, ObsEvent::kSaturated, e.tally.saturated);
+  counter_add(e.fmt, ObsEvent::kFlushedToZero, e.tally.flushed);
+}
+
+}  // namespace
+
+void quantize_weight_cached(Tensor& w, DType dtype, Granularity granularity, int axis) {
+  // Only the standard paper recipe is cached. Everything else -- FP32
+  // no-op, INT8, per-tensor/group, nonzero axis -- computes directly.
+  const bool cacheable = is_fp8(dtype) && granularity == Granularity::kPerChannel &&
+                         axis == 0 && w.dim() >= 1 && w.size(0) > 0 && !w.empty() &&
+                         weight_cache_capacity_bytes() > 0;
+  if (!cacheable) {
+    if (dtype != DType::kFP32) {
+      Cache& c = cache();
+      {
+        std::lock_guard<std::mutex> lock(c.mutex);
+        ++c.stats.bypasses;
+      }
+      cache_counter_add(ObsCacheEvent::kBypass, 1);
+    }
+    const auto params = make_weight_params(w, dtype, granularity, axis);
+    apply_quant_inplace(w, params);
+    return;
+  }
+
+  TraceSpan span("quant/weight-cache");
+  Cache& c = cache();
+  const TensorIdentity ident = w.identity();
+
+  // Resolve the content hash: memo first, rehash on miss.
+  Hash128 content;
+  bool memo_hit = false;
+  {
+    std::lock_guard<std::mutex> lock(c.mutex);
+    auto mit = c.memo.find(ident.id);
+    if (mit != c.memo.end() && mit->second.version == ident.version) {
+      content = mit->second.content;
+      memo_hit = true;
+    }
+  }
+  if (!memo_hit) {
+    content = hash_tensor(w);
+    std::lock_guard<std::mutex> lock(c.mutex);
+    if (c.memo.size() >= kMemoCap) c.memo.clear();
+    c.memo[ident.id] = MemoEntry{ident.version, content};
+  }
+  const Key key{content, dtype};
+  {
+    std::lock_guard<std::mutex> lock(c.mutex);
+    auto it = c.map.find(key);
+    if (it != c.map.end() && it->second.shape == w.shape()) {
+      Entry& e = it->second;
+      c.lru.splice(c.lru.begin(), c.lru, e.lru_it);
+      ++c.stats.hits;
+      cache_counter_add(ObsCacheEvent::kHit, 1);
+      // Copying through flat() re-dirties w -- correct: its contents
+      // change from the hashed state to the quantized state.
+      std::memcpy(w.flat().data(), e.data.data(), e.data.size() * sizeof(float));
+      replay_tally(e);
+      return;
+    }
+  }
+
+  // Miss: quantize in place (bit-identical to the uncached path), then
+  // insert a copy of the result.
+  Entry fresh;
+  fresh.shape = w.shape();
+  fresh.fmt = fast_cast_spec(fp8_kind(dtype)).obs_fmt;
+  {
+    CastTally tally;
+    quantize_fp8_per_channel(w, dtype, &tally);
+    fresh.tally = tally;
+    const auto data = std::as_const(w).flat();
+    fresh.data.assign(data.begin(), data.end());
+  }
+  replay_tally(fresh);
+
+  std::lock_guard<std::mutex> lock(c.mutex);
+  ++c.stats.misses;
+  cache_counter_add(ObsCacheEvent::kMiss, 1);
+  const std::int64_t cost = entry_bytes(fresh);
+  if (cost <= c.capacity) {
+    auto [it, inserted] = c.map.try_emplace(key);
+    if (!inserted) {
+      // Raced with another thread (or a shape-mismatched stale entry):
+      // replace the payload, keep the LRU node.
+      c.bytes -= entry_bytes(it->second);
+      fresh.lru_it = it->second.lru_it;
+      c.lru.splice(c.lru.begin(), c.lru, fresh.lru_it);
+    } else {
+      c.lru.push_front(key);
+      fresh.lru_it = c.lru.begin();
+    }
+    it->second = std::move(fresh);
+    c.bytes += cost;
+    evict_until_within(c);
+  }
+  c.stats.bytes = static_cast<std::uint64_t>(c.bytes);
+  c.stats.entries = static_cast<std::uint64_t>(c.map.size());
+}
+
+WeightCacheStats weight_cache_stats() {
+  Cache& c = cache();
+  std::lock_guard<std::mutex> lock(c.mutex);
+  return c.stats;
+}
+
+void weight_cache_clear() {
+  Cache& c = cache();
+  std::lock_guard<std::mutex> lock(c.mutex);
+  c.map.clear();
+  c.lru.clear();
+  c.memo.clear();
+  c.bytes = 0;
+  c.stats.bytes = 0;
+  c.stats.entries = 0;
+}
+
+std::int64_t weight_cache_capacity_bytes() {
+  Cache& c = cache();
+  std::lock_guard<std::mutex> lock(c.mutex);
+  return c.capacity;
+}
+
+void set_weight_cache_capacity_bytes(std::int64_t bytes) {
+  Cache& c = cache();
+  std::lock_guard<std::mutex> lock(c.mutex);
+  c.capacity = bytes < 0 ? env_capacity_bytes() : bytes;
+  evict_until_within(c);
+}
+
+}  // namespace fp8q

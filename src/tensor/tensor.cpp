@@ -1,11 +1,31 @@
 #include "tensor/tensor.h"
 
+#include <atomic>
 #include <cassert>
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
 
 namespace fp8q {
+
+namespace {
+// Global stamp source for TensorIdentity ids and versions. Monotonic and
+// never reused, so a (id, version) pair observed once can never later name
+// different contents.
+std::uint64_t next_tensor_stamp() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+}  // namespace
+
+TensorIdentity Tensor::identity() {
+  if (dirty_) {
+    if (id_ == 0) id_ = next_tensor_stamp();
+    version_ = next_tensor_stamp();
+    dirty_ = false;
+  }
+  return {id_, version_};
+}
 
 std::int64_t shape_numel(const Shape& shape) {
   std::int64_t n = 1;
@@ -58,6 +78,7 @@ std::int64_t flatten_index(const Shape& shape, std::initializer_list<std::int64_
 }  // namespace
 
 float& Tensor::at(std::initializer_list<std::int64_t> idx) {
+  dirty_ = true;
   return data_[static_cast<size_t>(flatten_index(shape_, idx))];
 }
 
@@ -89,28 +110,33 @@ Tensor Tensor::reshape(Shape new_shape) const {
 }
 
 Tensor& Tensor::fill(float v) {
+  dirty_ = true;
   std::fill(data_.begin(), data_.end(), v);
   return *this;
 }
 
 Tensor& Tensor::scale(float s) {
+  dirty_ = true;
   for (float& v : data_) v *= s;
   return *this;
 }
 
 Tensor& Tensor::add_scalar(float s) {
+  dirty_ = true;
   for (float& v : data_) v += s;
   return *this;
 }
 
 Tensor& Tensor::add(const Tensor& other) {
   if (!same_shape(other)) throw std::invalid_argument("add: shape mismatch");
+  dirty_ = true;
   for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
   return *this;
 }
 
 Tensor& Tensor::mul(const Tensor& other) {
   if (!same_shape(other)) throw std::invalid_argument("mul: shape mismatch");
+  dirty_ = true;
   for (size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
   return *this;
 }

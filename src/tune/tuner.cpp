@@ -17,9 +17,12 @@ struct Arm {
   ModelQuantConfig config;
 };
 
-/// Evaluates one arm (accuracy record + quantized-compute fraction).
-TuneStep make_step(const Workload& w, const Arm& arm, const EvalProtocol& protocol,
-                   const TuneOptions& options) {
+/// Evaluates one arm (accuracy record + quantized-compute fraction)
+/// against the shared plan. The plan carries the trial-invariant state
+/// (model prototype, data, FP32 targets), so each trial only pays for a
+/// clone plus the quantized passes -- and repeated weights hit the
+/// quantized-weight cache across trials.
+TuneStep make_step(const EvalPlan& plan, const Arm& arm, const TuneOptions& options) {
   TuneStep step;
   step.description = arm.description;
   step.config = arm.config;
@@ -28,9 +31,9 @@ TuneStep make_step(const Workload& w, const Arm& arm, const EvalProtocol& protoc
   // Timing goes through the obs-owned clock: wall-clock reads outside
   // src/obs/ are a determinism hazard the linter rejects (fp8q_lint).
   const std::uint64_t t0 = obs_now_ns();
-  step.record = evaluate_workload_config(w, arm.config, protocol);
+  step.record = evaluate_with_plan(plan, arm.config);
   {
-    Graph g = w.build();
+    Graph g = plan.prototype.clone();
     QuantizedGraph qg(&g, arm.config);
     step.quantized_fraction = qg.quantized_compute_fraction();
   }
@@ -57,19 +60,17 @@ bool absorb(TuneResult& result, TuneStep step) {
 }
 
 /// Applies one trial and records it; returns true when the criterion is met.
-bool try_config(const Workload& w, const std::string& description,
-                const ModelQuantConfig& config, const EvalProtocol& protocol,
-                const TuneOptions& options, TuneResult& result) {
-  return absorb(result, make_step(w, {description, config}, protocol, options));
+bool try_config(const EvalPlan& plan, const std::string& description,
+                const ModelQuantConfig& config, const TuneOptions& options,
+                TuneResult& result) {
+  return absorb(result, make_step(plan, {description, config}, options));
 }
 
-}  // namespace
-
-std::vector<std::pair<Graph::NodeId, double>> node_sensitivity(
-    const Workload& w, const SchemeConfig& scheme, const EvalProtocol& protocol) {
+/// node_sensitivity against a prebuilt plan (autotune reuses its own).
+std::vector<std::pair<Graph::NodeId, double>> node_sensitivity_with_plan(
+    const EvalPlan& plan, const ModelQuantConfig& base) {
   ScopedStage stage("tune/sensitivity");
-  Graph g = w.build();
-  const ModelQuantConfig base = default_model_config(w, scheme, protocol);
+  Graph g = plan.prototype.clone();
   // Node set actually covered under this config.
   std::set<Graph::NodeId> covered;
   {
@@ -88,7 +89,7 @@ std::vector<std::pair<Graph::NodeId, double>> node_sensitivity(
         for (Graph::NodeId other : covered) {
           if (other != ids[static_cast<std::size_t>(i)]) solo.fallback_nodes.insert(other);
         }
-        return evaluate_workload_config(w, solo, protocol).relative_loss();
+        return evaluate_with_plan(plan, solo).relative_loss();
       });
 
   std::vector<std::pair<Graph::NodeId, double>> sensitivity;
@@ -99,10 +100,22 @@ std::vector<std::pair<Graph::NodeId, double>> node_sensitivity(
   return sensitivity;
 }
 
+}  // namespace
+
+std::vector<std::pair<Graph::NodeId, double>> node_sensitivity(
+    const Workload& w, const SchemeConfig& scheme, const EvalProtocol& protocol) {
+  return node_sensitivity_with_plan(make_eval_plan(w, protocol),
+                                    default_model_config(w, scheme, protocol));
+}
+
 TuneResult autotune(const Workload& w, DType preferred, const EvalProtocol& protocol,
                     const TuneOptions& options) {
   TuneResult result;
   auto budget = [&] { return result.trials() < options.max_trials; };
+
+  // All trial-invariant work (model build, data generation, FP32 teacher
+  // passes) happens once; every trial below evaluates against this plan.
+  const EvalPlan plan = make_eval_plan(w, protocol);
 
   // Stages 1-4 form a fixed ladder whose configurations do not depend on
   // earlier outcomes (only the early exit does), so the arms evaluate in
@@ -152,7 +165,7 @@ TuneResult autotune(const Workload& w, DType preferred, const EvalProtocol& prot
     ScopedStage stage("tune/ladder");
     std::vector<TuneStep> steps =
         parallel_map(static_cast<std::int64_t>(arms.size()), [&](std::int64_t i) {
-          return make_step(w, arms[static_cast<std::size_t>(i)], protocol, options);
+          return make_step(plan, arms[static_cast<std::size_t>(i)], options);
         });
     for (TuneStep& step : steps) {
       if (absorb(result, std::move(step))) return result;
@@ -169,8 +182,8 @@ TuneResult autotune(const Workload& w, DType preferred, const EvalProtocol& prot
       ModelQuantConfig cfg = base;
       if (cfg.fallback_kinds.contains(kind)) continue;
       cfg.fallback_kinds.insert(kind);
-      if (try_config(w, std::string("fallback-kind ") + std::string(to_string(kind)), cfg,
-                     protocol, options, result)) {
+      if (try_config(plan, std::string("fallback-kind ") + std::string(to_string(kind)),
+                     cfg, options, result)) {
         return result;
       }
     }
@@ -179,7 +192,8 @@ TuneResult autotune(const Workload& w, DType preferred, const EvalProtocol& prot
   // 6. Per-node fallback, most sensitive first (cumulative).
   if (budget() && options.max_node_fallbacks > 0) {
     ScopedStage stage("tune/fallback-nodes");
-    const auto sensitivity = node_sensitivity(w, base.scheme, protocol);
+    const auto sensitivity =
+        node_sensitivity_with_plan(plan, default_model_config(w, base.scheme, protocol));
     ModelQuantConfig cfg = result.best;
     int disabled = 0;
     for (const auto& [id, loss] : sensitivity) {
@@ -187,8 +201,7 @@ TuneResult autotune(const Workload& w, DType preferred, const EvalProtocol& prot
       if (loss <= 0.0) break;  // remaining nodes are harmless
       cfg.fallback_nodes.insert(id);
       ++disabled;
-      if (try_config(w, "fallback-node #" + std::to_string(id), cfg, protocol, options,
-                     result)) {
+      if (try_config(plan, "fallback-node #" + std::to_string(id), cfg, options, result)) {
         return result;
       }
     }

@@ -113,12 +113,6 @@ struct ScoreAccumulator {
   }
 };
 
-struct EvalBatch {
-  std::vector<Tensor> clean;
-  std::vector<Tensor> perturbed;
-  Tensor clean_fp32_out;  ///< labels / targets source
-};
-
 }  // namespace
 
 double fp32_baseline(const Workload& w, const EvalProtocol& protocol) {
@@ -152,57 +146,79 @@ AccuracyRecord evaluate_workload(const Workload& w, const SchemeConfig& scheme,
   return evaluate_workload_config(w, default_model_config(w, scheme, protocol), protocol);
 }
 
-AccuracyRecord evaluate_workload_config(const Workload& w, const ModelQuantConfig& config,
-                                        const EvalProtocol& protocol) {
+EvalPlan make_eval_plan(const Workload& w, const EvalProtocol& protocol) {
   if (!w.build || !w.make_batch || !w.perturb) {
-    throw std::invalid_argument("evaluate_workload: incomplete workload " + w.name);
+    throw std::invalid_argument("make_eval_plan: incomplete workload " + w.name);
   }
-  Graph g = w.build();
+  EvalPlan plan;
+  plan.workload_name = w.name;
+  plan.domain = w.domain;
+  plan.metric = w.metric;
+  plan.margin_quantile = w.margin_quantile;
+  plan.prototype = w.build();
+  plan.model_size_mb = plan.prototype.size_mb();
 
   // Calibration set (clean data, as in real PTQ; Figure 7 swaps in an
   // augmented generator via make_calib_batch).
   const auto& calib_gen = w.make_calib_batch ? w.make_calib_batch : w.make_batch;
   Rng calib_rng(w.data_seed * 7919 + 1);
-  std::vector<std::vector<Tensor>> calib;
-  calib.reserve(static_cast<size_t>(protocol.calib_batches));
+  plan.calib.reserve(static_cast<size_t>(protocol.calib_batches));
   for (int b = 0; b < protocol.calib_batches; ++b) {
-    calib.push_back(calib_gen(calib_rng, protocol.calib_batch_size));
+    plan.calib.push_back(calib_gen(calib_rng, protocol.calib_batch_size));
   }
 
   // Evaluation set; FP32 targets and the FP32 baseline come first, while
-  // the weights are still pristine.
+  // the weights are pristine. Exactly evaluate_workload_config's stream:
+  // same seed, same per-batch draw order (clean, then perturbed).
   Rng eval_rng(w.data_seed * 104729 + 2);
-  std::vector<EvalBatch> batches;
-  batches.reserve(static_cast<size_t>(protocol.eval_batches));
+  plan.batches.reserve(static_cast<size_t>(protocol.eval_batches));
   ScoreAccumulator fp32_acc{w.metric, w.margin_quantile};
   for (int b = 0; b < protocol.eval_batches; ++b) {
-    EvalBatch eb;
-    eb.clean = w.make_batch(eval_rng, protocol.eval_batch_size);
-    eb.perturbed = w.perturb(eval_rng, eb.clean);
-    eb.clean_fp32_out = g.forward(eb.clean);
-    const Tensor fp32_out = g.forward(eb.perturbed);
-    fp32_acc.add(eb.clean_fp32_out, fp32_out);
-    batches.push_back(std::move(eb));
+    EvalPlan::PlanBatch pb;
+    auto clean = w.make_batch(eval_rng, protocol.eval_batch_size);
+    pb.perturbed = w.perturb(eval_rng, clean);
+    pb.clean_fp32_out = plan.prototype.forward(clean);
+    const Tensor fp32_out = plan.prototype.forward(pb.perturbed);
+    fp32_acc.add(pb.clean_fp32_out, fp32_out);
+    plan.batches.push_back(std::move(pb));
   }
+  plan.fp32_score = fp32_acc.score();
 
-  ScoreAccumulator quant_acc{w.metric, w.margin_quantile};
+  // Stamp every weight identity now, so per-trial clones inherit stamped
+  // identities and the weight cache's memo skips rehashing across trials.
+  for (Graph::NodeId id : plan.prototype.node_ids()) {
+    auto& node = plan.prototype.node(id);
+    if (!node.op) continue;
+    for (Tensor* t : node.op->weights()) (void)t->identity();
+  }
+  return plan;
+}
+
+AccuracyRecord evaluate_with_plan(const EvalPlan& plan, const ModelQuantConfig& config) {
+  Graph g = plan.prototype.clone();
+  ScoreAccumulator quant_acc{plan.metric, plan.margin_quantile};
   {
     QuantizedGraph qg(&g, config);
-    qg.prepare(std::span<const std::vector<Tensor>>(calib));
-    for (const auto& eb : batches) {
-      const Tensor out = qg.forward(eb.perturbed);
-      quant_acc.add(eb.clean_fp32_out, out);
+    qg.prepare(std::span<const std::vector<Tensor>>(plan.calib));
+    for (const auto& pb : plan.batches) {
+      const Tensor out = qg.forward(pb.perturbed);
+      quant_acc.add(pb.clean_fp32_out, out);
     }
-  }  // destructor restores FP32 weights
+  }
 
   AccuracyRecord record;
-  record.workload = w.name;
-  record.domain = w.domain;
+  record.workload = plan.workload_name;
+  record.domain = plan.domain;
   record.config = config.scheme.label();
-  record.fp32_accuracy = fp32_acc.score();
+  record.fp32_accuracy = plan.fp32_score;
   record.quant_accuracy = quant_acc.score();
-  record.model_size_mb = g.size_mb();
+  record.model_size_mb = plan.model_size_mb;
   return record;
+}
+
+AccuracyRecord evaluate_workload_config(const Workload& w, const ModelQuantConfig& config,
+                                        const EvalProtocol& protocol) {
+  return evaluate_with_plan(make_eval_plan(w, protocol), config);
 }
 
 }  // namespace fp8q

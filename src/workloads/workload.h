@@ -71,6 +71,51 @@ struct EvalProtocol {
   double pass_threshold = kDefaultPassThreshold;
 };
 
+/// Precomputed evaluation state shared across every quantization trial of
+/// one (workload, protocol) pair. Building a plan performs the expensive
+/// trial-invariant work once -- model construction, calibration and
+/// evaluation data generation, the clean FP32 forward passes that produce
+/// the teacher targets, and the FP32 baseline score. Each trial then only
+/// pays for a Graph::clone() plus the quantized passes.
+///
+/// The prototype's weight identities are stamped (Tensor::identity()) at
+/// plan-build time, so every per-trial clone adopts them and the
+/// quantized-weight cache (quant/weight_cache.h) recognizes the repeated
+/// weights across trials without rehashing their contents.
+struct EvalPlan {
+  std::string workload_name;
+  std::string domain;
+  MetricKind metric = MetricKind::kTop1;
+  double margin_quantile = 0.0;
+  double model_size_mb = 0.0;
+
+  /// Pristine FP32 model; trials clone it, never mutate it.
+  Graph prototype;
+  /// Calibration batches (clean data, or the workload's calib generator).
+  std::vector<std::vector<Tensor>> calib;
+
+  struct PlanBatch {
+    std::vector<Tensor> perturbed;  ///< inputs both networks are scored on
+    Tensor clean_fp32_out;          ///< FP32 teacher targets (clean inputs)
+  };
+  std::vector<PlanBatch> batches;
+
+  /// FP32 score on the perturbed batches (the baseline of the record).
+  double fp32_score = 0.0;
+};
+
+/// Builds the trial-invariant evaluation state. Uses exactly the data
+/// streams of evaluate_workload_config (same seeds, same draw order), so
+/// evaluate_with_plan() reproduces its results bit for bit.
+[[nodiscard]] EvalPlan make_eval_plan(const Workload& workload,
+                                      const EvalProtocol& protocol = {});
+
+/// Scores one quantization configuration against a prebuilt plan. Clones
+/// the prototype, runs the PTQ pipeline on the clone, and returns the same
+/// AccuracyRecord evaluate_workload_config would produce.
+[[nodiscard]] AccuracyRecord evaluate_with_plan(const EvalPlan& plan,
+                                                const ModelQuantConfig& config);
+
 /// Runs the full PTQ pipeline for `scheme` on one workload and returns the
 /// (fp32, quantized) accuracy record. SmoothQuant is enabled automatically
 /// on NLP-domain workloads (paper section 4.2.1); the CNN first/last and

@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <cstring>
 #include <limits>
+#include <vector>
 
 #include "fp8/cast.h"
 #include "tensor/rng.h"
@@ -92,6 +94,136 @@ TEST_P(FastCast, ScaledVectorMatchesScalarReference) {
   fp8_quantize_scaled(in, ref, spec(), scale);
   for (size_t i = 0; i < in.size(); ++i) {
     EXPECT_EQ(out[i], ref[i]) << i;
+  }
+}
+
+// --- Batched kernel (fp8_quantize_batch) ----------------------------------
+//
+// Contract: out[i] is bit-identical to the scalar composition
+// fp8_quantize(in[i] * scale) * (1 / scale), NaN payloads included (the
+// batch kernel passes the scaled NaN bits through; the reference cast
+// returns the same bits because quantization keeps NaN mantissas).
+
+/// Every input worth testing: the full code grid, rounding midpoints and
+/// their neighbors, both signs, and the special values.
+std::vector<float> exhaustive_inputs(const FormatSpec& spec) {
+  std::vector<float> in;
+  const auto values = representable_values(spec);
+  for (size_t i = 0; i < values.size(); ++i) {
+    in.push_back(values[i]);
+    in.push_back(-values[i]);
+    if (i + 1 < values.size()) {
+      const float mid = values[i] + (values[i + 1] - values[i]) / 2.0f;
+      for (float m : {mid, std::nextafter(mid, values[i]), std::nextafter(mid, values[i + 1])}) {
+        in.push_back(m);
+        in.push_back(-m);
+      }
+    }
+  }
+  const float max = spec.max_value();
+  const float sub = spec.min_subnormal();
+  for (float x : {0.0f, -0.0f, std::nextafter(max, 1e30f), 2.0f * max, -2.0f * max,
+                  sub / 2.0f, -sub / 2.0f, std::nextafter(sub / 2.0f, 0.0f), sub / 4.0f,
+                  std::numeric_limits<float>::infinity(),
+                  -std::numeric_limits<float>::infinity(),
+                  std::numeric_limits<float>::quiet_NaN(),
+                  -std::numeric_limits<float>::quiet_NaN(),
+                  std::numeric_limits<float>::denorm_min(),
+                  std::numeric_limits<float>::min()}) {
+    in.push_back(x);
+  }
+  return in;
+}
+
+std::uint32_t bits_of(float x) {
+  std::uint32_t b;
+  std::memcpy(&b, &x, sizeof b);
+  return b;
+}
+
+TEST_P(FastCast, BatchMatchesScalarReferenceExhaustively) {
+  const std::vector<float> in = exhaustive_inputs(spec());
+  std::vector<float> out(in.size());
+  // Scales spanning identity, power-of-two, the calibration-typical band,
+  // and extreme magnitudes that push inputs into overflow/underflow.
+  for (float scale : {1.0f, 0.0078125f, 448.0f, 3.7f, 1e-30f, 1e30f}) {
+    fp8_quantize_batch(in, out, fast(), scale);
+    const float inv = 1.0f / scale;
+    for (size_t i = 0; i < in.size(); ++i) {
+      const float ref = fp8_quantize(in[i] * scale, spec()) * inv;
+      if (std::isnan(ref)) {
+        EXPECT_TRUE(std::isnan(out[i])) << "i=" << i << " scale=" << scale;
+      } else {
+        EXPECT_EQ(bits_of(ref), bits_of(out[i]))
+            << "x=" << in[i] << " scale=" << scale << " ref=" << ref
+            << " got=" << out[i];
+      }
+    }
+  }
+}
+
+TEST_P(FastCast, BatchAliasingInPlaceMatchesOutOfPlace) {
+  const std::vector<float> in = exhaustive_inputs(spec());
+  std::vector<float> out(in.size());
+  std::vector<float> inplace = in;
+  const float scale = 2.5f;
+  fp8_quantize_batch(in, out, fast(), scale);
+  fp8_quantize_batch(inplace, inplace, fast(), scale);
+  for (size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(bits_of(out[i]), bits_of(inplace[i])) << i;
+  }
+}
+
+TEST_P(FastCast, BatchTallyCountsEvents) {
+  const float max = spec().max_value();
+  const float sub = spec().min_subnormal();
+  // quantized = every element; saturated = the three finite-or-Inf inputs
+  // beyond max; flushed = the one nonzero input below half the smallest
+  // subnormal. Zero and NaN count in neither bucket.
+  const std::vector<float> in = {0.0f,
+                                 1.0f,
+                                 2.0f * max,
+                                 std::numeric_limits<float>::infinity(),
+                                 -std::numeric_limits<float>::infinity(),
+                                 sub / 4.0f,
+                                 std::numeric_limits<float>::quiet_NaN()};
+  std::vector<float> out(in.size());
+  CastTally tally;
+  fp8_quantize_batch(in, out, fast(), 1.0f, &tally);
+  EXPECT_EQ(tally.quantized, in.size());
+  EXPECT_EQ(tally.saturated, 3u);
+  EXPECT_EQ(tally.flushed, 1u);
+}
+
+TEST_P(FastCast, BatchTallyDoesNotPerturbOutputs) {
+  Rng rng(777);
+  std::vector<float> in(2048);
+  for (auto& v : in) v = rng.normal(0.0f, 10.0f);
+  std::vector<float> plain(in.size());
+  std::vector<float> counted(in.size());
+  CastTally tally;
+  fp8_quantize_batch(in, plain, fast(), 0.37f);
+  fp8_quantize_batch(in, counted, fast(), 0.37f, &tally);
+  for (size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(bits_of(plain[i]), bits_of(counted[i])) << i;
+  }
+  EXPECT_EQ(tally.quantized, in.size());
+}
+
+TEST_P(FastCast, ScaledFastSanitizesNonFiniteScales) {
+  Rng rng(4242);
+  std::vector<float> in(512);
+  for (auto& v : in) v = rng.normal(0.0f, 3.0f);
+  std::vector<float> unit(in.size());
+  fp8_quantize_scaled_fast(in, unit, fast(), 1.0f);
+  // Zero, negative, Inf and NaN scales all fall back to the identity scale.
+  for (float bad : {0.0f, -1.0f, std::numeric_limits<float>::infinity(),
+                    std::numeric_limits<float>::quiet_NaN()}) {
+    std::vector<float> out(in.size());
+    fp8_quantize_scaled_fast(in, out, fast(), bad);
+    for (size_t i = 0; i < in.size(); ++i) {
+      EXPECT_EQ(bits_of(unit[i]), bits_of(out[i])) << "scale=" << bad << " i=" << i;
+    }
   }
 }
 

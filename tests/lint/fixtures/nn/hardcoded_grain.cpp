@@ -1,0 +1,12 @@
+// Lint fixture: a parallel_for call with a hard-coded grain literal.
+// Seeded violation for the `parallel-grain` rule (tests/lint/lint_test.cpp);
+// real code derives the grain from kParallelGrainBytes/kParallelGrainFlops.
+namespace fp8q {
+
+void parallel_for(long lo, long hi, long grain, void (*body)(long, long));
+
+void fixture_hardcoded_grain() {
+  parallel_for(0, 1 << 20, 65536, nullptr);
+}
+
+}  // namespace fp8q

@@ -59,6 +59,10 @@ TEST(LintFixtures, MissingPragmaOnceFlagged) {
   EXPECT_TRUE(has_rule(lint_fixture("io/missing_pragma_once.h"), "pragma-once"));
 }
 
+TEST(LintFixtures, HardcodedGrainFlagged) {
+  EXPECT_TRUE(has_rule(lint_fixture("nn/hardcoded_grain.cpp"), "parallel-grain"));
+}
+
 TEST(LintFixtures, CleanFileHasNoFindings) {
   EXPECT_TRUE(lint_fixture("fp8/clean.cpp").empty());
 }
@@ -69,6 +73,7 @@ TEST(LintFixtures, TreeWalkFindsEverySeededViolation) {
   EXPECT_TRUE(has_rule(findings, "determinism"));
   EXPECT_TRUE(has_rule(findings, "io-stream"));
   EXPECT_TRUE(has_rule(findings, "pragma-once"));
+  EXPECT_TRUE(has_rule(findings, "parallel-grain"));
   for (const auto& f : findings) {
     EXPECT_NE(f.file.find('/'), std::string::npos) << format_finding(f);
   }
@@ -86,6 +91,16 @@ TEST(LintRules, ExemptPathsAreSkipped) {
   EXPECT_TRUE(lint_file("obs/trace.cpp", timed).empty());
   EXPECT_TRUE(lint_file("tensor/rng.cpp", timed).empty());
   EXPECT_FALSE(lint_file("tensor/stats.cpp", timed).empty());
+}
+
+TEST(LintRules, ParallelGrainLiteralsOnly) {
+  // A 4+-digit literal in a parallel_for argument list trips the rule...
+  EXPECT_FALSE(lint_file("nn/x.cpp", "parallel_for(0, n, 16384, body);\n").empty());
+  // ...but named grains and small literals (e.g. grain 1) do not.
+  EXPECT_TRUE(lint_file("nn/x.cpp", "parallel_for(0, n, grain, body);\n").empty());
+  EXPECT_TRUE(lint_file("nn/x.cpp", "parallel_for(0, n, 64, body);\n").empty());
+  // core/parallel.* owns the grain constants and stays exempt.
+  EXPECT_TRUE(lint_file("core/parallel.cpp", "parallel_for(0, n, 16384, b);\n").empty());
 }
 
 TEST(LintRules, CommentsAndStringsDoNotTrip) {

@@ -1,0 +1,113 @@
+// EvalPlan: the trial-invariant evaluation state must reproduce the
+// one-shot pipeline bit for bit, and repeated trials against one plan
+// (weight-cache hits included) must be deterministic.
+#include "workloads/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "quant/weight_cache.h"
+#include "workloads/registry.h"
+
+namespace fp8q {
+namespace {
+
+EvalProtocol quick_protocol() {
+  EvalProtocol p;
+  p.calib_batches = 2;
+  p.calib_batch_size = 8;
+  p.eval_batches = 2;
+  p.eval_batch_size = 32;
+  p.bn_calibration_batches = 2;
+  return p;
+}
+
+void expect_same_record(const AccuracyRecord& a, const AccuracyRecord& b) {
+  EXPECT_EQ(a.workload, b.workload);
+  EXPECT_EQ(a.domain, b.domain);
+  EXPECT_EQ(a.config, b.config);
+  EXPECT_EQ(a.fp32_accuracy, b.fp32_accuracy);
+  EXPECT_EQ(a.quant_accuracy, b.quant_accuracy);
+  EXPECT_EQ(a.model_size_mb, b.model_size_mb);
+}
+
+TEST(EvalPlan, CarriesWorkloadMetadataAndData) {
+  const auto suite = build_suite();
+  const Workload& w = find_workload(suite, "distilbert-mrpc-ish");
+  const auto protocol = quick_protocol();
+  const EvalPlan plan = make_eval_plan(w, protocol);
+  EXPECT_EQ(plan.workload_name, w.name);
+  EXPECT_EQ(plan.domain, w.domain);
+  EXPECT_EQ(plan.calib.size(), static_cast<std::size_t>(protocol.calib_batches));
+  EXPECT_EQ(plan.batches.size(), static_cast<std::size_t>(protocol.eval_batches));
+  EXPECT_GT(plan.model_size_mb, 0.0);
+  EXPECT_GT(plan.fp32_score, 0.0);
+}
+
+TEST(EvalPlan, MatchesOneShotEvaluation) {
+  const auto suite = build_suite();
+  const auto protocol = quick_protocol();
+  for (const char* name : {"distilbert-mrpc-ish", "resnet50-ish", "dlrm-ish"}) {
+    const Workload& w = find_workload(suite, name);
+    const auto config =
+        default_model_config(w, standard_fp8_scheme(DType::kE4M3), protocol);
+    const auto one_shot = evaluate_workload_config(w, config, protocol);
+    const EvalPlan plan = make_eval_plan(w, protocol);
+    const auto planned = evaluate_with_plan(plan, config);
+    expect_same_record(one_shot, planned);
+  }
+}
+
+TEST(EvalPlan, RepeatedTrialsAreDeterministic) {
+  // Trial 2+ hits the weight cache warmed by trial 1; results must not
+  // move, and the plan's prototype must stay pristine throughout.
+  const auto suite = build_suite();
+  const Workload& w = find_workload(suite, "distilbert-mrpc-ish");
+  const auto protocol = quick_protocol();
+  const auto config =
+      default_model_config(w, standard_fp8_scheme(DType::kE4M3), protocol);
+  const EvalPlan plan = make_eval_plan(w, protocol);
+  const auto first = evaluate_with_plan(plan, config);
+  const auto second = evaluate_with_plan(plan, config);
+  const auto third = evaluate_with_plan(plan, config);
+  expect_same_record(first, second);
+  expect_same_record(first, third);
+}
+
+TEST(EvalPlan, CacheOnAndOffAgreeBitwise) {
+  // The weight cache must be invisible in results: the same trial with
+  // caching disabled produces the identical record.
+  const auto suite = build_suite();
+  const Workload& w = find_workload(suite, "dlrm-ish");
+  const auto protocol = quick_protocol();
+  const auto config =
+      default_model_config(w, standard_fp8_scheme(DType::kE3M4), protocol);
+  const EvalPlan plan = make_eval_plan(w, protocol);
+
+  weight_cache_clear();
+  const auto warm1 = evaluate_with_plan(plan, config);
+  const auto warm2 = evaluate_with_plan(plan, config);  // served from cache
+
+  set_weight_cache_capacity_bytes(0);  // disable
+  const auto cold = evaluate_with_plan(plan, config);
+  set_weight_cache_capacity_bytes(-1);  // restore default
+  weight_cache_clear();
+
+  expect_same_record(warm1, warm2);
+  expect_same_record(warm1, cold);
+}
+
+TEST(EvalPlan, DifferentConfigsShareOnePlan) {
+  const auto suite = build_suite();
+  const Workload& w = find_workload(suite, "distilbert-mrpc-ish");
+  const auto protocol = quick_protocol();
+  const EvalPlan plan = make_eval_plan(w, protocol);
+  for (DType fmt : {DType::kE5M2, DType::kE4M3, DType::kE3M4}) {
+    const auto config = default_model_config(w, standard_fp8_scheme(fmt), protocol);
+    const auto planned = evaluate_with_plan(plan, config);
+    const auto one_shot = evaluate_workload_config(w, config, protocol);
+    expect_same_record(one_shot, planned);
+  }
+}
+
+}  // namespace
+}  // namespace fp8q

@@ -4,13 +4,15 @@
 #   1. warnings-as-errors build (FP8Q_WERROR=ON) + full ctest suite
 #   2. static-analysis gate: project linter, linter self-test, header
 #      self-containment, docs freshness (`check_static`)
-#   3. AddressSanitizer build + full ctest suite (`check_asan`)
-#   4. UndefinedBehaviorSanitizer build + full ctest suite (`check_ubsan`)
-#   5. ThreadSanitizer build + concurrency suite (`check_tsan`)
+#   3. perf smoke: bench_kernels --smoke fails if the batched fake-quant
+#      kernel is slower than the scalar loop (docs/PERFORMANCE.md)
+#   4. AddressSanitizer build + full ctest suite (`check_asan`)
+#   5. UndefinedBehaviorSanitizer build + full ctest suite (`check_ubsan`)
+#   6. ThreadSanitizer build + concurrency suite (`check_tsan`)
 #
 # Any failure stops the script with a non-zero exit. Build trees default to
 # build-ci-* next to the source tree; override the prefix with
-# FP8Q_CI_BUILD_PREFIX. FP8Q_CI_SKIP_SANITIZERS=1 runs only steps 1-2
+# FP8Q_CI_BUILD_PREFIX. FP8Q_CI_SKIP_SANITIZERS=1 runs only steps 1-3
 # (useful on machines where three extra build trees are too slow).
 set -euo pipefail
 
@@ -27,6 +29,11 @@ ctest --test-dir "$PREFIX" --output-on-failure
 
 step "static-analysis gate (check_static)"
 cmake --build "$PREFIX" --target check_static
+
+step "perf smoke (bench_kernels --smoke)"
+# Fails when the batched fake-quant kernel regresses below the scalar loop
+# (docs/PERFORMANCE.md); writes the measured rates next to the build tree.
+"$PREFIX/bench/bench_kernels" --smoke --out="$PREFIX/BENCH_kernels_smoke.json"
 
 if [[ "${FP8Q_CI_SKIP_SANITIZERS:-0}" != "1" ]]; then
   step "AddressSanitizer build + full suite (check_asan)"

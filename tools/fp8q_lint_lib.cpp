@@ -40,6 +40,12 @@ const Rule kRules[] = {
      [](const std::string& rel) { return starts_with(rel, "obs/"); },
      "console output from library code; only the gated obs report/trace "
      "writers may emit (docs/OBSERVABILITY.md)"},
+    {"parallel-grain",
+     R"(\bparallel_for\s*\([^)]*\b\d{4,})",
+     [](const std::string& rel) { return starts_with(rel, "core/parallel."); },
+     "hard-coded parallelization grain; derive it from kParallelGrainBytes "
+     "or kParallelGrainFlops (core/parallel.h) so chunk boundaries stay "
+     "consistent tree-wide (docs/PERFORMANCE.md)"},
 };
 
 bool is_header(const std::string& rel) {
