@@ -10,9 +10,12 @@
 #include "tensor/rng.h"
 #include "tensor/stats.h"
 
+#include "bench_report.h"
+
 using namespace fp8q;
 
 int main() {
+  fp8q::BenchReport bench_report("bench_ablation_granularity");
   // A weight matrix with widely spread per-channel ranges (2^0 .. 2^8) --
   // the depthwise / EfficientNet-style regime.
   Rng rng(77);

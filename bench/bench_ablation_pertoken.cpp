@@ -11,9 +11,12 @@
 #include "tensor/rng.h"
 #include "workloads/registry.h"
 
+#include "bench_report.h"
+
 using namespace fp8q;
 
 int main() {
+  fp8q::BenchReport bench_report("bench_ablation_pertoken");
   TransformerSpec spec;
   spec.dim = 48;
   spec.seq = 8;

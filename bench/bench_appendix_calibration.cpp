@@ -13,6 +13,8 @@
 #include "tensor/rng.h"
 #include "tensor/stats.h"
 
+#include "bench_report.h"
+
 using namespace fp8q;
 
 namespace {
@@ -38,6 +40,7 @@ void study(const char* title, const Tensor& x) {
 }  // namespace
 
 int main() {
+  fp8q::BenchReport bench_report("bench_appendix_calibration");
   std::printf("Appendix A.1: range-calibration method comparison\n\n");
   Rng rng(2024);
 

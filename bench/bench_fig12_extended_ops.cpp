@@ -6,7 +6,10 @@
 
 #include "workloads/registry.h"
 
+#include "bench_report.h"
+
 int main() {
+  fp8q::BenchReport bench_report("bench_fig12_extended_ops");
   using namespace fp8q;
   const auto suite = build_suite();
   EvalProtocol protocol;

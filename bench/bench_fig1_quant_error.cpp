@@ -14,6 +14,8 @@
 #include "tensor/rng.h"
 #include "tensor/stats.h"
 
+#include "bench_report.h"
+
 using namespace fp8q;
 
 namespace {
@@ -68,6 +70,7 @@ void run_panel(const char* title, float outlier_mag, double outlier_frac) {
 }  // namespace
 
 int main() {
+  fp8q::BenchReport bench_report("bench_fig1_quant_error");
   std::printf("Figure 1: quantization error on N(0, 0.5) + outliers\n\n");
   run_panel("(paper protocol) 1% outliers uniform in [-6, 6]:", 6.0f, 0.01);
   run_panel("(LLM-scale outliers) 0.2% outliers uniform in [-20, 20]:", 20.0f, 0.002);

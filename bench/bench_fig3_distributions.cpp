@@ -13,6 +13,8 @@
 #include "tensor/stats.h"
 #include "workloads/registry.h"
 
+#include "bench_report.h"
+
 using namespace fp8q;
 
 namespace {
@@ -66,6 +68,7 @@ Probe probe_weights(const Workload& w) {
 }  // namespace
 
 int main() {
+  fp8q::BenchReport bench_report("bench_fig3_distributions");
   const auto suite = build_suite();
   std::printf("Figure 3: tensor distribution taxonomy (absmax/stddev ratio; higher =\n"
               "more range-bound; a pure Gaussian sits near 4-5)\n\n");

@@ -13,7 +13,10 @@
 
 #include "workloads/registry.h"
 
+#include "bench_report.h"
+
 int main(int argc, char** argv) {
+  fp8q::BenchReport bench_report("bench_fig5_size_sweep");
   using namespace fp8q;
   const bool full = argc > 1 && std::strcmp(argv[1], "--full") == 0;
 

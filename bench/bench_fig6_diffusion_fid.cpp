@@ -15,6 +15,8 @@
 #include "tensor/rng.h"
 #include "workloads/registry.h"
 
+#include "bench_report.h"
+
 using namespace fp8q;
 
 namespace {
@@ -48,6 +50,7 @@ Tensor pooled_features(const Tensor& images) {
 }  // namespace
 
 int main() {
+  fp8q::BenchReport bench_report("bench_fig6_diffusion_fid");
   UnetSpec spec;
   spec.in_channels = 2;
   spec.hw = 16;

@@ -11,6 +11,8 @@
 #include "workloads/registry.h"
 #include "workloads/workload.h"
 
+#include "bench_report.h"
+
 using namespace fp8q;
 
 namespace {
@@ -36,6 +38,7 @@ Tensor augment(Rng& rng, const Tensor& clean) {
 }  // namespace
 
 int main() {
+  fp8q::BenchReport bench_report("bench_fig7_bn_calibration");
   const auto suite = build_suite();
   const Workload& w = find_workload(suite, "resnet50-ish");
   EvalProtocol protocol;

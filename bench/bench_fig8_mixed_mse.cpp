@@ -9,9 +9,12 @@
 #include "tensor/rng.h"
 #include "tensor/stats.h"
 
+#include "bench_report.h"
+
 using namespace fp8q;
 
 int main() {
+  fp8q::BenchReport bench_report("bench_fig8_mixed_mse");
   // BERT-base-like intermediate Linear: activations carry channel outliers
   // (range-bound), weights are normal (precision-bound) -- Figure 3.
   Rng rng(42);

@@ -12,9 +12,12 @@
 #include "tensor/rng.h"
 #include "tensor/stats.h"
 
+#include "bench_report.h"
+
 using namespace fp8q;
 
 int main() {
+  fp8q::BenchReport bench_report("bench_fig9_kl_demo");
   Rng rng(99);
   Tensor t = randn(rng, {100000}, 0.0f, std::sqrt(0.5f));
   inject_outliers(t, rng, 0.01, -6.0f, 6.0f);

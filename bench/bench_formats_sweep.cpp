@@ -11,6 +11,8 @@
 #include "tensor/rng.h"
 #include "tensor/stats.h"
 
+#include "bench_report.h"
+
 using namespace fp8q;
 
 namespace {
@@ -26,6 +28,7 @@ double max_scaled_mse(const Tensor& x, const FormatSpec& spec) {
 }  // namespace
 
 int main() {
+  fp8q::BenchReport bench_report("bench_formats_sweep");
   Rng rng(4242);
   Tensor gauss = randn(rng, {100000});
   Tensor outlier = randn(rng, {100000});

@@ -7,9 +7,9 @@
 //     (embedding-heavy workload, where weight quantization dominates).
 //
 // Writes BENCH_kernels.json (override with --out=<path>). `--smoke` runs a
-// reduced configuration for the CI perf gate: it still enforces that the
-// batched kernel is no slower than the scalar loop, exiting nonzero on a
-// regression, but skips the long tuner sweep.
+// reduced configuration that skips the long tuner sweep; the CI perf gate
+// is `fp8q_report check-bench` / `fp8q_report diff` over the written JSON
+// with explicit thresholds (tools/ci.sh, docs/PERFORMANCE.md).
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -23,6 +23,8 @@
 #include "tensor/rng.h"
 #include "tune/tuner.h"
 #include "workloads/registry.h"
+
+#include "bench_report.h"
 
 namespace {
 
@@ -162,6 +164,7 @@ TunerResult measure_tuner(const Workload& w, const EvalProtocol& protocol, int r
 }  // namespace
 
 int main(int argc, char** argv) {
+  fp8q::BenchReport bench_report("bench_kernels");
   bool smoke = false;
   std::string out_path = "BENCH_kernels.json";
   for (int i = 1; i < argc; ++i) {
@@ -181,16 +184,23 @@ int main(int argc, char** argv) {
   const int reps = smoke ? 2 : 3;
 
   std::vector<CastResult> casts;
-  for (Fp8Kind kind : {Fp8Kind::E5M2, Fp8Kind::E4M3, Fp8Kind::E3M4}) {
-    casts.push_back(measure_cast(kind, cast_n, cast_iters, reps));
+  {
+    ScopedStage stage("kernels/cast");
+    for (Fp8Kind kind : {Fp8Kind::E5M2, Fp8Kind::E4M3, Fp8Kind::E3M4}) {
+      casts.push_back(measure_cast(kind, cast_n, cast_iters, reps));
+    }
   }
 
   std::vector<MatmulResult> matmuls;
-  matmuls.push_back(measure_matmul(64, 256, 256, smoke ? 4 : 16, reps));
-  if (!smoke) matmuls.push_back(measure_matmul(128, 512, 512, 8, reps));
+  {
+    ScopedStage stage("kernels/matmul");
+    matmuls.push_back(measure_matmul(64, 256, 256, smoke ? 4 : 16, reps));
+    if (!smoke) matmuls.push_back(measure_matmul(128, 512, 512, 8, reps));
+  }
 
   std::vector<TunerResult> tuners;
   if (!smoke) {
+    ScopedStage stage("kernels/tuner-cache");
     const auto suite = build_suite();
     EvalProtocol protocol;  // trimmed: weight quantization dominates
     protocol.calib_batches = 1;
@@ -264,14 +274,8 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(t.cache_hits));
   }
 
-  // Perf gate: the batched kernel must never lose to the scalar loop.
-  bool ok = true;
-  for (const auto& c : casts) {
-    if (c.batched_elems_per_sec < c.scalar_elems_per_sec) {
-      std::fprintf(stderr, "bench_kernels: batched cast slower than scalar for %s\n",
-                   c.format);
-      ok = false;
-    }
-  }
-  return ok ? 0 : 1;
+  // The perf gate itself lives in `fp8q_report check-bench` (tools/ci.sh),
+  // which reads the JSON written above and applies explicit thresholds;
+  // this binary only measures.
+  return 0;
 }

@@ -2,10 +2,13 @@
 // casting throughput and quantized operator overhead.
 #include <benchmark/benchmark.h>
 
+#include "core/parallel.h"
 #include "fp8/cast.h"
 #include "fp8/cast_fast.h"
 #include "fp8/int8.h"
 #include "nn/linear.h"
+#include "obs/counters.h"
+#include "obs/histogram.h"
 #include "quant/quantizer.h"
 #include "tensor/rng.h"
 #include "tensor/stats.h"
@@ -92,6 +95,33 @@ void BM_Fp8QuantizeBatched(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(in.size()));
 }
 BENCHMARK(BM_Fp8QuantizeBatched)->Arg(0)->Arg(1)->Arg(2);
+
+// Disabled-path overhead check for the full bulk entry point: with
+// counters, histograms and tracing all off, fp8_quantize_scaled_fast must
+// cost the batched kernel plus a few relaxed atomic flag loads per bulk
+// call. Compare against BM_Fp8QuantizeBatched; a gap beyond noise means an
+// instrumentation branch leaked into the per-element path.
+void BM_Fp8QuantizeScaledFastDisabledObs(benchmark::State& state) {
+  const auto kind = static_cast<Fp8Kind>(state.range(0));
+  const FastCastSpec& spec = fast_cast_spec(kind);
+  Tensor data = make_data(65536);
+  Tensor out(data.shape());
+  const float scale = spec.max_value / 17.0f;
+  const bool counters_before = counters_enabled();
+  const bool hists_before = histograms_enabled();
+  set_num_threads(1);  // measure the kernel, not the pool
+  set_counters_enabled(false);
+  set_histograms_enabled(false);
+  for (auto _ : state) {
+    fp8_quantize_scaled_fast(data.flat(), out.flat(), spec, scale);
+    benchmark::DoNotOptimize(out.data());
+  }
+  set_counters_enabled(counters_before);
+  set_histograms_enabled(hists_before);
+  set_num_threads(0);
+  state.SetItemsProcessed(state.iterations() * data.numel());
+}
+BENCHMARK(BM_Fp8QuantizeScaledFastDisabledObs)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_Int8Quantize(benchmark::State& state) {
   Tensor data = make_data(state.range(0));

@@ -6,7 +6,9 @@
 //
 // Usage: bench_parallel_scaling [--full]
 //   --full  sweep a 15-workload subset instead of 5 (slower, more stable)
-#include <chrono>
+//
+// Observability (docs/OBSERVABILITY.md): FP8Q_REPORT=<path> writes a run
+// report with one stage per (section, thread count) measurement.
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -16,16 +18,22 @@
 #include "core/parallel.h"
 #include "fp8/cast_fast.h"
 #include "nn/matmul.h"
+#include "obs/trace.h"
 #include "tensor/rng.h"
 #include "workloads/registry.h"
+
+#include "bench_report.h"
 
 namespace {
 
 using fp8q::num_threads;
+using fp8q::obs_now_ns;
 using fp8q::set_num_threads;
 
-double seconds_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+// All timing goes through the obs-owned clock (obs_now_ns), the same
+// domain the latency histograms and trace exports use.
+double seconds_since(std::uint64_t t0_ns) {
+  return static_cast<double>(obs_now_ns() - t0_ns) / 1e9;
 }
 
 /// Best-of-`reps` wall time of fn().
@@ -33,7 +41,7 @@ template <class Fn>
 double time_best(int reps, Fn&& fn) {
   double best = 1e30;
   for (int r = 0; r < reps; ++r) {
-    const auto t0 = std::chrono::steady_clock::now();
+    const std::uint64_t t0 = obs_now_ns();
     fn();
     const double s = seconds_since(t0);
     if (s < best) best = s;
@@ -52,12 +60,15 @@ void print_row(const char* name, int threads, double secs, double serial_secs,
                bool identical) {
   std::printf("%-24s %3d threads  %9.4f s  speedup %5.2fx  bit-identical: %s\n", name,
               threads, secs, serial_secs / secs, identical ? "yes" : "NO");
+  fp8q::report_add_stage(std::string(name) + "@" + std::to_string(threads) + "t",
+                         secs * 1e3);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace fp8q;
+  BenchReport bench_report("bench_parallel_scaling");
   bool full = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--full") == 0) full = true;
@@ -122,12 +133,12 @@ int main(int argc, char** argv) {
                 schemes.size());
 
     set_num_threads(1);
-    auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t t0 = obs_now_ns();
     const auto reference = evaluate_suite(subset, schemes, protocol);
     const double serial = seconds_since(t0);
     for (int t : thread_points()) {
       set_num_threads(t);
-      t0 = std::chrono::steady_clock::now();
+      t0 = obs_now_ns();
       const auto records = evaluate_suite(subset, schemes, protocol);
       const double secs = seconds_since(t0);
       bool same = records.size() == reference.size();

@@ -1,0 +1,54 @@
+// Shared report harness for the bench binaries (docs/OBSERVABILITY.md).
+//
+// Every bench constructs one BenchReport at the top of main(): the run
+// report becomes the process's active report (so ScopedStage and the
+// tuner append to it), and on destruction the report is finalized and --
+// when FP8Q_REPORT / FP8Q_TRACE_JSON are set -- written out. This makes
+// every bench report- and trace-instrumented via the environment alone,
+// with zero cost when neither variable is set.
+//
+// Benches that collect AccuracyRecords push them onto `report.records`
+// before main() returns (the member is public for exactly that).
+#pragma once
+
+#include <cstdio>
+#include <exception>
+
+#include "core/parallel.h"
+#include "obs/report.h"
+#include "obs/trace_export.h"
+
+namespace fp8q {
+
+class BenchReport {
+ public:
+  explicit BenchReport(const char* tool) {
+    report.tool = tool;
+    set_active_report(&report);
+  }
+
+  ~BenchReport() {
+    report.num_threads = num_threads();
+    set_active_report(nullptr);
+    try {
+      if (write_report_if_requested(report)) {
+        std::fprintf(stderr, "[%s] report written to %s\n", report.tool.c_str(),
+                     report_env_path());
+      }
+      if (write_chrome_trace_if_requested()) {
+        std::fprintf(stderr, "[%s] chrome trace written to %s\n", report.tool.c_str(),
+                     trace_json_env_path());
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "[%s] report/trace write failed: %s\n", report.tool.c_str(),
+                   e.what());
+    }
+  }
+
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  RunReport report;
+};
+
+}  // namespace fp8q

@@ -6,7 +6,10 @@
 #include "fp8/cast.h"
 #include "fp8/format.h"
 
+#include "bench_report.h"
+
 int main() {
+  fp8q::BenchReport bench_report("bench_table1_formats");
   using namespace fp8q;
   std::printf("Table 1: FP8 binary formats\n");
   std::printf("%-22s %12s %12s %12s\n", "", "E5M2", "E4M3", "E3M4");

@@ -25,6 +25,8 @@
 #include "obs/report.h"
 #include "workloads/registry.h"
 
+#include "bench_report.h"
+
 namespace {
 
 struct Row {
@@ -62,10 +64,7 @@ int main(int argc, char** argv) {
     suite = std::move(subset);
   }
 
-  RunReport report;
-  report.tool = "bench_table2_passrate";
-  report.num_threads = num_threads();
-  set_active_report(&report);
+  BenchReport bench_report("bench_table2_passrate");
 
   EvalProtocol protocol;
   const auto fp8_schemes = table2_fp8_schemes();
@@ -140,10 +139,6 @@ int main(int argc, char** argv) {
   std::printf("(* = paper-reported values; shape to match: FP8 > INT8 overall,\n"
               " E4M3 best on NLP, E3M4 best on CV, E5M2 weakest FP8.)\n");
 
-  report.records = records;
-  set_active_report(nullptr);
-  if (write_report_if_requested(report)) {
-    std::fprintf(stderr, "[table2] report written to %s\n", report_env_path());
-  }
+  bench_report.report.records = records;
   return 0;
 }

@@ -14,15 +14,14 @@
 #include "obs/report.h"
 #include "workloads/registry.h"
 
+#include "bench_report.h"
+
 int main() {
   using namespace fp8q;
   const auto suite = build_suite();
   const EvalProtocol protocol;
 
-  RunReport report;
-  report.tool = "bench_table3_model_accuracy";
-  report.num_threads = num_threads();
-  set_active_report(&report);
+  BenchReport bench_report("bench_table3_model_accuracy");
 
   struct PaperRow {
     double fp32, e5m2, e4m3, e3m4, int8;
@@ -55,7 +54,7 @@ int main() {
       recs[2] = evaluate_workload(w, standard_fp8_scheme(DType::kE3M4), protocol);
       recs[3] = evaluate_workload(w, int8_scheme(w.domain != "CV"), protocol);
     }
-    for (const auto& r : recs) report.records.push_back(r);
+    for (const auto& r : recs) bench_report.report.records.push_back(r);
 
     std::printf(" %8.4f", recs[0].fp32_accuracy);
     for (const auto& r : recs) {
@@ -72,9 +71,5 @@ int main() {
   std::printf("\npaper shape: FP8 (especially E4M3/E3M4) within 1%% nearly everywhere;\n"
               "INT8 fails DenseNet/Wav2Vec2/STS-B/LLaMA-class rows.\n");
 
-  set_active_report(nullptr);
-  if (write_report_if_requested(report)) {
-    std::fprintf(stderr, "[table3] report written to %s\n", report_env_path());
-  }
   return 0;
 }

@@ -14,9 +14,12 @@
 #include "tensor/rng.h"
 #include "workloads/registry.h"
 
+#include "bench_report.h"
+
 using namespace fp8q;
 
 int main() {
+  fp8q::BenchReport bench_report("bench_table4_generation");
   // Bloom-like decoder with token-level embedding outliers reaching the
   // embedding projection -- the regime where INT8's grid is stretched.
   DecoderLmSpec spec;

@@ -5,7 +5,10 @@
 
 #include "workloads/registry.h"
 
+#include "bench_report.h"
+
 int main() {
+  fp8q::BenchReport bench_report("bench_table5_mixed_formats");
   using namespace fp8q;
   const auto suite = build_suite();
   const EvalProtocol protocol;

@@ -6,6 +6,7 @@
 
 #include "core/parallel.h"
 #include "obs/counters.h"
+#include "obs/histogram.h"
 
 namespace fp8q {
 
@@ -141,14 +142,26 @@ void fp8_quantize_scaled_fast(std::span<const float> in, std::span<float> out,
   // kernel computes them in a separate pass so outputs are bit-identical
   // with counters on or off.
   const bool counted = counters_enabled();
+  const bool histed = histograms_enabled();
   // Pure per-element bit math: each index writes only out[i], so the
   // result is bit-identical at any thread count. The fast path runs at a
   // fraction of a ns/element; a large grain keeps single-batch calls inline.
   constexpr std::int64_t kGrain = kParallelGrainBytes / static_cast<std::int64_t>(sizeof(float));
-  parallel_for(0, n, kGrain, [&, counted](std::int64_t lo, std::int64_t hi) {
+  parallel_for(0, n, kGrain, [&, counted, histed](std::int64_t lo, std::int64_t hi) {
     const auto len = static_cast<std::size_t>(hi - lo);
     const auto src = in.subspan(static_cast<std::size_t>(lo), len);
     const auto dst = out.subspan(static_cast<std::size_t>(lo), len);
+    if (histed) {
+      // Pre-quant magnitude distribution. Like the tally pass this reads
+      // the inputs BEFORE the quantize loop (out may alias in), and each
+      // element is classified into a bucket exactly once per bulk call, so
+      // the merged counts are invariant to chunking / thread count.
+      LocalHistogram local;
+      for (std::size_t i = 0; i < len; ++i) {
+        local.record(std::fabs(static_cast<double>(src[i]) * scale));
+      }
+      hist_merge(cast_mag_channel(spec.obs_fmt), local);
+    }
     if (!counted) {
       fp8_quantize_batch(src, dst, spec, scale);
       return;

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "obs/counters.h"
+#include "obs/histogram.h"
 
 namespace fp8q {
 
@@ -69,6 +70,14 @@ float int8_quantize(float x, const Int8Params& p) {
 
 void int8_quantize(std::span<const float> in, std::span<float> out, const Int8Params& p) {
   const size_t n = std::min(in.size(), out.size());
+  if (histograms_enabled()) {
+    // Pre-quant magnitude sweep over the raw inputs, done first because
+    // `out` may alias `in`. Per-element classification, so the merged
+    // counts do not depend on call granularity.
+    LocalHistogram local;
+    for (size_t i = 0; i < n; ++i) local.record(std::fabs(static_cast<double>(in[i])));
+    hist_merge(HistChannel::kCastMagInt8, local);
+  }
   if (!counters_enabled()) {
     for (size_t i = 0; i < n; ++i) out[i] = int8_quantize(in[i], p);
     return;

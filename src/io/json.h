@@ -1,0 +1,61 @@
+// A minimal, hardened JSON reader (no external dependencies).
+//
+// Grown out of the report reader in io/serialize.cpp and promoted to a
+// public module so every tool that consumes the library's own JSON
+// artifacts (run reports, BENCH_*.json snapshots, Chrome trace exports)
+// parses through one audited path. Strictness is the point -- a truncated
+// or corrupted artifact must fail loudly, never yield partial state:
+//
+//   - full escape handling, including UTF-16 surrogate pairs (a lone
+//     surrogate is an error) and rejection of raw control characters
+//     inside strings
+//   - JSON-spec numbers (no leading zeros, no bare '.', no trailing 'e')
+//   - a recursion depth limit (kMaxDepth) so adversarial nesting cannot
+//     blow the stack
+//   - trailing garbage after the document is an error
+//
+// Every failure throws std::runtime_error with the byte offset, and
+// nothing is returned until the whole document parsed -- callers never
+// observe partial state. Objects keep insertion order; duplicate keys
+// resolve to the first occurrence (find()).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace fp8q::json {
+
+/// Maximum array/object nesting depth accepted by parse().
+inline constexpr int kMaxDepth = 256;
+
+/// One parsed JSON value (a tree; arrays/objects own their children).
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+
+  /// First value under `key` in an object, or nullptr (also for
+  /// non-objects).
+  [[nodiscard]] const Value* find(std::string_view key) const;
+
+  /// Number under `key` if present and numeric, else `fallback`.
+  [[nodiscard]] double number_or(std::string_view key, double fallback = 0.0) const;
+
+  /// String under `key` if present and a string, else "".
+  [[nodiscard]] std::string string_or(std::string_view key) const;
+};
+
+/// Parses one complete JSON document. Throws std::runtime_error (with the
+/// byte offset) on any malformed, truncated or over-deep input.
+[[nodiscard]] Value parse(std::string_view text);
+
+}  // namespace fp8q::json

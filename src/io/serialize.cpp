@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "io/json.h"
+
 namespace fp8q {
 
 namespace {
@@ -171,240 +173,39 @@ std::string records_to_csv(const std::vector<AccuracyRecord>& records) {
 
 namespace {
 
-/// Minimal JSON document model for report_from_json. Objects keep
-/// insertion order; duplicate keys resolve to the first occurrence.
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string str;
-  std::vector<JsonValue> array;
-  std::vector<std::pair<std::string, JsonValue>> object;
+using json::Value;
 
-  [[nodiscard]] const JsonValue* find(std::string_view key) const {
-    for (const auto& [k, v] : object) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-/// Recursive-descent parser over the full JSON grammar (sufficient for the
-/// report schema; \uXXXX escapes decode to UTF-8).
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
-
-  JsonValue parse() {
-    JsonValue v = parse_value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing characters after document");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& what) const {
-    throw std::runtime_error("fp8q json: " + what + " at offset " +
-                             std::to_string(pos_));
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    if (pos_ >= text_.size()) fail("unexpected end of input");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  bool consume_literal(std::string_view word) {
-    if (text_.substr(pos_, word.size()) != word) return false;
-    pos_ += word.size();
-    return true;
-  }
-
-  JsonValue parse_value() {
-    skip_ws();
-    switch (peek()) {
-      case '{': return parse_object();
-      case '[': return parse_array();
-      case '"': {
-        JsonValue v;
-        v.kind = JsonValue::Kind::kString;
-        v.str = parse_string();
-        return v;
-      }
-      case 't':
-      case 'f': {
-        JsonValue v;
-        v.kind = JsonValue::Kind::kBool;
-        v.boolean = peek() == 't';
-        if (!consume_literal(v.boolean ? "true" : "false")) fail("bad literal");
-        return v;
-      }
-      case 'n':
-        if (!consume_literal("null")) fail("bad literal");
-        return JsonValue{};
-      default: return parse_number();
-    }
-  }
-
-  JsonValue parse_object() {
-    expect('{');
-    JsonValue v;
-    v.kind = JsonValue::Kind::kObject;
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      skip_ws();
-      std::string key = parse_string();
-      skip_ws();
-      expect(':');
-      v.object.emplace_back(std::move(key), parse_value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return v;
-    }
-  }
-
-  JsonValue parse_array() {
-    expect('[');
-    JsonValue v;
-    v.kind = JsonValue::Kind::kArray;
-    skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      v.array.push_back(parse_value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return v;
-    }
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    for (;;) {
-      if (pos_ >= text_.size()) fail("unterminated string");
-      const char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (pos_ >= text_.size()) fail("unterminated escape");
-      const char esc = text_[pos_++];
-      switch (esc) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'n': out += '\n'; break;
-        case 'r': out += '\r'; break;
-        case 't': out += '\t'; break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else fail("bad \\u escape");
-          }
-          // UTF-8 encode (BMP only; surrogate pairs are not emitted by the
-          // writer, which escapes only control characters).
-          if (code < 0x80) {
-            out += static_cast<char>(code);
-          } else if (code < 0x800) {
-            out += static_cast<char>(0xC0 | (code >> 6));
-            out += static_cast<char>(0x80 | (code & 0x3F));
-          } else {
-            out += static_cast<char>(0xE0 | (code >> 12));
-            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
-            out += static_cast<char>(0x80 | (code & 0x3F));
-          }
-          break;
-        }
-        default: fail("bad escape");
-      }
-    }
-  }
-
-  JsonValue parse_number() {
-    const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' || c == '+' ||
-          c == '-') {
-        ++pos_;
-      } else {
-        break;
-      }
-    }
-    if (pos_ == start) fail("expected a value");
-    JsonValue v;
-    v.kind = JsonValue::Kind::kNumber;
-    try {
-      v.number = std::stod(std::string(text_.substr(start, pos_ - start)));
-    } catch (const std::exception&) {
-      fail("bad number");
-    }
-    return v;
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
-
-double get_number(const JsonValue& obj, std::string_view key, double fallback = 0.0) {
-  const JsonValue* v = obj.find(key);
-  return (v != nullptr && v->kind == JsonValue::Kind::kNumber) ? v->number : fallback;
-}
-
-std::string get_string(const JsonValue& obj, std::string_view key) {
-  const JsonValue* v = obj.find(key);
-  return (v != nullptr && v->kind == JsonValue::Kind::kString) ? v->str : std::string();
-}
-
-CounterSnapshot parse_counters(const JsonValue* v) {
+CounterSnapshot parse_counters(const Value* v) {
   CounterSnapshot snap;
-  if (v == nullptr || v->kind != JsonValue::Kind::kObject) return snap;
+  if (v == nullptr || !v->is_object()) return snap;
   for (int f = 0; f < kObsFormatCount; ++f) {
-    const JsonValue* fmt = v->find(to_string(static_cast<ObsFormat>(f)));
-    if (fmt == nullptr || fmt->kind != JsonValue::Kind::kObject) continue;
+    const Value* fmt = v->find(to_string(static_cast<ObsFormat>(f)));
+    if (fmt == nullptr || !fmt->is_object()) continue;
     for (int e = 0; e < kObsEventCount; ++e) {
       snap.counts[f][e] = static_cast<std::uint64_t>(
-          get_number(*fmt, to_string(static_cast<ObsEvent>(e))));
+          fmt->number_or(to_string(static_cast<ObsEvent>(e))));
     }
   }
+  return snap;
+}
+
+/// Rebuilds a histogram from the sparse "buckets" list (the exact form);
+/// the headline p50/p95/p99 fields are derived and recomputed on demand.
+HistogramSnapshot parse_histogram(const Value& v) {
+  HistogramSnapshot snap;
+  if (const Value* buckets = v.find("buckets");
+      buckets != nullptr && buckets->is_array()) {
+    for (const Value& pair : buckets->array) {
+      if (!pair.is_array() || pair.array.size() != 2) continue;
+      const auto idx = static_cast<int>(pair.array[0].number);
+      if (idx < 0 || idx >= kHistBucketCount) continue;
+      const auto count = static_cast<std::uint64_t>(pair.array[1].number);
+      snap.counts[idx] += count;
+      snap.total += count;
+    }
+  }
+  snap.min_value = v.number_or("min");
+  snap.max_value = v.number_or("max");
   return snap;
 }
 
@@ -415,16 +216,17 @@ RunReport report_from_json(std::istream& in) {
   buffer << in.rdbuf();
   const std::string text = buffer.str();
 
-  const JsonValue root = JsonParser(text).parse();
-  if (root.kind != JsonValue::Kind::kObject) {
+  const Value root = json::parse(text);
+  if (!root.is_object()) {
     throw std::runtime_error("fp8q report: document is not an object");
   }
-  const JsonValue* version = root.find("fp8q_report_version");
-  if (version == nullptr || version->kind != JsonValue::Kind::kNumber) {
+  const Value* version = root.find("fp8q_report_version");
+  if (version == nullptr || version->kind != Value::Kind::kNumber) {
     throw std::runtime_error("fp8q report: missing fp8q_report_version");
   }
-  // Older reports (v1: no "weight_cache" block) parse fine with the
-  // missing fields defaulted, so accept every version up to the current.
+  // Older reports (v1: no "weight_cache"; v2: no "memory"/"histograms")
+  // parse fine with the missing fields defaulted, so accept every version
+  // up to the current.
   if (static_cast<int>(version->number) < 1 ||
       static_cast<int>(version->number) > kReportVersion) {
     throw std::runtime_error("fp8q report: unsupported version " +
@@ -432,57 +234,69 @@ RunReport report_from_json(std::istream& in) {
   }
 
   RunReport report;
-  report.tool = get_string(root, "tool");
-  report.num_threads = static_cast<int>(get_number(root, "num_threads"));
+  report.tool = root.string_or("tool");
+  report.num_threads = static_cast<int>(root.number_or("num_threads"));
   report.counters = parse_counters(root.find("counters"));
-  if (const JsonValue* wc = root.find("weight_cache");
-      wc != nullptr && wc->kind == JsonValue::Kind::kObject) {
+  if (const Value* wc = root.find("weight_cache"); wc != nullptr && wc->is_object()) {
     for (int e = 0; e < kObsCacheEventCount; ++e) {
       report.weight_cache.counts[e] = static_cast<std::uint64_t>(
-          get_number(*wc, to_string(static_cast<ObsCacheEvent>(e))));
+          wc->number_or(to_string(static_cast<ObsCacheEvent>(e))));
     }
   }
-  report.spans_dropped = static_cast<std::uint64_t>(get_number(root, "spans_dropped"));
+  if (const Value* mem = root.find("memory"); mem != nullptr && mem->is_object()) {
+    report.memory.peak_rss_bytes =
+        static_cast<std::uint64_t>(mem->number_or("peak_rss_bytes"));
+    report.memory.alloc_bytes = static_cast<std::uint64_t>(mem->number_or("alloc_bytes"));
+    report.memory.allocs = static_cast<std::uint64_t>(mem->number_or("allocs"));
+  }
+  if (const Value* hists = root.find("histograms");
+      hists != nullptr && hists->is_object()) {
+    for (const auto& [name, h] : hists->object) {
+      if (!h.is_object()) continue;
+      report.histograms.push_back({name, parse_histogram(h)});
+    }
+  }
+  report.spans_dropped = static_cast<std::uint64_t>(root.number_or("spans_dropped"));
 
-  if (const JsonValue* stages = root.find("stages");
-      stages != nullptr && stages->kind == JsonValue::Kind::kArray) {
-    for (const JsonValue& s : stages->array) {
-      if (s.kind != JsonValue::Kind::kObject) continue;
+  if (const Value* stages = root.find("stages"); stages != nullptr && stages->is_array()) {
+    for (const Value& s : stages->array) {
+      if (!s.is_object()) continue;
       StageReport stage;
-      stage.name = get_string(s, "name");
-      stage.wall_ms = get_number(s, "wall_ms");
+      stage.name = s.string_or("name");
+      stage.wall_ms = s.number_or("wall_ms");
       stage.counters = parse_counters(s.find("counters"));
+      stage.alloc_bytes = static_cast<std::uint64_t>(s.number_or("alloc_bytes"));
+      stage.allocs = static_cast<std::uint64_t>(s.number_or("allocs"));
       report.stages.push_back(std::move(stage));
     }
   }
 
-  if (const JsonValue* records = root.find("records");
-      records != nullptr && records->kind == JsonValue::Kind::kArray) {
-    for (const JsonValue& rec : records->array) {
-      if (rec.kind != JsonValue::Kind::kObject) continue;
+  if (const Value* records = root.find("records");
+      records != nullptr && records->is_array()) {
+    for (const Value& rec : records->array) {
+      if (!rec.is_object()) continue;
       AccuracyRecord r;
-      r.workload = get_string(rec, "workload");
-      r.domain = get_string(rec, "domain");
-      r.config = get_string(rec, "config");
-      r.fp32_accuracy = get_number(rec, "fp32_accuracy");
-      r.quant_accuracy = get_number(rec, "quant_accuracy");
-      r.model_size_mb = get_number(rec, "model_size_mb");
+      r.workload = rec.string_or("workload");
+      r.domain = rec.string_or("domain");
+      r.config = rec.string_or("config");
+      r.fp32_accuracy = rec.number_or("fp32_accuracy");
+      r.quant_accuracy = rec.number_or("quant_accuracy");
+      r.model_size_mb = rec.number_or("model_size_mb");
       // relative_loss / passes are derived quantities; recomputed on read.
       report.records.push_back(std::move(r));
     }
   }
 
-  if (const JsonValue* spans = root.find("spans");
-      spans != nullptr && spans->kind == JsonValue::Kind::kArray) {
-    for (const JsonValue& s : spans->array) {
-      if (s.kind != JsonValue::Kind::kObject) continue;
+  if (const Value* spans = root.find("spans"); spans != nullptr && spans->is_array()) {
+    for (const Value& s : spans->array) {
+      if (!s.is_object()) continue;
       SpanRecord span;
-      span.id = static_cast<std::int64_t>(get_number(s, "id", -1.0));
-      span.parent = static_cast<std::int64_t>(get_number(s, "parent", -1.0));
-      span.thread_id = static_cast<std::uint32_t>(get_number(s, "thread"));
-      span.name = get_string(s, "name");
-      span.start_ns = static_cast<std::uint64_t>(get_number(s, "start_ns"));
-      span.duration_ns = static_cast<std::uint64_t>(get_number(s, "duration_ns"));
+      span.id = static_cast<std::int64_t>(s.number_or("id", -1.0));
+      span.parent = static_cast<std::int64_t>(s.number_or("parent", -1.0));
+      span.thread_id = static_cast<std::uint32_t>(s.number_or("thread"));
+      span.name = s.string_or("name");
+      span.start_ns = static_cast<std::uint64_t>(s.number_or("start_ns"));
+      span.duration_ns = static_cast<std::uint64_t>(s.number_or("duration_ns"));
       report.spans.push_back(std::move(span));
     }
   }

@@ -1,0 +1,68 @@
+#include "obs/memory.h"
+
+#include <atomic>
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#define FP8Q_HAVE_GETRUSAGE 1
+#endif
+
+namespace fp8q {
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void alloc_counter_add(std::uint64_t bytes) {
+  if (bytes == 0) return;
+  g_alloc_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+AllocCounterSnapshot alloc_counters_snapshot() {
+  AllocCounterSnapshot snap;
+  snap.bytes = g_alloc_bytes.load(std::memory_order_relaxed);
+  snap.allocs = g_alloc_count.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void alloc_counters_reset() {
+  g_alloc_bytes.store(0, std::memory_order_relaxed);
+  g_alloc_count.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t peak_rss_bytes() {
+#ifdef FP8Q_HAVE_GETRUSAGE
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#ifdef __APPLE__
+  return static_cast<std::uint64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+std::uint64_t current_rss_bytes() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long pages_total = 0;
+  unsigned long long pages_resident = 0;
+  const int matched = std::fscanf(f, "%llu %llu", &pages_total, &pages_resident);
+  std::fclose(f);
+  if (matched != 2) return 0;
+  const long page = sysconf(_SC_PAGESIZE);
+  if (page <= 0) return 0;
+  return static_cast<std::uint64_t>(pages_resident) * static_cast<std::uint64_t>(page);
+#else
+  return 0;
+#endif
+}
+
+}  // namespace fp8q

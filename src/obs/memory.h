@@ -1,0 +1,61 @@
+// Memory accounting: RSS sampling and tensor-allocation counters
+// (docs/OBSERVABILITY.md).
+//
+// Two complementary views of a run's memory behavior:
+//
+//   peak_rss_bytes()     the OS's high-water mark for the process
+//                        (getrusage ru_maxrss), sampled at call time --
+//                        monotonically nondecreasing over a process
+//                        lifetime, 0 where unsupported.
+//   current_rss_bytes()  the resident set right now (/proc/self/statm),
+//                        0 where unsupported.
+//   alloc counters       bytes/allocations routed through Tensor's
+//                        allocating constructors (tensor/tensor.cpp) --
+//                        allocation *traffic*, counting copies too, which
+//                        is what per-stage deltas in the run report need.
+//
+// The counters are always-on process-global relaxed atomics (one add per
+// tensor construction, not per element -- the same always-on rationale as
+// the cache counters in obs/counters.h). This header is the bottom of the
+// obs layer: it must stay dependency-free because fp8q_tensor links it
+// (as fp8q_obs_base) while the rest of obs sits above tensor via metrics.
+#pragma once
+
+#include <cstdint>
+
+namespace fp8q {
+
+/// Adds one allocation of `bytes` to the global tally. No-op for 0 bytes.
+void alloc_counter_add(std::uint64_t bytes);
+
+/// Point-in-time allocation totals since process start (or the last reset).
+struct AllocCounterSnapshot {
+  std::uint64_t bytes = 0;   ///< total bytes routed through counted allocations
+  std::uint64_t allocs = 0;  ///< number of counted allocations
+
+  /// Component-wise delta (for per-stage accounting); saturates at 0 if a
+  /// reset happened in between.
+  [[nodiscard]] AllocCounterSnapshot since(const AllocCounterSnapshot& earlier) const {
+    AllocCounterSnapshot d;
+    d.bytes = bytes >= earlier.bytes ? bytes - earlier.bytes : 0;
+    d.allocs = allocs >= earlier.allocs ? allocs - earlier.allocs : 0;
+    return d;
+  }
+
+  friend bool operator==(const AllocCounterSnapshot&, const AllocCounterSnapshot&) = default;
+};
+
+[[nodiscard]] AllocCounterSnapshot alloc_counters_snapshot();
+
+/// Zeroes the allocation tally. Call only between runs.
+void alloc_counters_reset();
+
+/// Peak resident set size of the process in bytes, sampled now; 0 when the
+/// platform offers no getrusage. Never decreases within a process.
+[[nodiscard]] std::uint64_t peak_rss_bytes();
+
+/// Current resident set size in bytes (/proc/self/statm); 0 when
+/// unavailable.
+[[nodiscard]] std::uint64_t current_rss_bytes();
+
+}  // namespace fp8q

@@ -67,6 +67,30 @@ void write_counters(std::ostream& out, const CounterSnapshot& snap,
   out << "\n" << indent << "}";
 }
 
+/// One histogram: headline stats (count/min/max/p50/p95/p99, derived --
+/// recomputed on read) plus the sparse bucket list [[index, count], ...]
+/// that round-trips the distribution exactly.
+void write_histogram(std::ostream& out, const HistogramSnapshot& h) {
+  out << "{\"count\": " << h.total << ", \"min\": ";
+  write_double(out, h.any() ? h.min_value : 0.0);
+  out << ", \"max\": ";
+  write_double(out, h.any() ? h.max_value : 0.0);
+  out << ", \"p50\": ";
+  write_double(out, h.quantile(0.50));
+  out << ", \"p95\": ";
+  write_double(out, h.quantile(0.95));
+  out << ", \"p99\": ";
+  write_double(out, h.quantile(0.99));
+  out << ", \"buckets\": [";
+  bool first = true;
+  for (int i = 0; i < kHistBucketCount; ++i) {
+    if (h.counts[i] == 0) continue;
+    out << (first ? "" : ", ") << "[" << i << ", " << h.counts[i] << "]";
+    first = false;
+  }
+  out << "]}";
+}
+
 }  // namespace
 
 void RunReport::write_json(std::ostream& out) const {
@@ -83,7 +107,8 @@ void RunReport::write_json(std::ostream& out) const {
     write_escaped(out, s.name);
     out << ", \"wall_ms\": ";
     write_double(out, s.wall_ms);
-    out << ", \"counters\": ";
+    out << ", \"alloc_bytes\": " << s.alloc_bytes << ", \"allocs\": " << s.allocs
+        << ", \"counters\": ";
     write_counters(out, s.counters, "    ");
     out << "}";
   }
@@ -121,6 +146,19 @@ void RunReport::write_json(std::ostream& out) const {
   }
   out << "},\n";
 
+  out << "  \"memory\": {\"peak_rss_bytes\": " << memory.peak_rss_bytes
+      << ", \"alloc_bytes\": " << memory.alloc_bytes << ", \"allocs\": " << memory.allocs
+      << "},\n";
+
+  out << "  \"histograms\": {";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    ";
+    write_escaped(out, histograms[i].name);
+    out << ": ";
+    write_histogram(out, histograms[i].hist);
+  }
+  out << (histograms.empty() ? "},\n" : "\n  },\n");
+
   out << "  \"spans_dropped\": " << spans_dropped << ",\n";
   out << "  \"spans\": [";
   for (std::size_t i = 0; i < spans.size(); ++i) {
@@ -149,21 +187,34 @@ void set_active_report(RunReport* report) {
 }
 
 ScopedStage::ScopedStage(std::string_view name) : span_(name) {
-  if (active_report() == nullptr) return;
+  report_armed_ = active_report() != nullptr;
+  if (!report_armed_ && !histograms_enabled()) return;
   armed_ = true;
   name_ = name;
   start_ns_ = obs_now_ns();
-  start_counters_ = counters_snapshot();
+  if (report_armed_) {
+    start_counters_ = counters_snapshot();
+    start_allocs_ = alloc_counters_snapshot();
+  }
 }
 
 ScopedStage::~ScopedStage() {
   if (!armed_) return;
-  const double wall_ms = static_cast<double>(obs_now_ns() - start_ns_) / 1e6;
-  report_add_stage(name_, wall_ms, counters_snapshot().since(start_counters_));
+  const std::uint64_t wall_ns = obs_now_ns() - start_ns_;
+  if (histograms_enabled()) {
+    hist_record(HistChannel::kStageWallNs, static_cast<double>(wall_ns));
+    hist_record_named("stage:" + name_, static_cast<double>(wall_ns));
+  }
+  if (!report_armed_) return;
+  const AllocCounterSnapshot alloc_delta = alloc_counters_snapshot().since(start_allocs_);
+  report_add_stage(name_, static_cast<double>(wall_ns) / 1e6,
+                   counters_snapshot().since(start_counters_), alloc_delta.bytes,
+                   alloc_delta.allocs);
 }
 
 void report_add_stage(std::string_view name, double wall_ms,
-                      const CounterSnapshot& counters) {
+                      const CounterSnapshot& counters, std::uint64_t alloc_bytes,
+                      std::uint64_t allocs) {
   std::lock_guard<std::mutex> lock(g_report_mutex);
   RunReport* report = active_report();
   if (report == nullptr) return;
@@ -171,6 +222,8 @@ void report_add_stage(std::string_view name, double wall_ms,
   stage.name = name;
   stage.wall_ms = wall_ms;
   stage.counters = counters;
+  stage.alloc_bytes = alloc_bytes;
+  stage.allocs = allocs;
   report->stages.push_back(std::move(stage));
 }
 
@@ -184,6 +237,11 @@ bool write_report_if_requested(RunReport& report) {
   if (path == nullptr) return false;
   report.counters = counters_snapshot();
   report.weight_cache = cache_counters_snapshot();
+  const AllocCounterSnapshot allocs = alloc_counters_snapshot();
+  report.memory.peak_rss_bytes = peak_rss_bytes();
+  report.memory.alloc_bytes = allocs.bytes;
+  report.memory.allocs = allocs.allocs;
+  report.histograms = all_histograms_snapshot();
   report.spans = trace_snapshot();
   report.spans_dropped = trace_dropped();
   std::ofstream out(path);

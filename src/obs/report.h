@@ -29,14 +29,18 @@
 
 #include "metrics/passrate.h"
 #include "obs/counters.h"
+#include "obs/histogram.h"
+#include "obs/memory.h"
 #include "obs/trace.h"
 
 namespace fp8q {
 
 /// Schema version written as "fp8q_report_version".
 /// v2 added the "weight_cache" block (quantized-weight cache counters);
-/// the reader accepts v1 reports, defaulting the block to zeros.
-inline constexpr int kReportVersion = 2;
+/// v3 added the "memory" block (peak RSS + allocation totals), per-stage
+/// allocation deltas, and the "histograms" block (obs/histogram.h).
+/// The reader accepts every version from 1 up, defaulting missing blocks.
+inline constexpr int kReportVersion = 3;
 
 /// One named phase of a run.
 struct StageReport {
@@ -44,6 +48,17 @@ struct StageReport {
   double wall_ms = 0.0;
   /// Counter delta over the stage window (see determinism note above).
   CounterSnapshot counters;
+  /// Tensor-allocation delta over the stage window (obs/memory.h). Like
+  /// the counter delta, process-global over the wall window.
+  std::uint64_t alloc_bytes = 0;
+  std::uint64_t allocs = 0;
+};
+
+/// Process memory figures at write time (obs/memory.h).
+struct MemoryReport {
+  std::uint64_t peak_rss_bytes = 0;
+  std::uint64_t alloc_bytes = 0;
+  std::uint64_t allocs = 0;
 };
 
 /// The full structured record of one run.
@@ -56,6 +71,10 @@ struct RunReport {
   CounterSnapshot counters;
   /// Quantized-weight cache events at write time (quant/weight_cache.h).
   CacheCounterSnapshot weight_cache;
+  /// Peak RSS and allocation totals at write time (schema v3).
+  MemoryReport memory;
+  /// Every histogram with data at write time, sorted by name (schema v3).
+  std::vector<NamedHistogram> histograms;
   std::vector<SpanRecord> spans;
   std::uint64_t spans_dropped = 0;  ///< trace_dropped() at write time
 
@@ -68,10 +87,13 @@ struct RunReport {
 [[nodiscard]] RunReport* active_report();
 void set_active_report(RunReport* report);
 
-/// RAII stage: measures wall time and the counter delta of a scope and
-/// appends a StageReport to the active report (if any) on destruction.
-/// Also opens a TraceSpan of the same name. With no active report and
-/// tracing off, cost is two relaxed flag checks.
+/// RAII stage: measures wall time, the counter delta and the allocation
+/// delta of a scope and appends a StageReport to the active report (if
+/// any) on destruction. Also opens a TraceSpan of the same name, and --
+/// when histograms are enabled -- records the stage duration into the
+/// latency/stage_ns channel plus a per-name "stage:<name>" histogram.
+/// With no active report, tracing off and histograms off, cost is three
+/// relaxed flag checks.
 class ScopedStage {
  public:
   explicit ScopedStage(std::string_view name);
@@ -81,10 +103,12 @@ class ScopedStage {
   ScopedStage& operator=(const ScopedStage&) = delete;
 
  private:
-  bool armed_ = false;
+  bool armed_ = false;         ///< timing is live (report active or hists on)
+  bool report_armed_ = false;  ///< a report was active at construction
   std::string name_;
   std::uint64_t start_ns_ = 0;
   CounterSnapshot start_counters_;
+  AllocCounterSnapshot start_allocs_;
   TraceSpan span_;
 };
 
@@ -92,7 +116,8 @@ class ScopedStage {
 /// without an active report). For sites that time work themselves, e.g.
 /// the tuner recording each trial in deterministic history order.
 void report_add_stage(std::string_view name, double wall_ms,
-                      const CounterSnapshot& counters = {});
+                      const CounterSnapshot& counters = {},
+                      std::uint64_t alloc_bytes = 0, std::uint64_t allocs = 0);
 
 /// The FP8Q_REPORT path, or nullptr when unset/empty.
 [[nodiscard]] const char* report_env_path();

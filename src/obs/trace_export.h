@@ -1,0 +1,42 @@
+// Chrome trace-event export for the span tree (docs/OBSERVABILITY.md).
+//
+// Streams the SpanRecords collected by obs/trace.h as Chrome trace-event
+// JSON ({"traceEvents": [...]}), loadable in Perfetto (ui.perfetto.dev)
+// or chrome://tracing. Each span becomes one complete ("ph":"X") event on
+// its recording thread's track; timestamps are microseconds relative to
+// the earliest span so traces start at t=0.
+//
+// Cross-thread parent linkage -- a parallel_run task whose logical parent
+// span lives on the dispatching thread -- cannot be expressed by track
+// nesting alone, so every child whose parent recorded on a *different*
+// thread additionally gets a flow-event pair ("ph":"s" on the parent
+// track, "ph":"f" on the child track, same id), which the viewers draw as
+// an arrow from parent to child. Same-thread nesting needs nothing: the
+// viewers nest by time containment per track.
+//
+// The span id and parent id are preserved in each event's "args", so the
+// exact tree (not just the rendering) round-trips; tools/fp8q_report
+// check-trace re-validates nesting from those fields.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace fp8q {
+
+/// Writes `spans` (as returned by trace_snapshot()) as Chrome trace-event
+/// JSON. Deterministic for a fixed span list.
+void write_chrome_trace(std::ostream& out, const std::vector<SpanRecord>& spans);
+
+/// The FP8Q_TRACE_JSON path, or nullptr when unset/empty.
+[[nodiscard]] const char* trace_json_env_path();
+
+/// If FP8Q_TRACE_JSON is set: snapshots the trace buffers and writes the
+/// Chrome trace JSON to that path. Returns true when a file was written;
+/// throws on I/O failure. Pair with FP8Q_TRACE=1 (or set_trace_enabled)
+/// or the trace will be empty.
+bool write_chrome_trace_if_requested();
+
+}  // namespace fp8q

@@ -13,6 +13,7 @@
 #include "core/thread_annotations.h"
 #include "fp8/cast_fast.h"
 #include "obs/counters.h"
+#include "obs/histogram.h"
 #include "obs/trace.h"
 #include "quant/quantizer.h"
 #include "tensor/stats.h"
@@ -193,6 +194,11 @@ void quantize_weight_cached(Tensor& w, DType dtype, Granularity granularity, int
 
   TraceSpan span("quant/weight-cache");
   Cache& c = cache();
+  // Hit/miss latency histograms (latency/cache_*): observational
+  // wall-clock from here through payload delivery, recorded only when
+  // histograms are on so the disabled path stays a branch-on-atomic.
+  const bool histed = histograms_enabled();
+  const std::uint64_t t0 = histed ? obs_now_ns() : 0;
   const TensorIdentity ident = w.identity();
 
   // Resolve the content hash: memo first, rehash on miss.
@@ -225,6 +231,9 @@ void quantize_weight_cached(Tensor& w, DType dtype, Granularity granularity, int
       // change from the hashed state to the quantized state.
       std::memcpy(w.flat().data(), e.data.data(), e.data.size() * sizeof(float));
       replay_tally(e);
+      if (histed) {
+        hist_record(HistChannel::kCacheHitNs, static_cast<double>(obs_now_ns() - t0));
+      }
       return;
     }
   }
@@ -265,6 +274,9 @@ void quantize_weight_cached(Tensor& w, DType dtype, Granularity granularity, int
   }
   c.stats.bytes = static_cast<std::uint64_t>(c.bytes);
   c.stats.entries = static_cast<std::uint64_t>(c.map.size());
+  if (histed) {
+    hist_record(HistChannel::kCacheMissNs, static_cast<double>(obs_now_ns() - t0));
+  }
 }
 
 WeightCacheStats weight_cache_stats() {

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/memory.h"
+
 namespace fp8q {
 
 namespace {
@@ -37,16 +39,45 @@ std::int64_t shape_numel(const Shape& shape) {
 }
 
 Tensor::Tensor(Shape shape)
-    : shape_(std::move(shape)), data_(static_cast<size_t>(shape_numel(shape_)), 0.0f) {}
+    : shape_(std::move(shape)), data_(static_cast<size_t>(shape_numel(shape_)), 0.0f) {
+  alloc_counter_add(data_.size() * sizeof(float));
+}
 
 Tensor::Tensor(Shape shape, float value)
-    : shape_(std::move(shape)), data_(static_cast<size_t>(shape_numel(shape_)), value) {}
+    : shape_(std::move(shape)), data_(static_cast<size_t>(shape_numel(shape_)), value) {
+  alloc_counter_add(data_.size() * sizeof(float));
+}
 
 Tensor::Tensor(Shape shape, std::vector<float> data)
     : shape_(std::move(shape)), data_(std::move(data)) {
   if (static_cast<std::int64_t>(data_.size()) != shape_numel(shape_)) {
     throw std::invalid_argument("data size does not match shape");
   }
+  alloc_counter_add(data_.size() * sizeof(float));
+}
+
+// Copies duplicate the payload, so they count as allocations. All five
+// members come across unchanged -- including (id_, version_, dirty_) --
+// because a copy holds the same bits as the source and must ADOPT its
+// identity (see identity()).
+Tensor::Tensor(const Tensor& other)
+    : shape_(other.shape_),
+      data_(other.data_),
+      id_(other.id_),
+      version_(other.version_),
+      dirty_(other.dirty_) {
+  alloc_counter_add(data_.size() * sizeof(float));
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) return *this;
+  shape_ = other.shape_;
+  data_ = other.data_;
+  id_ = other.id_;
+  version_ = other.version_;
+  dirty_ = other.dirty_;
+  alloc_counter_add(data_.size() * sizeof(float));
+  return *this;
 }
 
 std::int64_t Tensor::size(int axis) const {

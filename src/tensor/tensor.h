@@ -39,6 +39,16 @@ class Tensor {
   /// equal the shape's element count.
   Tensor(Shape shape, std::vector<float> data);
 
+  // Every constructor that materializes a payload -- including copies --
+  // reports its bytes to the obs allocation tally (obs/memory.h), so run
+  // reports can account per-stage tensor-allocation traffic. Moves
+  // transfer ownership without allocating and are not counted.
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&& other) noexcept = default;
+  Tensor& operator=(Tensor&& other) noexcept = default;
+  ~Tensor() = default;
+
   [[nodiscard]] static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
   [[nodiscard]] static Tensor full(Shape shape, float v) { return {std::move(shape), v}; }
 

@@ -1,0 +1,136 @@
+// Hardened JSON reader (src/io/json.h): the strictness suite. Every
+// malformed, truncated or adversarial input must throw std::runtime_error
+// -- never return partial state -- and well-formed documents must decode
+// exactly (escapes, surrogate pairs, number grammar, insertion order).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "io/json.h"
+
+namespace fp8q {
+namespace {
+
+using json::Value;
+
+void expect_throws(const std::string& text) {
+  EXPECT_THROW((void)json::parse(text), std::runtime_error) << "input: " << text;
+}
+
+TEST(Json, ScalarsParse) {
+  EXPECT_EQ(json::parse("null").kind, Value::Kind::kNull);
+  EXPECT_TRUE(json::parse("true").boolean);
+  EXPECT_FALSE(json::parse("false").boolean);
+  EXPECT_EQ(json::parse("42").number, 42.0);
+  EXPECT_EQ(json::parse("-0.5e2").number, -50.0);
+  EXPECT_EQ(json::parse("\"hi\"").str, "hi");
+  EXPECT_EQ(json::parse(" [1, 2, 3] ").array.size(), 3u);
+}
+
+TEST(Json, ObjectKeepsInsertionOrderAndFirstDuplicateWins) {
+  const Value v = json::parse(R"({"b": 1, "a": 2, "b": 3})");
+  ASSERT_TRUE(v.is_object());
+  ASSERT_EQ(v.object.size(), 3u);
+  EXPECT_EQ(v.object[0].first, "b");
+  EXPECT_EQ(v.object[1].first, "a");
+  EXPECT_EQ(v.number_or("b", -1.0), 1.0);  // find() returns the first "b"
+  EXPECT_EQ(v.number_or("missing", -7.0), -7.0);
+  EXPECT_EQ(v.string_or("a"), "");  // wrong type -> fallback
+}
+
+TEST(Json, EscapesDecode) {
+  const Value v = json::parse(R"("a\"b\\c\/d\b\f\n\r\t")");
+  EXPECT_EQ(v.str, "a\"b\\c/d\b\f\n\r\t");
+  EXPECT_EQ(json::parse(R"("Aé")").str, "A\xc3\xa9");
+  EXPECT_EQ(json::parse(R"("✓")").str, "\xe2\x9c\x93");
+}
+
+TEST(Json, SurrogatePairsDecodeToUtf8) {
+  // U+1F600 as a UTF-16 pair -> 4-byte UTF-8 sequence.
+  EXPECT_EQ(json::parse(R"("😀")").str, "\xf0\x9f\x98\x80");
+  // Lone surrogates, either half, are errors -- not replacement chars.
+  expect_throws(R"("\ud83d")");
+  expect_throws(R"("\ud83dx")");
+  expect_throws(R"("\ud83dA")");
+  expect_throws(R"("\ude00")");  // unpaired low surrogate
+}
+
+TEST(Json, RawControlCharactersRejected) {
+  expect_throws(std::string("\"a\nb\""));  // raw newline inside a string
+  expect_throws(std::string("\"a\tb\""));
+  std::string nul = "\"a";
+  nul += '\0';
+  nul += "b\"";
+  expect_throws(nul);
+}
+
+TEST(Json, TruncationThrows) {
+  expect_throws("");
+  expect_throws("{");
+  expect_throws("[1, 2");
+  expect_throws(R"({"a": )");
+  expect_throws(R"({"a": 1,)");
+  expect_throws("\"unterminated");
+  expect_throws("\"esc\\");
+  expect_throws("tru");
+  expect_throws(R"("\u00)");
+}
+
+TEST(Json, StrictNumberGrammar) {
+  expect_throws("01");     // leading zero
+  expect_throws("-");      // sign alone
+  expect_throws("1.");     // bare decimal point
+  expect_throws(".5");     // must start with a digit
+  expect_throws("1e");     // empty exponent
+  expect_throws("1e+");
+  expect_throws("+1");     // leading plus
+  expect_throws("NaN");
+  expect_throws("Infinity");
+  EXPECT_EQ(json::parse("0").number, 0.0);
+  EXPECT_EQ(json::parse("-0").number, 0.0);
+  EXPECT_EQ(json::parse("1e3").number, 1000.0);
+  EXPECT_EQ(json::parse("0.125").number, 0.125);
+}
+
+TEST(Json, TrailingGarbageRejected) {
+  expect_throws("1 2");
+  expect_throws("{} {}");
+  expect_throws("[1],");
+  expect_throws("null x");
+  EXPECT_NO_THROW((void)json::parse("  {}  \n"));  // whitespace is fine
+}
+
+TEST(Json, StructuralErrors) {
+  expect_throws("[1 2]");          // missing comma
+  expect_throws("[1,]");           // trailing comma
+  expect_throws(R"({"a" 1})");     // missing colon
+  expect_throws(R"({"a": 1,})");   // trailing comma
+  expect_throws(R"({a: 1})");      // unquoted key
+  expect_throws("]");
+  expect_throws("'single'");
+}
+
+TEST(Json, DepthLimitStopsAdversarialNesting) {
+  // kMaxDepth nested arrays parse; one more must throw instead of
+  // exhausting the stack.
+  std::string ok;
+  for (int i = 0; i < json::kMaxDepth; ++i) ok += '[';
+  for (int i = 0; i < json::kMaxDepth; ++i) ok += ']';
+  EXPECT_NO_THROW((void)json::parse(ok));
+
+  const std::string too_deep = "[" + ok + "]";
+  expect_throws(too_deep);
+}
+
+TEST(Json, ErrorsCarryByteOffset) {
+  try {
+    (void)json::parse("[1, x]");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("4"), std::string::npos) << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace fp8q

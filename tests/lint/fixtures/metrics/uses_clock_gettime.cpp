@@ -1,0 +1,14 @@
+// Lint fixture: POSIX clock read outside src/obs/. Seeded violation for
+// the `raw-clock` rule (tests/lint/lint_test.cpp); unlike <chrono> this
+// does not also trip `determinism`, so the rules are tested independently.
+#include <ctime>
+
+namespace fp8q {
+
+long fixture_posix_now() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return ts.tv_sec * 1000000000L + ts.tv_nsec;
+}
+
+}  // namespace fp8q

@@ -47,7 +47,19 @@ TEST(LintFixtures, RandFlagged) {
 }
 
 TEST(LintFixtures, WallClockFlagged) {
-  EXPECT_TRUE(has_rule(lint_fixture("metrics/uses_clock.cpp"), "determinism"));
+  // A <chrono> clock read is both a determinism hazard and a raw clock.
+  const auto findings = lint_fixture("metrics/uses_clock.cpp");
+  EXPECT_TRUE(has_rule(findings, "determinism"));
+  EXPECT_TRUE(has_rule(findings, "raw-clock"));
+}
+
+TEST(LintFixtures, RawClockFlagged) {
+  // clock_gettime trips only raw-clock: `\bclock\s*\(` in the determinism
+  // pattern requires the paren right after "clock", so the rules stay
+  // independent.
+  const auto findings = lint_fixture("metrics/uses_clock_gettime.cpp");
+  EXPECT_TRUE(has_rule(findings, "raw-clock"));
+  EXPECT_FALSE(has_rule(findings, "determinism"));
 }
 
 TEST(LintFixtures, IostreamFlagged) {
@@ -71,6 +83,7 @@ TEST(LintFixtures, TreeWalkFindsEverySeededViolation) {
   const auto findings = lint_tree(FP8Q_LINT_FIXTURES);
   EXPECT_TRUE(has_rule(findings, "raw-thread"));
   EXPECT_TRUE(has_rule(findings, "determinism"));
+  EXPECT_TRUE(has_rule(findings, "raw-clock"));
   EXPECT_TRUE(has_rule(findings, "io-stream"));
   EXPECT_TRUE(has_rule(findings, "pragma-once"));
   EXPECT_TRUE(has_rule(findings, "parallel-grain"));
@@ -89,7 +102,10 @@ TEST(LintRules, ExemptPathsAreSkipped) {
 
   const std::string timed = "#include <chrono>\nauto t = std::chrono::steady_clock::now();\n";
   EXPECT_TRUE(lint_file("obs/trace.cpp", timed).empty());
-  EXPECT_TRUE(lint_file("tensor/rng.cpp", timed).empty());
+  // tensor/rng is exempt from `determinism` (it owns seeded randomness)
+  // but NOT from `raw-clock`: a clock read there is still a violation.
+  EXPECT_FALSE(has_rule(lint_file("tensor/rng.cpp", timed), "determinism"));
+  EXPECT_TRUE(has_rule(lint_file("tensor/rng.cpp", timed), "raw-clock"));
   EXPECT_FALSE(lint_file("tensor/stats.cpp", timed).empty());
 }
 

@@ -92,6 +92,58 @@ TEST(Report, JsonRoundTripsThroughSerializeReader) {
   EXPECT_EQ(parsed.spans[0].parent, original.spans[0].parent);
 }
 
+TEST(Report, V3MemoryHistogramAndStageAllocBlocksRoundTrip) {
+  RunReport original = sample_report();
+  original.stages[0].alloc_bytes = 4096;
+  original.stages[0].allocs = 3;
+  original.memory.peak_rss_bytes = 123456789;
+  original.memory.alloc_bytes = 777;
+  original.memory.allocs = 9;
+  original.weight_cache.counts[static_cast<int>(ObsCacheEvent::kHit)] = 11;
+
+  NamedHistogram nh;
+  nh.name = "cast_mag/e4m3";
+  LocalHistogram local;
+  local.record(0.5);
+  local.record(7.25);
+  local.record(7.25);
+  nh.hist = local.snap;
+  original.histograms.push_back(nh);
+
+  std::istringstream in(original.to_json());
+  const RunReport parsed = report_from_json(in);
+
+  ASSERT_EQ(parsed.stages.size(), 1u);
+  EXPECT_EQ(parsed.stages[0].alloc_bytes, 4096u);
+  EXPECT_EQ(parsed.stages[0].allocs, 3u);
+  EXPECT_EQ(parsed.memory.peak_rss_bytes, 123456789u);
+  EXPECT_EQ(parsed.memory.alloc_bytes, 777u);
+  EXPECT_EQ(parsed.memory.allocs, 9u);
+  EXPECT_EQ(parsed.weight_cache.counts[static_cast<int>(ObsCacheEvent::kHit)], 11u);
+
+  ASSERT_EQ(parsed.histograms.size(), 1u);
+  EXPECT_EQ(parsed.histograms[0].name, "cast_mag/e4m3");
+  // Bitwise: the sparse bucket encoding must rebuild the exact counts,
+  // total and min/max, so every quantile matches too.
+  EXPECT_TRUE(parsed.histograms[0].hist == nh.hist);
+  EXPECT_EQ(parsed.histograms[0].hist.quantile(0.5), nh.hist.quantile(0.5));
+}
+
+TEST(Report, PreV3ReportsDefaultTheNewBlocks) {
+  // A v1 document (no memory/histograms/stage alloc fields) must load with
+  // the new blocks defaulted, not throw.
+  std::istringstream in(
+      R"({"fp8q_report_version": 1, "tool": "old", "num_threads": 2,
+          "stages": [{"name": "s", "wall_ms": 1.5}]})");
+  const RunReport parsed = report_from_json(in);
+  EXPECT_EQ(parsed.tool, "old");
+  EXPECT_EQ(parsed.memory.peak_rss_bytes, 0u);
+  EXPECT_EQ(parsed.memory.alloc_bytes, 0u);
+  EXPECT_TRUE(parsed.histograms.empty());
+  ASSERT_EQ(parsed.stages.size(), 1u);
+  EXPECT_EQ(parsed.stages[0].alloc_bytes, 0u);
+}
+
 TEST(Report, EmptyReportRoundTrips) {
   RunReport empty;
   std::istringstream in(empty.to_json());

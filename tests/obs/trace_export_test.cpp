@@ -1,0 +1,148 @@
+// Chrome trace-event export (src/obs/trace_export.h): golden output for a
+// fixed span list, structural validity through the hardened JSON reader,
+// cross-thread flow-pair emission, and the FP8Q_TRACE_JSON env gate.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "io/json.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
+
+namespace fp8q {
+namespace {
+
+SpanRecord make_span(std::string name, std::uint64_t start_ns, std::uint64_t dur_ns,
+                     std::uint32_t tid, std::int64_t id, std::int64_t parent) {
+  SpanRecord s;
+  s.name = std::move(name);
+  s.start_ns = start_ns;
+  s.duration_ns = dur_ns;
+  s.thread_id = tid;
+  s.id = id;
+  s.parent = parent;
+  return s;
+}
+
+std::string export_json(const std::vector<SpanRecord>& spans) {
+  std::ostringstream out;
+  write_chrome_trace(out, spans);
+  return out.str();
+}
+
+TEST(TraceExport, EmptySpanListGolden) {
+  EXPECT_EQ(export_json({}), "{\n  \"displayTimeUnit\": \"ns\",\n  \"traceEvents\": []\n}\n");
+}
+
+TEST(TraceExport, SingleSpanGolden) {
+  // One root span starting at an arbitrary steady_clock offset: timestamps
+  // are normalized so the trace starts at ts=0, with nanosecond precision
+  // kept as a decimal fraction of the microsecond ts.
+  const auto spans = {make_span("root", 5000001234, 1500, 0, 1, -1)};
+  EXPECT_EQ(export_json(spans),
+            "{\n  \"displayTimeUnit\": \"ns\",\n  \"traceEvents\": [\n"
+            "    {\"name\": \"root\", \"ph\": \"X\", \"ts\": 0.000, \"dur\": 1.500, "
+            "\"pid\": 1, \"tid\": 0, \"args\": {\"id\": 1, \"parent\": -1}}\n"
+            "  ]\n}\n");
+}
+
+TEST(TraceExport, OutputIsValidJsonWithRequiredFields) {
+  std::vector<SpanRecord> spans;
+  spans.push_back(make_span("outer", 1000, 5000, 0, 1, -1));
+  spans.push_back(make_span("inner \"quoted\"\n", 2000, 1000, 0, 2, 1));
+
+  const json::Value doc = json::parse(export_json(spans));
+  ASSERT_TRUE(doc.is_object());
+  const json::Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->array.size(), 2u);  // same thread: no flow events
+
+  const json::Value& inner = events->array[1];
+  EXPECT_EQ(inner.string_or("name"), "inner \"quoted\"\n");  // escaping round-trips
+  EXPECT_EQ(inner.string_or("ph"), "X");
+  EXPECT_EQ(inner.number_or("ts", -1.0), 1.0);   // 1000 ns after the epoch span
+  EXPECT_EQ(inner.number_or("dur", -1.0), 1.0);  // 1000 ns
+  const json::Value* args = inner.find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_EQ(args->number_or("id", -1.0), 2.0);
+  EXPECT_EQ(args->number_or("parent", -1.0), 1.0);
+}
+
+TEST(TraceExport, CrossThreadParentEmitsFlowPair) {
+  // Parent on thread 0, child on thread 2: the child must carry a flow
+  // start on the parent's track and a flow finish on its own, same id.
+  std::vector<SpanRecord> spans;
+  spans.push_back(make_span("dispatch", 0, 9000, 0, 1, -1));
+  spans.push_back(make_span("chunk", 1000, 2000, 2, 5, 1));
+
+  const json::Value doc = json::parse(export_json(spans));
+  const json::Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->array.size(), 4u);  // 2 X events + s/f pair
+
+  const json::Value& s = events->array[2];
+  const json::Value& f = events->array[3];
+  EXPECT_EQ(s.string_or("ph"), "s");
+  EXPECT_EQ(f.string_or("ph"), "f");
+  EXPECT_EQ(f.string_or("bp"), "e");
+  EXPECT_EQ(s.number_or("id", -1.0), 5.0);
+  EXPECT_EQ(f.number_or("id", -1.0), 5.0);
+  EXPECT_EQ(s.number_or("tid", -1.0), 0.0);  // start on the parent's track
+  EXPECT_EQ(f.number_or("tid", -1.0), 2.0);  // finish on the child's track
+}
+
+TEST(TraceExport, SameThreadParentEmitsNoFlow) {
+  std::vector<SpanRecord> spans;
+  spans.push_back(make_span("a", 0, 100, 1, 1, -1));
+  spans.push_back(make_span("b", 10, 50, 1, 2, 1));
+  spans.push_back(make_span("orphan", 20, 5, 3, 9, 777));  // parent not in list
+
+  const json::Value doc = json::parse(export_json(spans));
+  EXPECT_EQ(doc.find("traceEvents")->array.size(), 3u);
+}
+
+TEST(TraceExport, DeterministicForFixedSpanList) {
+  std::vector<SpanRecord> spans;
+  spans.push_back(make_span("dispatch", 123456, 9000, 0, 1, -1));
+  spans.push_back(make_span("chunk", 124000, 2000, 1, 2, 1));
+  EXPECT_EQ(export_json(spans), export_json(spans));
+}
+
+TEST(TraceExport, EnvGateWritesOnlyWhenRequested) {
+  ::unsetenv("FP8Q_TRACE_JSON");
+  EXPECT_EQ(trace_json_env_path(), nullptr);
+  EXPECT_FALSE(write_chrome_trace_if_requested());
+
+  ::setenv("FP8Q_TRACE_JSON", "", 1);  // empty = unset
+  EXPECT_EQ(trace_json_env_path(), nullptr);
+
+  const std::string path = testing::TempDir() + "fp8q_trace_export_test.json";
+  ::setenv("FP8Q_TRACE_JSON", path.c_str(), 1);
+  set_trace_enabled(true);
+  trace_reset();
+  { TraceSpan span("gate-test"); }
+  set_trace_enabled(false);
+  EXPECT_TRUE(write_chrome_trace_if_requested());
+  ::unsetenv("FP8Q_TRACE_JSON");
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream text;
+  text << in.rdbuf();
+  const json::Value doc = json::parse(text.str());
+  const json::Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->array.size(), 1u);
+  EXPECT_EQ(events->array[0].string_or("name"), "gate-test");
+  trace_reset();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fp8q

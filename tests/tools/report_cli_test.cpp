@@ -1,0 +1,313 @@
+// fp8q_report engine (tools/fp8q_report_lib.h), driven in-process: diff
+// thresholds, the trace validator, the BENCH_*.json gates and the CLI
+// entry point's exit codes. The thin binary (tools/fp8q_report.cpp) only
+// forwards argv here, so this is the coverage for the CI perf gate
+// (tools/ci.sh step 3).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fp8q_report_lib.h"
+#include "obs/counters.h"
+#include "obs/trace_export.h"
+
+namespace fp8q {
+namespace {
+
+using report_cli::DiffThresholds;
+
+RunReport sample_report() {
+  RunReport r;
+  r.tool = "cli-test";
+  r.num_threads = 2;
+
+  StageReport stage;
+  stage.name = "phase-a";
+  stage.wall_ms = 10.0;
+  r.stages.push_back(stage);
+
+  r.counters.counts[static_cast<int>(ObsFormat::kE4M3)]
+                   [static_cast<int>(ObsEvent::kQuantized)] = 1000;
+  r.memory.peak_rss_bytes = 100 << 20;
+  r.memory.alloc_bytes = 1000;
+  r.memory.allocs = 10;
+
+  AccuracyRecord rec;
+  rec.workload = "resnet50-ish";
+  rec.domain = "CV";
+  rec.config = "E4M3/static";
+  rec.fp32_accuracy = 0.80;
+  rec.quant_accuracy = 0.80;
+  r.records.push_back(rec);
+
+  NamedHistogram nh;
+  nh.name = "cast_mag/e4m3";
+  LocalHistogram local;
+  local.record(1.0);
+  local.record(100.0);
+  nh.hist = local.snap;
+  r.histograms.push_back(nh);
+  return r;
+}
+
+DiffThresholds all_gates() {
+  DiffThresholds t;
+  t.max_wall_regress_pct = 50.0;
+  t.max_alloc_growth_pct = 50.0;
+  t.max_rss_growth_pct = 50.0;
+  t.max_accuracy_drop = 0.01;
+  t.max_pass_rate_drop = 0.0;
+  t.max_counter_drift_pct = 0.0;
+  return t;
+}
+
+std::string write_temp(const std::string& name, const std::string& content) {
+  const std::string path = testing::TempDir() + name;
+  std::ofstream out(path);
+  out << content;
+  return path;
+}
+
+TEST(ReportDiff, IdenticalReportsPassEveryGate) {
+  const RunReport r = sample_report();
+  std::ostringstream out;
+  EXPECT_EQ(report_cli::diff_reports(r, r, all_gates(), out), 0) << out.str();
+}
+
+TEST(ReportDiff, DefaultThresholdsDisableAllChecks) {
+  RunReport base = sample_report();
+  RunReport cand = sample_report();
+  cand.counters.counts[0][0] = 999;  // would fail the drift gate
+  cand.memory.alloc_bytes *= 100;
+  std::ostringstream out;
+  EXPECT_EQ(report_cli::diff_reports(base, cand, DiffThresholds{}, out), 0);
+}
+
+TEST(ReportDiff, ZeroCounterDriftCatchesASingleEvent) {
+  RunReport base = sample_report();
+  RunReport cand = sample_report();
+  cand.counters.counts[static_cast<int>(ObsFormat::kE4M3)]
+                      [static_cast<int>(ObsEvent::kQuantized)] += 1;
+  DiffThresholds t;
+  t.max_counter_drift_pct = 0.0;
+  std::ostringstream out;
+  EXPECT_EQ(report_cli::diff_reports(base, cand, t, out), 1);
+  EXPECT_NE(out.str().find("FAIL"), std::string::npos);
+  // A counter appearing from zero is infinite drift, also a breach.
+  cand = sample_report();
+  cand.counters.counts[static_cast<int>(ObsFormat::kE5M2)]
+                      [static_cast<int>(ObsEvent::kSaturated)] = 1;
+  std::ostringstream out2;
+  EXPECT_EQ(report_cli::diff_reports(base, cand, t, out2), 1);
+}
+
+TEST(ReportDiff, WallRegressionGate) {
+  RunReport base = sample_report();
+  RunReport cand = sample_report();
+  cand.stages[0].wall_ms = 20.0;  // +100%
+  DiffThresholds t;
+  t.max_wall_regress_pct = 50.0;
+  std::ostringstream out;
+  EXPECT_EQ(report_cli::diff_reports(base, cand, t, out), 1);
+  t.max_wall_regress_pct = 150.0;
+  std::ostringstream out2;
+  EXPECT_EQ(report_cli::diff_reports(base, cand, t, out2), 0);
+}
+
+TEST(ReportDiff, UnmatchedStagesAreNotesNotBreaches) {
+  RunReport base = sample_report();
+  RunReport cand = sample_report();
+  StageReport extra;
+  extra.name = "phase-b";
+  cand.stages.push_back(extra);
+  base.stages[0].name = "renamed";  // now unmatched in both directions
+  DiffThresholds t;
+  t.max_wall_regress_pct = 0.0;
+  std::ostringstream out;
+  EXPECT_EQ(report_cli::diff_reports(base, cand, t, out), 0);
+  EXPECT_NE(out.str().find("note"), std::string::npos);
+}
+
+TEST(ReportDiff, MemoryGrowthGates) {
+  RunReport base = sample_report();
+  RunReport cand = sample_report();
+  cand.memory.alloc_bytes = 1600;          // +60% over 1000
+  cand.memory.peak_rss_bytes = 120 << 20;  // +20%
+  DiffThresholds t;
+  t.max_alloc_growth_pct = 50.0;
+  t.max_rss_growth_pct = 50.0;
+  std::ostringstream out;
+  EXPECT_EQ(report_cli::diff_reports(base, cand, t, out), 1);  // alloc only
+  t.max_rss_growth_pct = 10.0;
+  std::ostringstream out2;
+  EXPECT_EQ(report_cli::diff_reports(base, cand, t, out2), 2);
+}
+
+TEST(ReportDiff, AccuracyAndPassRateGates) {
+  RunReport base = sample_report();
+  RunReport cand = sample_report();
+  cand.records[0].quant_accuracy = 0.75;  // drop 0.05, and the record now fails
+  DiffThresholds t;
+  t.max_accuracy_drop = 0.01;
+  t.max_pass_rate_drop = 50.0;
+  std::ostringstream out;
+  // accuracy drop 0.05 > 0.01 breach; pass rate 100 -> 0 drops 100 pts > 50.
+  EXPECT_EQ(report_cli::diff_reports(base, cand, t, out), 2);
+  t.max_accuracy_drop = 0.10;
+  t.max_pass_rate_drop = 100.0;
+  std::ostringstream out2;
+  EXPECT_EQ(report_cli::diff_reports(base, cand, t, out2), 0);
+}
+
+TEST(ReportFormat, RendersEverySection) {
+  const std::string text = report_cli::format_report(sample_report());
+  EXPECT_NE(text.find("tool=cli-test"), std::string::npos);
+  EXPECT_NE(text.find("phase-a"), std::string::npos);
+  EXPECT_NE(text.find("e4m3"), std::string::npos);
+  EXPECT_NE(text.find("cast_mag/e4m3"), std::string::npos);
+  EXPECT_NE(text.find("p95="), std::string::npos);
+  EXPECT_NE(text.find("pass rate: 100.0%"), std::string::npos);
+  EXPECT_NE(text.find("peak_rss=100.0 MiB"), std::string::npos);
+}
+
+TEST(TraceValidate, AcceptsTheExportersOutput) {
+  std::vector<SpanRecord> spans;
+  SpanRecord parent;
+  parent.name = "dispatch";
+  parent.start_ns = 0;
+  parent.duration_ns = 10000;
+  parent.thread_id = 0;
+  parent.id = 1;
+  spans.push_back(parent);
+  SpanRecord child;
+  child.name = "chunk";
+  child.start_ns = 2000;
+  child.duration_ns = 3000;
+  child.thread_id = 1;
+  child.id = 2;
+  child.parent = 1;
+  spans.push_back(child);
+
+  std::ostringstream json_out;
+  write_chrome_trace(json_out, spans);
+  EXPECT_TRUE(report_cli::validate_chrome_trace(json_out.str()).empty());
+}
+
+TEST(TraceValidate, RejectsMalformedDocuments) {
+  EXPECT_FALSE(report_cli::validate_chrome_trace("not json").empty());
+  EXPECT_FALSE(report_cli::validate_chrome_trace("[]").empty());
+  EXPECT_FALSE(report_cli::validate_chrome_trace("{}").empty());
+  // X event without dur.
+  const char* no_dur =
+      R"({"traceEvents": [{"name": "a", "ph": "X", "ts": 0, "pid": 1, "tid": 0}]})";
+  EXPECT_FALSE(report_cli::validate_chrome_trace(no_dur).empty());
+  // Flow finish without a matching start.
+  const char* lone_f =
+      R"({"traceEvents": [{"name": "f", "ph": "f", "id": 9, "ts": 0, "pid": 1, "tid": 0}]})";
+  EXPECT_FALSE(report_cli::validate_chrome_trace(lone_f).empty());
+}
+
+TEST(TraceValidate, RejectsPartialOverlapOnOneThread) {
+  // [0, 100] and [50, 200] on the same tid: neither nests in the other.
+  const char* overlap = R"({"traceEvents": [
+    {"name": "a", "ph": "X", "ts": 0, "dur": 100, "pid": 1, "tid": 0},
+    {"name": "b", "ph": "X", "ts": 50, "dur": 150, "pid": 1, "tid": 0}
+  ]})";
+  const auto problems = report_cli::validate_chrome_trace(overlap);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("overlap"), std::string::npos);
+
+  // The same intervals on different threads are fine.
+  const char* two_tids = R"({"traceEvents": [
+    {"name": "a", "ph": "X", "ts": 0, "dur": 100, "pid": 1, "tid": 0},
+    {"name": "b", "ph": "X", "ts": 50, "dur": 150, "pid": 1, "tid": 1}
+  ]})";
+  EXPECT_TRUE(report_cli::validate_chrome_trace(two_tids).empty());
+}
+
+TEST(BenchGate, CheckBenchAppliesTheSpeedupFloor) {
+  const json::Value good = json::parse(
+      R"({"cast": [{"format": "E4M3", "scalar_elems_per_sec": 1e8,
+                    "batched_elems_per_sec": 3e8, "speedup": 3.0}]})");
+  std::ostringstream out;
+  EXPECT_EQ(report_cli::check_bench(good, 1.0, out), 0);
+  EXPECT_EQ(report_cli::check_bench(good, 3.5, out), 1);
+  // No cast section at all is itself a failure (silent gate = no gate).
+  EXPECT_EQ(report_cli::check_bench(json::parse("{}"), 1.0, out), 1);
+  EXPECT_EQ(report_cli::check_bench(json::parse(R"({"cast": []})"), 1.0, out), 1);
+}
+
+TEST(BenchGate, DiffBenchCatchesThroughputRegressions) {
+  const json::Value base = json::parse(
+      R"({"cast": [{"format": "E4M3", "batched_elems_per_sec": 4e8}],
+          "matmul": [{"m": 64, "k": 256, "n": 256, "gflops": 10.0}]})");
+  const json::Value slower = json::parse(
+      R"({"cast": [{"format": "E4M3", "batched_elems_per_sec": 2e8}],
+          "matmul": [{"m": 64, "k": 256, "n": 256, "gflops": 9.5}]})");
+  std::ostringstream out;
+  // Cast halved (-50%) breaches a 20% limit; matmul -5% does not.
+  EXPECT_EQ(report_cli::diff_bench(base, slower, 20.0, out), 1);
+  EXPECT_EQ(report_cli::diff_bench(base, slower, 60.0, out), 0);
+  EXPECT_EQ(report_cli::diff_bench(base, base, 0.0, out), 0);
+}
+
+TEST(RunCli, ExitCodesAndFlagParsing) {
+  std::ostringstream out, err;
+  // Usage errors -> 2.
+  EXPECT_EQ(report_cli::run({}, out, err), 2);
+  EXPECT_EQ(report_cli::run({"frobnicate"}, out, err), 2);
+  EXPECT_EQ(report_cli::run({"print"}, out, err), 2);
+  EXPECT_EQ(report_cli::run({"print", "/nonexistent/report.json"}, out, err), 2);
+
+  const std::string report_path =
+      write_temp("fp8q_cli_report.json", sample_report().to_json());
+  EXPECT_EQ(report_cli::run({"print", report_path}, out, err), 0);
+  EXPECT_NE(out.str().find("tool=cli-test"), std::string::npos);
+
+  // diff: identical files pass, unknown flags -> 2.
+  EXPECT_EQ(report_cli::run({"diff", report_path, report_path,
+                             "--max-counter-drift-pct=0"},
+                            out, err), 0);
+  EXPECT_EQ(report_cli::run({"diff", report_path, report_path, "--bogus=1"}, out, err), 2);
+
+  // diff: a drifted candidate fails the zero-tolerance gate -> 1.
+  RunReport drifted = sample_report();
+  drifted.counters.counts[static_cast<int>(ObsFormat::kE4M3)]
+                         [static_cast<int>(ObsEvent::kQuantized)] += 5;
+  const std::string drifted_path =
+      write_temp("fp8q_cli_drifted.json", drifted.to_json());
+  EXPECT_EQ(report_cli::run({"diff", report_path, drifted_path,
+                             "--max-counter-drift-pct=0"},
+                            out, err), 1);
+
+  // check-trace: valid empty trace passes, junk fails with 1.
+  const std::string trace_path =
+      write_temp("fp8q_cli_trace.json", "{\"traceEvents\": []}");
+  EXPECT_EQ(report_cli::run({"check-trace", trace_path}, out, err), 0);
+  const std::string junk_path = write_temp("fp8q_cli_junk.json", "{nope");
+  EXPECT_EQ(report_cli::run({"check-trace", junk_path}, out, err), 1);
+
+  // check-bench honors --min-cast-speedup.
+  const std::string bench_path = write_temp(
+      "fp8q_cli_bench.json",
+      R"({"cast": [{"format": "E4M3", "speedup": 2.0,
+                    "scalar_elems_per_sec": 1e8, "batched_elems_per_sec": 2e8}]})");
+  EXPECT_EQ(report_cli::run({"check-bench", bench_path, "--min-cast-speedup=1.5"},
+                            out, err), 0);
+  EXPECT_EQ(report_cli::run({"check-bench", bench_path, "--min-cast-speedup=2.5"},
+                            out, err), 1);
+
+  // diff-bench wires through to the regression gate.
+  EXPECT_EQ(report_cli::run({"diff-bench", bench_path, bench_path}, out, err), 0);
+
+  for (const auto& p : {report_path, drifted_path, trace_path, junk_path, bench_path}) {
+    std::remove(p.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace fp8q

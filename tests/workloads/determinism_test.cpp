@@ -12,6 +12,7 @@
 #include "nn/conv.h"
 #include "nn/matmul.h"
 #include "obs/counters.h"
+#include "obs/histogram.h"
 #include "tensor/rng.h"
 #include "workloads/registry.h"
 
@@ -111,6 +112,58 @@ TEST(Determinism, AccuracyRecordsIdenticalAt1And8Threads) {
     EXPECT_EQ(serial[i].quant_accuracy, parallel[i].quant_accuracy) << serial[i].workload;
     EXPECT_EQ(serial[i].model_size_mb, parallel[i].model_size_mb) << serial[i].workload;
   }
+}
+
+TEST(Determinism, CastMagnitudeHistogramInvariantAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  Rng rng(91);
+  std::vector<float> in(1 << 18);
+  for (float& v : in) v = rng.normal(0.0f, 3.0f);
+  std::vector<float> out(in.size());
+
+  // Histograms on, tracing off: the cast_mag/* channels classify each
+  // element's pre-quantization |x*scale| (fp8/cast_fast.cpp), so the merged
+  // bucket counts -- and every quantile -- must be bitwise-identical no
+  // matter how parallel_for chunked the range.
+  set_histograms_enabled(true);
+  auto run_at = [&](int threads) {
+    histograms_reset();
+    set_num_threads(threads);
+    fp8_quantize_scaled_fast(in, out, fast_cast_spec(Fp8Kind::E4M3), 0.37f);
+    return histogram_snapshot(HistChannel::kCastMagE4M3);
+  };
+  const HistogramSnapshot serial = run_at(1);
+  const HistogramSnapshot parallel4 = run_at(4);
+  const HistogramSnapshot parallel8 = run_at(8);
+  set_histograms_enabled(false);
+  histograms_reset();
+
+  EXPECT_EQ(serial.total, in.size());
+  EXPECT_TRUE(serial == parallel4);
+  EXPECT_TRUE(serial == parallel8);
+  for (double q : {0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(serial.quantile(q), parallel8.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(Determinism, HistogramsDoNotPerturbCastOutputs) {
+  ThreadCountGuard guard;
+  set_num_threads(4);
+  Rng rng(5);
+  std::vector<float> in(65536);
+  for (float& v : in) v = rng.normal(0.0f, 2.0f);
+  std::vector<float> plain(in.size());
+  std::vector<float> histed(in.size());
+
+  set_histograms_enabled(false);
+  fp8_quantize_scaled_fast(in, plain, fast_cast_spec(Fp8Kind::E3M4), 1.7f);
+  set_histograms_enabled(true);
+  histograms_reset();
+  fp8_quantize_scaled_fast(in, histed, fast_cast_spec(Fp8Kind::E3M4), 1.7f);
+  set_histograms_enabled(false);
+  histograms_reset();
+
+  for (size_t i = 0; i < in.size(); ++i) ASSERT_EQ(plain[i], histed[i]) << i;
 }
 
 TEST(Determinism, CountersDoNotPerturbAccuracyRecords) {

@@ -33,7 +33,7 @@ DOCS=(README.md EXPERIMENTS.md docs/*.md)
 SRC_DIRS=(src tests bench tools examples)
 # Generated artifacts and prose-only names that legitimately match the
 # token patterns but are not tree paths / identifiers.
-ALLOW="bench_output report.json"
+ALLOW="bench_output report.json bench_report"
 
 fail=0
 err() { echo "check_docs: $*" >&2; fail=1; }

@@ -4,8 +4,12 @@
 #   1. warnings-as-errors build (FP8Q_WERROR=ON) + full ctest suite
 #   2. static-analysis gate: project linter, linter self-test, header
 #      self-containment, docs freshness (`check_static`)
-#   3. perf smoke: bench_kernels --smoke fails if the batched fake-quant
-#      kernel is slower than the scalar loop (docs/PERFORMANCE.md)
+#   3. perf + telemetry smoke: bench_kernels --smoke twice, with report /
+#      trace export on; `fp8q_report check-bench` enforces the batched >=
+#      scalar cast-speedup floor, `fp8q_report check-trace` validates the
+#      Chrome trace JSON, and `fp8q_report diff` between the two runs
+#      gates counter determinism and wall/memory regressions with explicit
+#      thresholds (docs/PERFORMANCE.md, docs/OBSERVABILITY.md)
 #   4. AddressSanitizer build + full ctest suite (`check_asan`)
 #   5. UndefinedBehaviorSanitizer build + full ctest suite (`check_ubsan`)
 #   6. ThreadSanitizer build + concurrency suite (`check_tsan`)
@@ -30,10 +34,30 @@ ctest --test-dir "$PREFIX" --output-on-failure
 step "static-analysis gate (check_static)"
 cmake --build "$PREFIX" --target check_static
 
-step "perf smoke (bench_kernels --smoke)"
-# Fails when the batched fake-quant kernel regresses below the scalar loop
-# (docs/PERFORMANCE.md); writes the measured rates next to the build tree.
-"$PREFIX/bench/bench_kernels" --smoke --out="$PREFIX/BENCH_kernels_smoke.json"
+step "perf + telemetry smoke (bench_kernels --smoke through fp8q_report)"
+# Instrumented run: report + histograms + trace export all on. The gates
+# live in fp8q_report, each with an explicit threshold:
+#   check-bench   batched cast kernel must not lose to the scalar loop
+#   check-trace   FP8Q_TRACE_JSON output must be valid, properly nested
+#                 Chrome trace JSON
+#   print         the run report must round-trip through the hardened
+#                 JSON reader (io/json.h)
+FP8Q_TRACE=1 FP8Q_TRACE_JSON="$PREFIX/trace_smoke.json" \
+  FP8Q_REPORT="$PREFIX/report_smoke.json" \
+  "$PREFIX/bench/bench_kernels" --smoke --out="$PREFIX/BENCH_kernels_smoke.json"
+"$PREFIX/tools/fp8q_report" check-bench "$PREFIX/BENCH_kernels_smoke.json" \
+  --min-cast-speedup=1.0
+"$PREFIX/tools/fp8q_report" check-trace "$PREFIX/trace_smoke.json"
+"$PREFIX/tools/fp8q_report" print "$PREFIX/report_smoke.json" > /dev/null
+
+# Second instrumented run, diffed against the first: quantization-event
+# counters must be bit-identical (drift 0% -- the determinism contract,
+# docs/THREADING.md); wall time and memory may wobble but not explode.
+FP8Q_REPORT="$PREFIX/report_smoke2.json" \
+  "$PREFIX/bench/bench_kernels" --smoke --out="$PREFIX/BENCH_kernels_smoke2.json"
+"$PREFIX/tools/fp8q_report" diff "$PREFIX/report_smoke.json" "$PREFIX/report_smoke2.json" \
+  --max-counter-drift-pct=0 --max-wall-regress-pct=400 \
+  --max-alloc-growth-pct=50 --max-rss-growth-pct=100
 
 if [[ "${FP8Q_CI_SKIP_SANITIZERS:-0}" != "1" ]]; then
   step "AddressSanitizer build + full suite (check_asan)"

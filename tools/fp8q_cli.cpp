@@ -10,7 +10,9 @@
 // `eval` and `tune` honor FP8Q_REPORT=<path> (and FP8Q_TRACE=1): the run
 // emits a structured JSON report with quantization-event counters and,
 // for tune, one stage per trial -- see docs/OBSERVABILITY.md and the
-// "Debugging a failed tuning trial" walkthrough in EXPERIMENTS.md.
+// "Debugging a failed tuning trial" walkthrough in EXPERIMENTS.md. With
+// FP8Q_TRACE=1 FP8Q_TRACE_JSON=<path> the span tree is also exported as
+// Chrome trace-event JSON (open in ui.perfetto.dev).
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -18,6 +20,7 @@
 #include <string>
 
 #include "core/fp8q.h"
+#include "obs/trace_export.h"
 
 using namespace fp8q;
 
@@ -90,6 +93,9 @@ int cmd_eval(const char* workload, const char* fmt, bool dynamic) {
   if (write_report_if_requested(report)) {
     std::fprintf(stderr, "[eval] report written to %s\n", report_env_path());
   }
+  if (write_chrome_trace_if_requested()) {
+    std::fprintf(stderr, "[eval] chrome trace written to %s\n", trace_json_env_path());
+  }
   return rec.passes() ? 0 : 1;
 }
 
@@ -117,6 +123,9 @@ int cmd_tune(const char* workload, const char* fmt) {
               r.trials());
   if (write_report_if_requested(report)) {
     std::fprintf(stderr, "[tune] report written to %s\n", report_env_path());
+  }
+  if (write_chrome_trace_if_requested()) {
+    std::fprintf(stderr, "[tune] chrome trace written to %s\n", trace_json_env_path());
   }
   return r.success ? 0 : 1;
 }

@@ -35,6 +35,12 @@ const Rule kRules[] = {
      "nondeterminism source (clock/rand) outside src/obs/ and tensor/rng; "
      "library results must be pure functions of their inputs (use "
      "obs_now_ns() for timing, fp8q::Rng for randomness)"},
+    {"raw-clock",
+     R"(\bclock_gettime\s*\(|\btimespec_get\s*\(|\bstd::chrono\b|#\s*include\s*<(chrono|ctime|sys/time\.h)>)",
+     [](const std::string& rel) { return starts_with(rel, "obs/"); },
+     "raw clock/timing primitive outside src/obs/; take timestamps through "
+     "obs_now_ns() (obs/trace.h) so latency histograms and trace exports "
+     "share one clock domain (docs/OBSERVABILITY.md)"},
     {"io-stream",
      R"(#\s*include\s*<iostream>|std::(cout|cerr|clog)\b|\b(printf|fprintf|puts|fputs|putchar)\s*\()",
      [](const std::string& rel) { return starts_with(rel, "obs/"); },

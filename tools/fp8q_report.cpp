@@ -1,0 +1,13 @@
+// CLI wrapper over tools/fp8q_report_lib.h: print one run report, diff
+// two against regression thresholds (the tools/ci.sh perf gate), validate
+// a Chrome trace export, or gate a BENCH_*.json kernel snapshot.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "fp8q_report_lib.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return fp8q::report_cli::run(args, std::cout, std::cerr);
+}
