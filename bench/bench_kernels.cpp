@@ -3,6 +3,9 @@
 //   * fake-quant cast throughput, scalar fast-cast loop vs the batched
 //     branch-free kernel, per FP8 format, pinned to one thread;
 //   * blocked matmul throughput in GFLOP/s;
+//   * packed FP8 GEMM (decode-in-register, docs/KERNELS.md) vs the
+//     dequantize-then-matmul baseline, per FP8 format, at the dispatched
+//     ISA tier (recorded in the row and the top-level "isa" field);
 //   * accuracy-tuner wall time with the quantized-weight cache off vs on
 //     (embedding-heavy workload, where weight quantization dominates).
 //
@@ -15,9 +18,12 @@
 #include <string>
 #include <vector>
 
+#include "core/cpu_dispatch.h"
 #include "core/parallel.h"
 #include "fp8/cast_fast.h"
+#include "fp8/packed.h"
 #include "nn/matmul.h"
+#include "nn/packed_gemm.h"
 #include "obs/trace.h"
 #include "quant/weight_cache.h"
 #include "tensor/rng.h"
@@ -106,6 +112,68 @@ MatmulResult measure_matmul(std::int64_t m, std::int64_t k, std::int64_t n, int 
   }
   (void)sink;
   return {m, k, n, best};
+}
+
+struct PackedGemmResult {
+  std::int64_t m, k, n;
+  const char* format;
+  double packed_gflops;
+  double dequant_gflops;
+  double speedup;
+  std::int64_t packed_bytes;
+  std::int64_t fp32_bytes;
+};
+
+/// Packed FP8 GEMM (decode codes in-register, nn/packed_gemm.h) against
+/// the baseline a deployment would otherwise run: dequantize the stored
+/// codes to an FP32 weight, then the blocked FP32 matmul. Both paths
+/// produce bit-identical outputs (the packed kernels' contract), so the
+/// comparison is pure throughput. The weight is [n, k] row-major like
+/// LinearOp's, and the baseline's unpack() is inside the timed loop --
+/// that materialization cost is exactly what the packed path deletes.
+PackedGemmResult measure_packed_gemm(Fp8Kind kind, std::int64_t m, std::int64_t k,
+                                     std::int64_t n, int iters, int reps) {
+  Rng rng(29);
+  Tensor a = randn(rng, {m, k});
+  Tensor b = randn(rng, {n, k});
+  const PackedFp8Tensor packed = PackedFp8Tensor::pack_per_channel(b, kind);
+  const PackedWeightMatrix w = pack_gemm_weight(packed);
+  MatMulOp op(false, /*transpose_b=*/true);
+  const double flops = 2.0 * static_cast<double>(m) * static_cast<double>(k) *
+                       static_cast<double>(n) * iters;
+  double packed_best = 0.0;
+  double dequant_best = 0.0;
+  volatile float sink = 0.0f;
+  for (int r = 0; r < reps; ++r) {
+    std::uint64_t t0 = obs_now_ns();
+    for (int it = 0; it < iters; ++it) {
+      const Tensor y = packed_matmul(a, w);
+      sink = y[0];
+    }
+    const double packed_rate = flops / seconds_since(t0) / 1e9;
+
+    t0 = obs_now_ns();
+    for (int it = 0; it < iters; ++it) {
+      const Tensor wt = packed.unpack();
+      const std::vector<Tensor> in = {a, wt};
+      const Tensor y = op.forward(in);
+      sink = y[0];
+    }
+    const double dequant_rate = flops / seconds_since(t0) / 1e9;
+
+    if (packed_rate > packed_best) packed_best = packed_rate;
+    if (dequant_rate > dequant_best) dequant_best = dequant_rate;
+  }
+  (void)sink;
+  return {m,
+          k,
+          n,
+          to_string(kind).data(),
+          packed_best,
+          dequant_best,
+          dequant_best > 0.0 ? packed_best / dequant_best : 0.0,
+          static_cast<std::int64_t>(w.storage_bytes()),
+          static_cast<std::int64_t>(b.numel() * sizeof(float))};
 }
 
 struct TunerResult {
@@ -198,6 +266,17 @@ int main(int argc, char** argv) {
     if (!smoke) matmuls.push_back(measure_matmul(128, 512, 512, 8, reps));
   }
 
+  std::vector<PackedGemmResult> packed_gemms;
+  {
+    ScopedStage stage("kernels/packed-gemm");
+    for (Fp8Kind kind : {Fp8Kind::E5M2, Fp8Kind::E4M3, Fp8Kind::E3M4}) {
+      packed_gemms.push_back(measure_packed_gemm(kind, 64, 256, 256, smoke ? 4 : 16, reps));
+    }
+    if (!smoke) {
+      packed_gemms.push_back(measure_packed_gemm(Fp8Kind::E4M3, 128, 512, 512, 8, reps));
+    }
+  }
+
   std::vector<TunerResult> tuners;
   if (!smoke) {
     ScopedStage stage("kernels/tuner-cache");
@@ -223,6 +302,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(f, "{\n  \"version\": 1,\n  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  std::fprintf(f, "  \"isa\": \"%s\",\n", isa_label());
   std::fprintf(f, "  \"cast\": [\n");
   for (std::size_t i = 0; i < casts.size(); ++i) {
     const auto& c = casts[i];
@@ -241,6 +321,19 @@ int main(int argc, char** argv) {
                  static_cast<long long>(m.m), static_cast<long long>(m.k),
                  static_cast<long long>(m.n), m.gflops,
                  i + 1 < matmuls.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"packed_gemm\": [\n");
+  for (std::size_t i = 0; i < packed_gemms.size(); ++i) {
+    const auto& p = packed_gemms[i];
+    std::fprintf(f,
+                 "    {\"m\": %lld, \"k\": %lld, \"n\": %lld, \"format\": \"%s\", "
+                 "\"packed_gflops\": %.2f, \"dequant_gflops\": %.2f, "
+                 "\"speedup\": %.2f, \"packed_bytes\": %lld, \"fp32_bytes\": %lld}%s\n",
+                 static_cast<long long>(p.m), static_cast<long long>(p.k),
+                 static_cast<long long>(p.n), p.format, p.packed_gflops, p.dequant_gflops,
+                 p.speedup, static_cast<long long>(p.packed_bytes),
+                 static_cast<long long>(p.fp32_bytes),
+                 i + 1 < packed_gemms.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"tuner\": [\n");
   for (std::size_t i = 0; i < tuners.size(); ++i) {
@@ -267,6 +360,13 @@ int main(int argc, char** argv) {
   for (const auto& m : matmuls) {
     std::printf("  matmul %lldx%lldx%lld: %.2f GFLOP/s\n", static_cast<long long>(m.m),
                 static_cast<long long>(m.k), static_cast<long long>(m.n), m.gflops);
+  }
+  for (const auto& p : packed_gemms) {
+    std::printf("  packed_gemm %lldx%lldx%lld %-5s [%s]: packed %.2f GFLOP/s  dequant %.2f "
+                "GFLOP/s  (%.2fx)\n",
+                static_cast<long long>(p.m), static_cast<long long>(p.k),
+                static_cast<long long>(p.n), p.format, isa_label(), p.packed_gflops,
+                p.dequant_gflops, p.speedup);
   }
   for (const auto& t : tuners) {
     std::printf("  tuner %-16s off %.0f ms  on %.0f ms  (-%.1f%%, %llu hits)\n",

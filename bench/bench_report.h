@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <exception>
 
+#include "core/cpu_dispatch.h"
 #include "core/parallel.h"
 #include "obs/report.h"
 #include "obs/trace_export.h"
@@ -29,6 +30,9 @@ class BenchReport {
 
   ~BenchReport() {
     report.num_threads = num_threads();
+    // The obs layer cannot link core, so the dispatch tier is stamped here
+    // (and by every other report writer) rather than inside report.cpp.
+    report.isa = std::string(isa_label());
     set_active_report(nullptr);
     try {
       if (write_report_if_requested(report)) {

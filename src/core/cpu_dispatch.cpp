@@ -1,0 +1,125 @@
+#include "core/cpu_dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace fp8q {
+
+namespace {
+
+bool probe_native() {
+#if defined(__aarch64__)
+  // Advanced SIMD (NEON) is architecturally mandatory on AArch64.
+  return true;
+#elif defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool native_available_cached() {
+  static const bool value = probe_native();
+  return value;
+}
+
+/// FP8Q_ISA parse; falls back to the best supported tier on unset/unknown.
+IsaTier env_default_tier() {
+  const char* v = std::getenv("FP8Q_ISA");
+  const IsaTier best = native_available_cached() ? IsaTier::kNative : IsaTier::kBatched;
+  if (v == nullptr || v[0] == '\0') return best;
+  if (std::strcmp(v, "scalar") == 0) return IsaTier::kScalar;
+  if (std::strcmp(v, "batched") == 0) return IsaTier::kBatched;
+  if (std::strcmp(v, "native") == 0 || std::strcmp(v, "avx2") == 0 ||
+      std::strcmp(v, "neon") == 0) {
+    return best;  // a native request clamps to batched when unsupported
+  }
+  return best;
+}
+
+IsaTier env_tier_cached() {
+  static const IsaTier value = env_default_tier();
+  return value;
+}
+
+/// -1 = use the FP8Q_ISA / probe default; otherwise an IsaTier value.
+std::atomic<int> g_tier_override{-1};
+
+/// -1 = use the FP8Q_PACKED default; 0/1 = explicit override.
+std::atomic<int> g_packed_override{-1};
+
+bool env_packed_default() {
+  // Default ON: packed compute is bit-identical to the dequantized path
+  // (docs/KERNELS.md), so the knob only exists to measure the difference.
+  static const bool value = [] {
+    const char* v = std::getenv("FP8Q_PACKED");
+    return !(v != nullptr && v[0] == '0' && v[1] == '\0');
+  }();
+  return value;
+}
+
+}  // namespace
+
+const char* to_string(IsaTier tier) {
+  switch (tier) {
+    case IsaTier::kScalar: return "scalar";
+    case IsaTier::kBatched: return "batched";
+    case IsaTier::kNative: return "native";
+  }
+  return "?";
+}
+
+IsaTier isa_tier() {
+  const int override_v = g_tier_override.load(std::memory_order_relaxed);
+  if (override_v >= 0) return static_cast<IsaTier>(override_v);
+  return env_tier_cached();
+}
+
+void set_isa_tier(IsaTier tier) {
+  if (tier == IsaTier::kNative && !native_available_cached()) tier = IsaTier::kBatched;
+  g_tier_override.store(static_cast<int>(tier), std::memory_order_relaxed);
+}
+
+void reset_isa_tier() { g_tier_override.store(-1, std::memory_order_relaxed); }
+
+bool isa_native_available() { return native_available_cached(); }
+
+const char* isa_native_name() {
+#if defined(__aarch64__)
+  return "neon";
+#elif defined(__x86_64__) || defined(__i386__)
+  return native_available_cached() ? "avx2" : "none";
+#else
+  return "none";
+#endif
+}
+
+const char* isa_label() {
+  switch (isa_tier()) {
+    case IsaTier::kScalar: return "scalar";
+    case IsaTier::kBatched: return "batched";
+    case IsaTier::kNative:
+#if defined(__aarch64__)
+      return "native:neon";
+#else
+      return "native:avx2";
+#endif
+  }
+  return "?";
+}
+
+bool packed_compute_enabled() {
+  const int override_v = g_packed_override.load(std::memory_order_relaxed);
+  return override_v >= 0 ? override_v != 0 : env_packed_default();
+}
+
+void set_packed_compute_enabled(bool enabled) {
+  g_packed_override.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+void reset_packed_compute_enabled() {
+  g_packed_override.store(-1, std::memory_order_relaxed);
+}
+
+}  // namespace fp8q

@@ -46,6 +46,7 @@
 // (docs/THREADING.md).
 #pragma once
 
+#include "core/cpu_dispatch.h" // IWYU pragma: export
 #include "core/parallel.h" // IWYU pragma: export
 #include "fp8/cast.h"      // IWYU pragma: export
 #include "fp8/convert.h"   // IWYU pragma: export
@@ -64,6 +65,7 @@
 #include "nn/linear.h"     // IWYU pragma: export
 #include "nn/matmul.h"     // IWYU pragma: export
 #include "nn/norm.h"       // IWYU pragma: export
+#include "nn/packed_gemm.h"  // IWYU pragma: export
 #include "nn/shape_ops.h"  // IWYU pragma: export
 #include "obs/counters.h"  // IWYU pragma: export
 #include "obs/report.h"    // IWYU pragma: export

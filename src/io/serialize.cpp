@@ -236,11 +236,18 @@ RunReport report_from_json(std::istream& in) {
   RunReport report;
   report.tool = root.string_or("tool");
   report.num_threads = static_cast<int>(root.number_or("num_threads"));
+  report.isa = root.string_or("isa");
   report.counters = parse_counters(root.find("counters"));
   if (const Value* wc = root.find("weight_cache"); wc != nullptr && wc->is_object()) {
     for (int e = 0; e < kObsCacheEventCount; ++e) {
       report.weight_cache.counts[e] = static_cast<std::uint64_t>(
           wc->number_or(to_string(static_cast<ObsCacheEvent>(e))));
+    }
+  }
+  if (const Value* kp = root.find("kernel_paths"); kp != nullptr && kp->is_object()) {
+    for (int e = 0; e < kObsKernelPathCount; ++e) {
+      report.kernel_paths.counts[e] = static_cast<std::uint64_t>(
+          kp->number_or(to_string(static_cast<ObsKernelPath>(e))));
     }
   }
   if (const Value* mem = root.find("memory"); mem != nullptr && mem->is_object()) {

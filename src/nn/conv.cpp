@@ -2,8 +2,13 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "core/parallel.h"
+#include "obs/counters.h"
+#include "obs/histogram.h"
+#include "obs/trace.h"
 
 namespace fp8q {
 
@@ -33,6 +38,14 @@ std::vector<Tensor*> Conv2dOp::weights() {
   return ws;
 }
 
+void Conv2dOp::set_packed_weight(std::shared_ptr<const PackedConvWeight> packed) {
+  if (packed && (packed->oc != weight_.size(0) ||
+                 packed->block != weight_.size(1) * weight_.size(2) * weight_.size(3))) {
+    throw std::invalid_argument("Conv2dOp: packed weight dims mismatch");
+  }
+  packed_ = std::move(packed);
+}
+
 Tensor Conv2dOp::forward(std::span<const Tensor> inputs) {
   if (inputs.size() != 1) throw std::invalid_argument("Conv2dOp: expects 1 input");
   const Tensor& x = inputs[0];
@@ -58,6 +71,17 @@ Tensor Conv2dOp::forward(std::span<const Tensor> inputs) {
   const float* bd = bias_.empty() ? nullptr : bias_.data();
   float* yd = y.data();
 
+  // Packed path: same loops, but each plane's weights come from decoding
+  // that output channel's codes into a scratch row (decode once per
+  // channel per chunk, amortized over the oh*ow positions). The decoded
+  // row is bitwise the fake-quantized weight row, and the tap accumulation
+  // order below is untouched, so both paths produce identical bits.
+  const PackedConvWeight* pw = packed_.get();
+  kernel_counter_add(pw ? ObsKernelPath::kConvPacked : ObsKernelPath::kConvFp32, 1);
+  TraceSpan span(pw ? "conv_packed" : "conv_fp32");
+  const bool hists = pw && histograms_enabled();
+  const std::uint64_t start_ns = hists ? obs_now_ns() : 0;
+
   const std::int64_t oc_per_group = oc / groups_;
   // Parallel over the n*oc output planes: each plane writes a disjoint
   // oh*ow block of y with a plane-local accumulator, so results match the
@@ -72,14 +96,30 @@ Tensor Conv2dOp::forward(std::span<const Tensor> inputs) {
                   kw, kParallelGrainFlops));
   const std::int64_t grain =
       std::max<std::int64_t>(std::int64_t{1}, kParallelGrainFlops / flops_per_plane);
+  const PackedKernelTable* kt = pw ? &packed_kernels(isa_tier()) : nullptr;
   parallel_for(0, n * oc, grain, [&](std::int64_t plane_lo, std::int64_t plane_hi) {
     // Decode (batch, out-channel) once per chunk and step incrementally;
     // the division leaves the plane loop entirely.
     std::int64_t b = plane_lo / oc;
     std::int64_t o = plane_lo - b * oc;
+    std::vector<float> wdec;
+    std::int64_t decoded_o = -1;
     for (std::int64_t plane = plane_lo; plane < plane_hi; ++plane) {
       const std::int64_t g = o / oc_per_group;
       const float bias_v = bd ? bd[o] : 0.0f;
+      const float* wbase;
+      if (pw != nullptr) {
+        if (o != decoded_o) {
+          wdec.resize(static_cast<std::size_t>(pw->block));
+          kt->decode_mul(pw->codes.data() + o * pw->block,
+                         pw->inv_scales[static_cast<std::size_t>(o)], wdec.data(),
+                         pw->block, pw->kind);
+          decoded_o = o;
+        }
+        wbase = wdec.data();
+      } else {
+        wbase = wd + o * icg * kh * kw;
+      }
       for (std::int64_t oy = 0; oy < oh; ++oy) {
         const std::int64_t iy0 = oy * stride_ - padding_;
         // Clamp the kernel window to the input once per output row /
@@ -97,7 +137,7 @@ Tensor Conv2dOp::forward(std::span<const Tensor> inputs) {
           for (std::int64_t c = 0; c < icg; ++c) {
             const std::int64_t in_c = g * icg + c;
             const float* xplane = xd + ((b * ic + in_c) * h) * w;
-            const float* wplane = wd + ((o * icg + c) * kh) * kw;
+            const float* wplane = wbase + (c * kh) * kw;
             for (std::int64_t ky = ky_lo; ky < ky_hi; ++ky) {
               const float* xrow = xplane + (iy0 + ky) * w + ix0;
               const float* wrow = wplane + ky * kw;
@@ -115,6 +155,9 @@ Tensor Conv2dOp::forward(std::span<const Tensor> inputs) {
       }
     }
   });
+  if (hists) {
+    hist_record_named("kernel:conv_packed", static_cast<double>(obs_now_ns() - start_ns));
+  }
   return y;
 }
 

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "core/parallel.h"
+#include "obs/counters.h"
+#include "obs/histogram.h"
+#include "obs/trace.h"
 
 namespace fp8q {
 
@@ -19,6 +23,13 @@ std::vector<Tensor*> LinearOp::weights() {
   std::vector<Tensor*> ws = {&weight_};
   if (!bias_.empty()) ws.push_back(&bias_);
   return ws;
+}
+
+void LinearOp::set_packed_weight(std::shared_ptr<const PackedWeightMatrix> packed) {
+  if (packed && (packed->k != in_features() || packed->n != out_features())) {
+    throw std::invalid_argument("LinearOp: packed weight dims mismatch");
+  }
+  packed_ = std::move(packed);
 }
 
 namespace {
@@ -86,9 +97,27 @@ Tensor LinearOp::forward(std::span<const Tensor> inputs) {
   Tensor y(std::move(out_shape));
 
   const float* xd = x.data();
-  const float* wd = weight_.data();
   const float* bd = bias_.empty() ? nullptr : bias_.data();
   float* yd = y.data();
+
+  if (packed_) {
+    // Packed path: stream the 8-bit codes through the dispatched GEMM
+    // tier. Bit-identical to the FP32 path below on the fake-quantized
+    // weight (docs/KERNELS.md), so this is purely a bandwidth win.
+    kernel_counter_add(ObsKernelPath::kLinearPacked, 1);
+    TraceSpan span("linear_packed");
+    const bool hists = histograms_enabled();
+    const std::uint64_t start_ns = hists ? obs_now_ns() : 0;
+    packed_gemm_forward(xd, *packed_, bd, yd, rows);
+    if (hists) {
+      hist_record_named("kernel:linear_packed",
+                        static_cast<double>(obs_now_ns() - start_ns));
+    }
+    return y;
+  }
+
+  kernel_counter_add(ObsKernelPath::kLinearFp32, 1);
+  const float* wd = weight_.data();
   // Parallel over input rows: each row owns a disjoint slice of y with
   // row-local accumulators, so the result is bit-identical to the serial
   // loop at any thread count. Grain targets ~kParallelGrainFlops

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/parallel.h"
+#include "obs/counters.h"
 
 namespace fp8q {
 namespace {
@@ -61,6 +62,7 @@ MatMulOp::MatMulOp(bool batched, bool transpose_b)
 
 Tensor MatMulOp::forward(std::span<const Tensor> inputs) {
   if (inputs.size() != 2) throw std::invalid_argument("MatMulOp: expects 2 inputs");
+  kernel_counter_add(ObsKernelPath::kMatmulFp32, 1);
   const Tensor& a = inputs[0];
   const Tensor& b = inputs[1];
   if (a.dim() < 2 || b.dim() < 2 || a.dim() != b.dim()) {

@@ -1,0 +1,261 @@
+#include "nn/packed_gemm.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/parallel.h"
+#include "fp8/format.h"
+#include "obs/counters.h"
+#include "obs/histogram.h"
+#include "obs/trace.h"
+
+namespace fp8q {
+namespace {
+
+// Column-tile width for the portable tiers: wide enough that the decode
+// and accumulate loops amortize their setup and auto-vectorize cleanly,
+// small enough that four rows of accumulators stay in L1.
+constexpr std::int64_t kTileN = 64;
+
+// ---------------------------------------------------------------------------
+// kScalar tier: table-lookup decode, plain loops. This is the reference
+// every other tier is tested bit-equal against, so it favors obviousness
+// over speed: one row at a time, one output element's ascending
+// kk-summation clearly visible.
+// ---------------------------------------------------------------------------
+
+void decode_mul_scalar_tier(const std::uint8_t* codes, float inv, float* out,
+                            std::int64_t count, Fp8Kind kind) {
+  const Fp8DecodeTable& lut = fp8_decode_table(kind);
+  for (std::int64_t i = 0; i < count; ++i) out[i] = lut.values[codes[i]] * inv;
+}
+
+void gemm_scalar_tier(const float* x, const PackedWeightMatrix& w, const float* bias,
+                      float* y, std::int64_t rows) {
+  const Fp8DecodeTable& lut = fp8_decode_table(w.kind);
+  const std::int64_t n = w.n;
+  const std::int64_t k = w.k;
+  const std::uint8_t* codes = w.codes.data();
+  const float* invs = w.inv_scales.data();
+  float acc[kTileN];
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* xr = x + r * k;
+    float* yr = y + r * n;
+    for (std::int64_t j0 = 0; j0 < n; j0 += kTileN) {
+      const std::int64_t jw = std::min(kTileN, n - j0);
+      for (std::int64_t j = 0; j < jw; ++j) acc[j] = bias ? bias[j0 + j] : 0.0f;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float xv = xr[kk];
+        const std::uint8_t* crow = codes + kk * n + j0;
+        for (std::int64_t j = 0; j < jw; ++j) {
+          const float wv = lut.values[crow[j]] * invs[j0 + j];
+          acc[j] += xv * wv;
+        }
+      }
+      for (std::int64_t j = 0; j < jw; ++j) yr[j0 + j] = acc[j];
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// kBatched tier: branch-free uint32-lane decode (fp8_decode_bits) in loops
+// shaped for the auto-vectorizer -- decode a tile of weights into a local
+// buffer, then stream four rows of activations against it. This TU is
+// compiled -O3 -ffp-contract=off, so each acc update is an exact mul+add
+// in both the scalar and vector lowering.
+// ---------------------------------------------------------------------------
+
+void decode_mul_batched_tier(const std::uint8_t* codes, float inv, float* out,
+                             std::int64_t count, Fp8Kind kind) {
+  const Fp8DecodeSpec& spec = fp8_decode_spec(kind);
+  for (std::int64_t i = 0; i < count; ++i) {
+    out[i] = std::bit_cast<float>(fp8_decode_bits(codes[i], spec)) * inv;
+  }
+}
+
+void gemm_batched_tier(const float* x, const PackedWeightMatrix& w, const float* bias,
+                       float* y, std::int64_t rows) {
+  const Fp8DecodeSpec& spec = fp8_decode_spec(w.kind);
+  const std::int64_t n = w.n;
+  const std::int64_t k = w.k;
+  const std::uint8_t* codes = w.codes.data();
+  const float* invs = w.inv_scales.data();
+  float wbuf[kTileN];
+  float acc0[kTileN];
+  float acc1[kTileN];
+  float acc2[kTileN];
+  float acc3[kTileN];
+  std::int64_t r = 0;
+  for (; r + 4 <= rows; r += 4) {
+    const float* x0 = x + (r + 0) * k;
+    const float* x1 = x + (r + 1) * k;
+    const float* x2 = x + (r + 2) * k;
+    const float* x3 = x + (r + 3) * k;
+    for (std::int64_t j0 = 0; j0 < n; j0 += kTileN) {
+      const std::int64_t jw = std::min(kTileN, n - j0);
+      for (std::int64_t j = 0; j < jw; ++j) {
+        const float b = bias ? bias[j0 + j] : 0.0f;
+        acc0[j] = b;
+        acc1[j] = b;
+        acc2[j] = b;
+        acc3[j] = b;
+      }
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const std::uint8_t* crow = codes + kk * n + j0;
+        const float* inv = invs + j0;
+        // Decode once, reuse across the four rows: the decoded weight is
+        // the same value whichever row consumes it, so sharing it cannot
+        // change any element's arithmetic.
+        for (std::int64_t j = 0; j < jw; ++j) {
+          wbuf[j] = std::bit_cast<float>(fp8_decode_bits(crow[j], spec)) * inv[j];
+        }
+        const float xv0 = x0[kk];
+        const float xv1 = x1[kk];
+        const float xv2 = x2[kk];
+        const float xv3 = x3[kk];
+        for (std::int64_t j = 0; j < jw; ++j) {
+          const float wv = wbuf[j];
+          acc0[j] += xv0 * wv;
+          acc1[j] += xv1 * wv;
+          acc2[j] += xv2 * wv;
+          acc3[j] += xv3 * wv;
+        }
+      }
+      for (std::int64_t j = 0; j < jw; ++j) {
+        y[(r + 0) * n + j0 + j] = acc0[j];
+        y[(r + 1) * n + j0 + j] = acc1[j];
+        y[(r + 2) * n + j0 + j] = acc2[j];
+        y[(r + 3) * n + j0 + j] = acc3[j];
+      }
+    }
+  }
+  for (; r < rows; ++r) {
+    const float* xr = x + r * k;
+    float* yr = y + r * n;
+    for (std::int64_t j0 = 0; j0 < n; j0 += kTileN) {
+      const std::int64_t jw = std::min(kTileN, n - j0);
+      for (std::int64_t j = 0; j < jw; ++j) acc0[j] = bias ? bias[j0 + j] : 0.0f;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const std::uint8_t* crow = codes + kk * n + j0;
+        const float* inv = invs + j0;
+        const float xv = xr[kk];
+        for (std::int64_t j = 0; j < jw; ++j) {
+          const float wv = std::bit_cast<float>(fp8_decode_bits(crow[j], spec)) * inv[j];
+          acc0[j] += xv * wv;
+        }
+      }
+      for (std::int64_t j = 0; j < jw; ++j) yr[j0 + j] = acc0[j];
+    }
+  }
+}
+
+constexpr PackedKernelTable kScalarTable{decode_mul_scalar_tier, gemm_scalar_tier};
+constexpr PackedKernelTable kBatchedTable{decode_mul_batched_tier, gemm_batched_tier};
+
+}  // namespace
+
+const PackedKernelTable& packed_kernels(IsaTier tier) {
+  switch (tier) {
+    case IsaTier::kScalar:
+      return kScalarTable;
+    case IsaTier::kBatched:
+      return kBatchedTable;
+    case IsaTier::kNative:
+#if defined(FP8Q_PACKED_NATIVE_TU)
+      if (isa_native_available()) return detail::packed_kernels_native_impl();
+#endif
+      return kBatchedTable;
+  }
+  return kScalarTable;
+}
+
+PackedWeightMatrix pack_gemm_weight(const PackedFp8Tensor& packed) {
+  const Shape& shape = packed.shape();
+  if (shape.size() != 2) {
+    throw std::invalid_argument("pack_gemm_weight: weight must be [out, in]");
+  }
+  PackedWeightMatrix w;
+  w.n = shape[0];
+  w.k = shape[1];
+  w.kind = packed.kind();
+  const auto& scales = packed.scales();
+  if (scales.size() != static_cast<std::size_t>(w.n) && scales.size() != 1) {
+    throw std::invalid_argument("pack_gemm_weight: need a scale per output channel");
+  }
+  w.inv_scales.resize(static_cast<std::size_t>(w.n));
+  for (std::int64_t j = 0; j < w.n; ++j) {
+    const float s = scales.size() == 1 ? scales[0] : scales[static_cast<std::size_t>(j)];
+    // The same reciprocal the dequantize path multiplies by
+    // (fp8/cast_fast.cpp), so decode * inv reproduces its bits.
+    w.inv_scales[static_cast<std::size_t>(j)] = 1.0f / s;
+  }
+  // Transpose [n][k] row-major codes into the k-major kernel layout.
+  const std::uint8_t* src = packed.codes().data();
+  w.codes.resize(static_cast<std::size_t>(w.k * w.n));
+  for (std::int64_t j = 0; j < w.n; ++j) {
+    for (std::int64_t kk = 0; kk < w.k; ++kk) {
+      w.codes[static_cast<std::size_t>(kk * w.n + j)] =
+          src[static_cast<std::size_t>(j * w.k + kk)];
+    }
+  }
+  return w;
+}
+
+PackedConvWeight pack_conv_weight(const PackedFp8Tensor& packed) {
+  const Shape& shape = packed.shape();
+  if (shape.size() != 4) {
+    throw std::invalid_argument("pack_conv_weight: weight must be [oc, ic/g, kh, kw]");
+  }
+  PackedConvWeight w;
+  w.oc = shape[0];
+  w.block = shape[1] * shape[2] * shape[3];
+  w.kind = packed.kind();
+  const auto& scales = packed.scales();
+  if (scales.size() != static_cast<std::size_t>(w.oc) && scales.size() != 1) {
+    throw std::invalid_argument("pack_conv_weight: need a scale per output channel");
+  }
+  w.inv_scales.resize(static_cast<std::size_t>(w.oc));
+  for (std::int64_t o = 0; o < w.oc; ++o) {
+    const float s = scales.size() == 1 ? scales[0] : scales[static_cast<std::size_t>(o)];
+    w.inv_scales[static_cast<std::size_t>(o)] = 1.0f / s;
+  }
+  w.codes = packed.codes();
+  return w;
+}
+
+void packed_gemm_forward(const float* x, const PackedWeightMatrix& w, const float* bias,
+                         float* y, std::int64_t rows) {
+  const PackedKernelTable& kt = packed_kernels(isa_tier());
+  // Same row-partition grain policy as LinearOp::forward: rows own
+  // disjoint output slices with row-local accumulators, so any partition
+  // -- and any tier -- yields identical bits.
+  const std::int64_t cost_per_row = std::max<std::int64_t>(
+      std::int64_t{1}, capped_cost(w.n, w.k, kParallelGrainFlops));
+  const std::int64_t grain =
+      std::max<std::int64_t>(std::int64_t{1}, kParallelGrainFlops / cost_per_row);
+  parallel_for(0, rows, grain, [&](std::int64_t lo, std::int64_t hi) {
+    kt.gemm(x + lo * w.k, w, bias, y + lo * w.n, hi - lo);
+  });
+}
+
+Tensor packed_matmul(const Tensor& a, const PackedWeightMatrix& w) {
+  if (a.dim() < 1 || a.size(-1) != w.k) {
+    throw std::invalid_argument("packed_matmul: inner dims differ");
+  }
+  kernel_counter_add(ObsKernelPath::kMatmulPacked, 1);
+  TraceSpan span("matmul_packed");
+  Shape out_shape = a.shape();
+  out_shape.back() = w.n;
+  Tensor y(std::move(out_shape));
+  const std::int64_t rows = a.numel() / w.k;
+  const bool hists = histograms_enabled();
+  const std::uint64_t start_ns = hists ? obs_now_ns() : 0;
+  packed_gemm_forward(a.data(), w, nullptr, y.data(), rows);
+  if (hists) {
+    hist_record_named("kernel:matmul_packed",
+                      static_cast<double>(obs_now_ns() - start_ns));
+  }
+  return y;
+}
+
+}  // namespace fp8q

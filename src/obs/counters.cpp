@@ -216,4 +216,45 @@ void cache_counters_reset() {
   for (auto& c : g_cache_counts) c.store(0, std::memory_order_relaxed);
 }
 
+namespace {
+std::atomic<std::uint64_t> g_kernel_counts[kObsKernelPathCount] = {};
+}  // namespace
+
+const char* to_string(ObsKernelPath path) {
+  switch (path) {
+    case ObsKernelPath::kLinearPacked: return "linear_packed";
+    case ObsKernelPath::kLinearFp32: return "linear_fp32";
+    case ObsKernelPath::kConvPacked: return "conv_packed";
+    case ObsKernelPath::kConvFp32: return "conv_fp32";
+    case ObsKernelPath::kMatmulPacked: return "matmul_packed";
+    case ObsKernelPath::kMatmulFp32: return "matmul_fp32";
+    case ObsKernelPath::kCacheDecode: return "cache_decode";
+  }
+  return "?";
+}
+
+void kernel_counter_add(ObsKernelPath path, std::uint64_t n) {
+  if (n == 0) return;
+  g_kernel_counts[static_cast<int>(path)].fetch_add(n, std::memory_order_relaxed);
+}
+
+bool KernelCounterSnapshot::any() const {
+  for (int e = 0; e < kObsKernelPathCount; ++e) {
+    if (counts[e] != 0) return true;
+  }
+  return false;
+}
+
+KernelCounterSnapshot kernel_counters_snapshot() {
+  KernelCounterSnapshot snap;
+  for (int e = 0; e < kObsKernelPathCount; ++e) {
+    snap.counts[e] = g_kernel_counts[e].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void kernel_counters_reset() {
+  for (auto& c : g_kernel_counts) c.store(0, std::memory_order_relaxed);
+}
+
 }  // namespace fp8q

@@ -99,6 +99,9 @@ void RunReport::write_json(std::ostream& out) const {
   out << "  \"tool\": ";
   write_escaped(out, tool);
   out << ",\n  \"num_threads\": " << num_threads << ",\n";
+  out << "  \"isa\": ";
+  write_escaped(out, isa);
+  out << ",\n";
 
   out << "  \"stages\": [";
   for (std::size_t i = 0; i < stages.size(); ++i) {
@@ -143,6 +146,13 @@ void RunReport::write_json(std::ostream& out) const {
   for (int e = 0; e < kObsCacheEventCount; ++e) {
     out << (e == 0 ? "" : ", ") << '"' << to_string(static_cast<ObsCacheEvent>(e))
         << "\": " << weight_cache.counts[e];
+  }
+  out << "},\n";
+
+  out << "  \"kernel_paths\": {";
+  for (int e = 0; e < kObsKernelPathCount; ++e) {
+    out << (e == 0 ? "" : ", ") << '"' << to_string(static_cast<ObsKernelPath>(e))
+        << "\": " << kernel_paths.counts[e];
   }
   out << "},\n";
 
@@ -237,6 +247,7 @@ bool write_report_if_requested(RunReport& report) {
   if (path == nullptr) return false;
   report.counters = counters_snapshot();
   report.weight_cache = cache_counters_snapshot();
+  report.kernel_paths = kernel_counters_snapshot();
   const AllocCounterSnapshot allocs = alloc_counters_snapshot();
   report.memory.peak_rss_bytes = peak_rss_bytes();
   report.memory.alloc_bytes = allocs.bytes;

@@ -38,9 +38,11 @@ namespace fp8q {
 /// Schema version written as "fp8q_report_version".
 /// v2 added the "weight_cache" block (quantized-weight cache counters);
 /// v3 added the "memory" block (peak RSS + allocation totals), per-stage
-/// allocation deltas, and the "histograms" block (obs/histogram.h).
+/// allocation deltas, and the "histograms" block (obs/histogram.h);
+/// v4 added the "isa" field (selected dispatch tier, core/cpu_dispatch.h)
+/// and the "kernel_paths" block (packed-vs-FP32 path counts).
 /// The reader accepts every version from 1 up, defaulting missing blocks.
-inline constexpr int kReportVersion = 3;
+inline constexpr int kReportVersion = 4;
 
 /// One named phase of a run.
 struct StageReport {
@@ -65,12 +67,18 @@ struct MemoryReport {
 struct RunReport {
   std::string tool;     ///< producing binary, e.g. "bench_table2_passrate"
   int num_threads = 0;  ///< fp8q::num_threads() at collection time
+  /// Resolved kernel dispatch label, e.g. "native:avx2" (schema v4). Set
+  /// by the caller like tool/num_threads: obs sits below core in the link
+  /// graph, so it cannot ask cpu_dispatch itself.
+  std::string isa;
   std::vector<StageReport> stages;
   std::vector<AccuracyRecord> records;
   /// Cumulative counters at write time (totals, independent of stages).
   CounterSnapshot counters;
   /// Quantized-weight cache events at write time (quant/weight_cache.h).
   CacheCounterSnapshot weight_cache;
+  /// Packed-vs-FP32 kernel path counts at write time (schema v4).
+  KernelCounterSnapshot kernel_paths;
   /// Peak RSS and allocation totals at write time (schema v3).
   MemoryReport memory;
   /// Every histogram with data at write time, sorted by name (schema v3).

@@ -3,7 +3,11 @@
 #include <optional>
 #include <stdexcept>
 
+#include "core/cpu_dispatch.h"
+#include "nn/conv.h"
+#include "nn/linear.h"
 #include "nn/norm.h"
+#include "nn/packed_gemm.h"
 #include "obs/trace.h"
 #include "quant/calibrate.h"
 #include "quant/smoothquant.h"
@@ -92,7 +96,27 @@ void QuantizedGraph::quantize_weights() {
     // The main weight (index 0) is quantized per-channel on axis 0; biases
     // and other parameters stay FP32.
     Tensor& w = *ws[0];
-    quantize_weight_cached(w, config_.scheme.weight_dtype, Granularity::kPerChannel, 0);
+    if (!packed_compute_enabled()) {
+      quantize_weight_cached(w, config_.scheme.weight_dtype, Granularity::kPerChannel, 0);
+      continue;
+    }
+    // Packed compute (docs/KERNELS.md): hand Linear/Conv ops the verified
+    // 8-bit codes so their forward decodes in-register instead of reading
+    // the fake-quantized FP32 weight. A null handle (non-FP8 dtype,
+    // non-standard recipe, NaN payloads) leaves the op on the
+    // bit-identical FP32 path; so does any op kind without a packed
+    // kernel.
+    auto packed = quantize_weight_cached_packed(w, config_.scheme.weight_dtype,
+                                                Granularity::kPerChannel, 0);
+    if (auto* lin = dynamic_cast<LinearOp*>(node.op.get())) {
+      lin->set_packed_weight(
+          packed ? std::make_shared<PackedWeightMatrix>(pack_gemm_weight(*packed))
+                 : nullptr);
+    } else if (auto* conv = dynamic_cast<Conv2dOp*>(node.op.get())) {
+      conv->set_packed_weight(
+          packed ? std::make_shared<PackedConvWeight>(pack_conv_weight(*packed))
+                 : nullptr);
+    }
   }
 }
 
@@ -264,6 +288,17 @@ void QuantizedGraph::restore_weights() {
   for (auto& [id, backup] : weight_backup_) {
     auto ws = graph_->node(id).op->weights();
     for (size_t i = 0; i < ws.size() && i < backup.size(); ++i) *ws[i] = backup[i];
+  }
+  // Detach packed weights everywhere: the restored FP32 tensors are the
+  // pre-quantization originals, and stale codes must not shadow them.
+  for (Graph::NodeId id : graph_->node_ids()) {
+    auto& node = graph_->node(id);
+    if (!node.op) continue;
+    if (auto* lin = dynamic_cast<LinearOp*>(node.op.get())) {
+      lin->clear_packed_weight();
+    } else if (auto* conv = dynamic_cast<Conv2dOp*>(node.op.get())) {
+      conv->clear_packed_weight();
+    }
   }
   weight_backup_.clear();
   smooth_factors_.clear();

@@ -10,8 +10,10 @@
 #include <utility>
 #include <vector>
 
+#include "core/cpu_dispatch.h"
 #include "core/thread_annotations.h"
 #include "fp8/cast_fast.h"
+#include "nn/packed_gemm.h"
 #include "obs/counters.h"
 #include "obs/histogram.h"
 #include "obs/trace.h"
@@ -87,7 +89,11 @@ struct KeyHash {
 };
 
 struct Entry {
-  std::vector<float> data;  ///< bit-exact quantized payload
+  /// Preferred payload: verified packed codes + per-channel scales, ~1/4
+  /// the FP32 bytes. Null when the decode check failed at insert (NaN
+  /// payloads), in which case `data` holds the FP32 payload instead.
+  std::shared_ptr<const PackedFp8Tensor> packed;
+  std::vector<float> data;  ///< FP32 fallback payload (packed == nullptr)
   Shape shape;              ///< collision guard, compared on every hit
   CastTally tally;          ///< events the miss computation produced
   ObsFormat fmt = ObsFormat::kOther;
@@ -119,8 +125,16 @@ Cache& cache() {
   return *c;
 }
 
+// Capacity charge: the entry's ACTUAL resident payload. Packed entries
+// cost codes + scales (~numel bytes); FP32 fallback entries cost numel*4.
+// The flat 64 covers the map/LRU node overhead either way. This is what
+// makes a fixed FP8Q_WEIGHT_CACHE_MB budget hold ~4x as many weights now
+// that entries store codes (weight_cache.h, "Capacity").
 std::int64_t entry_bytes(const Entry& e) {
-  return static_cast<std::int64_t>(e.data.size() * sizeof(float)) + 64;
+  const std::int64_t payload =
+      e.packed ? static_cast<std::int64_t>(e.packed->storage_bytes())
+               : static_cast<std::int64_t>(e.data.size() * sizeof(float));
+  return payload + 64;
 }
 
 void evict_until_within(Cache& c) FP8Q_REQUIRES(c.mutex) {
@@ -145,51 +159,120 @@ void evict_until_within(Cache& c) FP8Q_REQUIRES(c.mutex) {
 /// kernel with the same scale sanitization fp8_quantize_scaled_fast
 /// applies. Bit-identical to the uncached path; the tally is always
 /// collected so a later hit can replay it.
-void quantize_fp8_per_channel(Tensor& w, DType dtype, CastTally* tally) {
+///
+/// Also produces the PACKED form of the result: codes are encoded from the
+/// ORIGINAL values with the same sanitized scales before the in-place
+/// overwrite, then every element is verified -- decode(code) * (1/scale)
+/// must reproduce the quantized payload bit for bit (verified against the
+/// reference decode table, which all dispatch tiers are tested bit-equal
+/// to). Returns null when verification fails (NaN payloads survive fake
+/// quantization but cannot round-trip an 8-bit code); the in-place result
+/// is bit-identical to the uncached path either way.
+std::shared_ptr<const PackedFp8Tensor> quantize_standard(Tensor& w, DType dtype,
+                                                         CastTally* tally) {
   const auto maxima = absmax_per_channel(w, 0);
   const std::int64_t channels = w.size(0);
   const std::int64_t block = w.numel() / channels;
   const float fmax = fp8_spec(dtype).max_value();
-  const FastCastSpec& spec = fast_cast_spec(fp8_kind(dtype));
+  std::vector<float> scales(static_cast<std::size_t>(channels));
+  for (std::size_t c = 0; c < scales.size(); ++c) {
+    float scale = maxima[c] > 0.0f ? fmax / maxima[c] : 1.0f;
+    if (!(scale > 0.0f) || !std::isfinite(scale)) scale = 1.0f;
+    scales[c] = scale;
+  }
+  const Fp8Kind kind = fp8_kind(dtype);
+  auto packed = std::make_shared<PackedFp8Tensor>(
+      PackedFp8Tensor::pack_per_channel_scaled(w, kind, scales));
+  const FastCastSpec& spec = fast_cast_spec(kind);
   auto data = w.flat();
   for (std::int64_t c = 0; c < channels; ++c) {
     auto span = data.subspan(static_cast<std::size_t>(c * block),
                              static_cast<std::size_t>(block));
-    float scale = maxima[static_cast<std::size_t>(c)] > 0.0f
-                      ? fmax / maxima[static_cast<std::size_t>(c)]
-                      : 1.0f;
-    if (!(scale > 0.0f) || !std::isfinite(scale)) scale = 1.0f;
-    fp8_quantize_batch(span, span, spec, scale, tally);
+    fp8_quantize_batch(span, span, spec, scales[static_cast<std::size_t>(c)], tally);
+  }
+  const Fp8DecodeTable& lut = fp8_decode_table(kind);
+  const std::uint8_t* codes = packed->codes().data();
+  for (std::int64_t c = 0; c < channels; ++c) {
+    const float inv = 1.0f / scales[static_cast<std::size_t>(c)];
+    const float* payload = data.data() + c * block;
+    const std::uint8_t* crow = codes + c * block;
+    for (std::int64_t i = 0; i < block; ++i) {
+      if (std::bit_cast<std::uint32_t>(lut.values[crow[i]] * inv) !=
+          std::bit_cast<std::uint32_t>(payload[i])) {
+        return nullptr;
+      }
+    }
+  }
+  return packed;
+}
+
+void replay_tally(const CastTally& tally, ObsFormat fmt) {
+  if (!counters_enabled()) return;
+  counter_add(fmt, ObsEvent::kQuantized, tally.quantized);
+  counter_add(fmt, ObsEvent::kSaturated, tally.saturated);
+  counter_add(fmt, ObsEvent::kFlushedToZero, tally.flushed);
+}
+
+/// Writes a hit's payload into w. FP32 fallback entries memcpy; packed
+/// entries decode each channel through the dispatched kernel. Every tier
+/// decodes bit-identically (docs/KERNELS.md), so the delivered payload --
+/// already verified equal to the miss-time bits at insert -- does not
+/// depend on FP8Q_ISA.
+void deliver_payload(const Entry& e, Tensor& w) {
+  float* dst = w.flat().data();
+  if (e.packed) {
+    const PackedFp8Tensor& p = *e.packed;
+    const auto channels = static_cast<std::int64_t>(p.scales().size());
+    const std::int64_t block = static_cast<std::int64_t>(p.codes().size()) / channels;
+    const PackedKernelTable& kt = packed_kernels(isa_tier());
+    for (std::int64_t c = 0; c < channels; ++c) {
+      kt.decode_mul(p.codes().data() + c * block,
+                    1.0f / p.scales()[static_cast<std::size_t>(c)], dst + c * block,
+                    block, p.kind());
+    }
+    kernel_counter_add(ObsKernelPath::kCacheDecode, 1);
+  } else {
+    std::memcpy(dst, e.data.data(), e.data.size() * sizeof(float));
   }
 }
 
-void replay_tally(const Entry& e) {
-  if (!counters_enabled()) return;
-  counter_add(e.fmt, ObsEvent::kQuantized, e.tally.quantized);
-  counter_add(e.fmt, ObsEvent::kSaturated, e.tally.saturated);
-  counter_add(e.fmt, ObsEvent::kFlushedToZero, e.tally.flushed);
+void count_bypass() {
+  Cache& c = cache();
+  {
+    std::lock_guard<std::mutex> lock(c.mutex);
+    ++c.stats.bypasses;
+  }
+  cache_counter_add(ObsCacheEvent::kBypass, 1);
 }
 
-}  // namespace
-
-void quantize_weight_cached(Tensor& w, DType dtype, Granularity granularity, int axis) {
-  // Only the standard paper recipe is cached. Everything else -- FP32
-  // no-op, INT8, per-tensor/group, nonzero axis -- computes directly.
-  const bool cacheable = is_fp8(dtype) && granularity == Granularity::kPerChannel &&
-                         axis == 0 && w.dim() >= 1 && w.size(0) > 0 && !w.empty() &&
-                         weight_cache_capacity_bytes() > 0;
-  if (!cacheable) {
-    if (dtype != DType::kFP32) {
-      Cache& c = cache();
-      {
-        std::lock_guard<std::mutex> lock(c.mutex);
-        ++c.stats.bypasses;
-      }
-      cache_counter_add(ObsCacheEvent::kBypass, 1);
-    }
+std::shared_ptr<const PackedFp8Tensor> quantize_weight_impl(Tensor& w, DType dtype,
+                                                            Granularity granularity,
+                                                            int axis, bool want_packed) {
+  // Only the standard paper recipe is cached (and packable). Everything
+  // else -- FP32 no-op, INT8, per-tensor/group, nonzero axis -- computes
+  // directly through the uncached kernels.
+  const bool standard = is_fp8(dtype) && granularity == Granularity::kPerChannel &&
+                        axis == 0 && w.dim() >= 1 && w.size(0) > 0 && !w.empty();
+  if (!standard) {
+    if (dtype != DType::kFP32) count_bypass();
     const auto params = make_weight_params(w, dtype, granularity, axis);
     apply_quant_inplace(w, params);
-    return;
+    return nullptr;
+  }
+  if (weight_cache_capacity_bytes() <= 0) {
+    // Caching disabled: still a bypass for the cache, but when the caller
+    // wants the packed form it is built and verified anyway --
+    // FP8Q_WEIGHT_CACHE_MB=0 turns off retention, not packed compute.
+    count_bypass();
+    if (!want_packed) {
+      const auto params = make_weight_params(w, dtype, granularity, axis);
+      apply_quant_inplace(w, params);
+      return nullptr;
+    }
+    CastTally tally;
+    auto packed = quantize_standard(w, dtype, &tally);
+    replay_tally(tally, fast_cast_spec(fp8_kind(dtype)).obs_fmt);
+    return packed;
   }
 
   TraceSpan span("quant/weight-cache");
@@ -227,30 +310,36 @@ void quantize_weight_cached(Tensor& w, DType dtype, Granularity granularity, int
       c.lru.splice(c.lru.begin(), c.lru, e.lru_it);
       ++c.stats.hits;
       cache_counter_add(ObsCacheEvent::kHit, 1);
-      // Copying through flat() re-dirties w -- correct: its contents
+      // Writing through flat() re-dirties w -- correct: its contents
       // change from the hashed state to the quantized state.
-      std::memcpy(w.flat().data(), e.data.data(), e.data.size() * sizeof(float));
-      replay_tally(e);
+      deliver_payload(e, w);
+      replay_tally(e.tally, e.fmt);
       if (histed) {
         hist_record(HistChannel::kCacheHitNs, static_cast<double>(obs_now_ns() - t0));
       }
-      return;
+      return e.packed;
     }
   }
 
   // Miss: quantize in place (bit-identical to the uncached path), then
-  // insert a copy of the result.
+  // insert the verified packed form -- or, if verification failed, an FP32
+  // copy of the result.
   Entry fresh;
   fresh.shape = w.shape();
   fresh.fmt = fast_cast_spec(fp8_kind(dtype)).obs_fmt;
+  std::shared_ptr<const PackedFp8Tensor> packed;
   {
     CastTally tally;
-    quantize_fp8_per_channel(w, dtype, &tally);
+    packed = quantize_standard(w, dtype, &tally);
     fresh.tally = tally;
-    const auto data = std::as_const(w).flat();
-    fresh.data.assign(data.begin(), data.end());
+    if (packed) {
+      fresh.packed = packed;
+    } else {
+      const auto data = std::as_const(w).flat();
+      fresh.data.assign(data.begin(), data.end());
+    }
   }
-  replay_tally(fresh);
+  replay_tally(fresh.tally, fresh.fmt);
 
   std::lock_guard<std::mutex> lock(c.mutex);
   ++c.stats.misses;
@@ -277,6 +366,18 @@ void quantize_weight_cached(Tensor& w, DType dtype, Granularity granularity, int
   if (histed) {
     hist_record(HistChannel::kCacheMissNs, static_cast<double>(obs_now_ns() - t0));
   }
+  return packed;
+}
+
+}  // namespace
+
+void quantize_weight_cached(Tensor& w, DType dtype, Granularity granularity, int axis) {
+  (void)quantize_weight_impl(w, dtype, granularity, axis, /*want_packed=*/false);
+}
+
+std::shared_ptr<const PackedFp8Tensor> quantize_weight_cached_packed(
+    Tensor& w, DType dtype, Granularity granularity, int axis) {
+  return quantize_weight_impl(w, dtype, granularity, axis, /*want_packed=*/true);
 }
 
 WeightCacheStats weight_cache_stats() {

@@ -22,15 +22,30 @@
 // miss time; hits replay it into the counters, so counter totals are
 // independent of hit/miss patterns and identical to an uncached run.
 //
+// Storage (docs/KERNELS.md): entries hold the PACKED form -- uint8 codes +
+// per-channel scales, ~1/4 the bytes of the FP32 payload -- and a hit
+// decodes them back through the dispatched decode kernel. Insertion
+// verifies bit-for-bit that decoding the codes reproduces the quantized
+// payload; weights where an 8-bit code cannot carry the payload (NaN
+// payloads survive fake quantization but not an encode/decode round trip)
+// fall back to storing the FP32 payload, so hits are unconditionally
+// bit-exact either way. The verified packed form is also what
+// quantize_weight_cached_packed hands to the packed compute kernels.
+//
 // Capacity: bounded LRU, default 64 MB, configurable with the
 // FP8Q_WEIGHT_CACHE_MB environment variable (0 disables caching) or
-// programmatically via set_weight_cache_capacity_bytes. Events are
-// mirrored into the obs cache counters (cache_counter_add) and surface in
-// the run report's "weight_cache" block.
+// programmatically via set_weight_cache_capacity_bytes. Capacity is
+// accounted against each entry's ACTUAL bytes (packed entries cost
+// codes + scales, ~numel bytes; FP32 fallback entries cost numel * 4), so
+// a budget sized for FP32 entries now holds roughly 4x as many weights.
+// Events are mirrored into the obs cache counters (cache_counter_add) and
+// surface in the run report's "weight_cache" block.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
+#include "fp8/packed.h"
 #include "quant/qconfig.h"
 #include "tensor/tensor.h"
 
@@ -44,6 +59,18 @@ namespace fp8q {
 void quantize_weight_cached(Tensor& w, DType dtype,
                             Granularity granularity = Granularity::kPerChannel,
                             int axis = 0);
+
+/// Same in-place quantization, but also returns the verified packed form
+/// of the quantized weight -- decode(code) * (1/scale) reproduces w's new
+/// contents bit for bit -- for attachment to an op's packed compute path
+/// (nn/packed_gemm.h). Returns nullptr when the recipe is not the standard
+/// cached one or the weight failed the decode check (e.g. NaN payloads);
+/// callers then stay on the FP32 path. Works with the cache disabled
+/// (FP8Q_WEIGHT_CACHE_MB=0): the packed form is built and verified either
+/// way, it just isn't retained.
+[[nodiscard]] std::shared_ptr<const PackedFp8Tensor> quantize_weight_cached_packed(
+    Tensor& w, DType dtype, Granularity granularity = Granularity::kPerChannel,
+    int axis = 0);
 
 /// Point-in-time cache statistics (process-wide).
 struct WeightCacheStats {

@@ -1,7 +1,12 @@
-// Packed FP8 storage: round-trip fidelity and footprint.
+// Packed FP8 storage: round-trip fidelity, footprint, and the decode
+// primitives the packed kernels build on (LUT vs arithmetic decode).
 #include "fp8/packed.h"
 
 #include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
 
 #include "fp8/cast.h"
 #include "metrics/metrics.h"
@@ -67,6 +72,66 @@ TEST(PackedFp8, ZeroTensorStaysZero) {
   const auto packed = PackedFp8Tensor::pack_per_tensor(t, Fp8Kind::E4M3);
   const Tensor back = packed.unpack();
   for (std::int64_t i = 0; i < back.numel(); ++i) EXPECT_EQ(back[i], 0.0f);
+}
+
+TEST(PackedFp8Decode, TableMatchesReferenceDecodeForAllCodes) {
+  // The LUT is the scalar kernel tier's decoder: it must equal the
+  // reference fp8_decode bit for bit on every code, NaNs included.
+  for (Fp8Kind kind : kAllFp8Kinds) {
+    const Fp8DecodeTable& lut = fp8_decode_table(kind);
+    const FormatSpec& spec = format_spec(kind);
+    for (int c = 0; c < 256; ++c) {
+      const auto code = static_cast<std::uint8_t>(c);
+      EXPECT_EQ(std::bit_cast<std::uint32_t>(lut.values[c]),
+                std::bit_cast<std::uint32_t>(fp8_decode(code, spec)))
+          << to_string(kind) << " code " << c;
+    }
+  }
+}
+
+TEST(PackedFp8Decode, ArithmeticDecodeMatchesTableForAllCodes) {
+  // fp8_decode_bits is the batched/native tiers' decoder: exhaustive
+  // bit-equality against the LUT is the cross-tier exactness anchor
+  // (docs/KERNELS.md).
+  for (Fp8Kind kind : kAllFp8Kinds) {
+    const Fp8DecodeTable& lut = fp8_decode_table(kind);
+    const Fp8DecodeSpec& dspec = fp8_decode_spec(kind);
+    for (int c = 0; c < 256; ++c) {
+      EXPECT_EQ(fp8_decode_bits(static_cast<std::uint8_t>(c), dspec),
+                std::bit_cast<std::uint32_t>(lut.values[c]))
+          << to_string(kind) << " code " << c;
+    }
+  }
+}
+
+TEST(PackedFp8Decode, NoDecodedValueIsAFloat32Denormal) {
+  // The arithmetic decode promises normal float32 operands everywhere
+  // (denormal operands stall the SIMD tiers with microcode assists).
+  for (Fp8Kind kind : kAllFp8Kinds) {
+    const Fp8DecodeTable& lut = fp8_decode_table(kind);
+    for (int c = 0; c < 256; ++c) {
+      EXPECT_NE(std::fpclassify(lut.values[c]), FP_SUBNORMAL)
+          << to_string(kind) << " code " << c;
+    }
+  }
+}
+
+TEST(PackedFp8Decode, ExhaustiveEncodeDecodeRoundTrip) {
+  // Every decodable finite value re-encodes to a code with the same
+  // decode: the packed form is a fixed point of encode/decode per format.
+  for (Fp8Kind kind : kAllFp8Kinds) {
+    const FormatSpec& spec = format_spec(kind);
+    const Fp8DecodeTable& lut = fp8_decode_table(kind);
+    for (int c = 0; c < 256; ++c) {
+      const auto code = static_cast<std::uint8_t>(c);
+      if (fp8_is_nan(code, spec) || fp8_is_inf(code, spec)) continue;
+      const float value = lut.values[c];
+      const std::uint8_t re = fp8_encode(value, spec);
+      EXPECT_EQ(std::bit_cast<std::uint32_t>(lut.values[re]),
+                std::bit_cast<std::uint32_t>(value))
+          << to_string(kind) << " code " << c;
+    }
+  }
 }
 
 TEST(PackedFp8, CodesAreValidFiniteEncodings) {

@@ -28,6 +28,9 @@ RunReport sample_report() {
   RunReport r;
   r.tool = "unit-test";
   r.num_threads = 3;
+  r.isa = "native:avx2";
+  r.kernel_paths.counts[static_cast<int>(ObsKernelPath::kLinearPacked)] = 17;
+  r.kernel_paths.counts[static_cast<int>(ObsKernelPath::kCacheDecode)] = 4;
 
   StageReport stage;
   stage.name = "phase \"one\"\nwith newline";  // exercises escaping
@@ -67,6 +70,8 @@ TEST(Report, JsonRoundTripsThroughSerializeReader) {
 
   EXPECT_EQ(parsed.tool, original.tool);
   EXPECT_EQ(parsed.num_threads, original.num_threads);
+  EXPECT_EQ(parsed.isa, original.isa);
+  EXPECT_TRUE(parsed.kernel_paths == original.kernel_paths);
   EXPECT_TRUE(parsed.counters == original.counters);
   EXPECT_EQ(parsed.spans_dropped, original.spans_dropped);
 

@@ -143,8 +143,10 @@ TEST_F(WeightCacheTest, CopyAdoptsIdentity) {
 }
 
 TEST_F(WeightCacheTest, CapacityEvictsLeastRecentlyUsed) {
-  // Each {8, 32} FP32 entry costs 8*32*4 + 64 = 1088 bytes; cap at two.
-  set_weight_cache_capacity_bytes(2 * (8 * 32 * 4 + 64));
+  // Entries are charged their ACTUAL bytes, and standard-recipe entries
+  // store packed codes: an {8, 32} entry costs 8*32 code bytes + 8*4
+  // scale bytes + 64 overhead = 352 bytes (vs 1088 for FP32). Cap at two.
+  set_weight_cache_capacity_bytes(2 * (8 * 32 + 8 * 4 + 64));
   Tensor a = make_weight(10);
   Tensor b = make_weight(11);
   Tensor c = make_weight(12);
@@ -217,6 +219,82 @@ TEST_F(WeightCacheTest, EventsMirrorIntoObsCacheCounters) {
   const auto after = cache_counters_snapshot();
   EXPECT_EQ(after.get(ObsCacheEvent::kMiss) - before.get(ObsCacheEvent::kMiss), 1u);
   EXPECT_EQ(after.get(ObsCacheEvent::kHit) - before.get(ObsCacheEvent::kHit), 1u);
+}
+
+TEST_F(WeightCacheTest, PackedEntriesAreRoughlyQuarterOfFp32Bytes) {
+  Tensor w = make_weight(20, {16, 64});
+  quantize_weight_cached(w, DType::kE4M3);
+  ASSERT_EQ(delta().entries, 1u);
+  // 16*64 code bytes + 16*4 scale bytes + 64 overhead, far below the
+  // 16*64*4 + 64 an FP32 payload would charge.
+  EXPECT_EQ(delta().bytes, 16u * 64u + 16u * 4u + 64u);
+}
+
+TEST_F(WeightCacheTest, PackedHandleDecodesBitIdenticalOnMissAndHit) {
+  Tensor w1 = make_weight(21);
+  const auto p1 = quantize_weight_cached_packed(w1, DType::kE4M3);
+  ASSERT_NE(p1, nullptr);
+  expect_bitwise_equal(w1, uncached_quantize(make_weight(21), DType::kE4M3));
+  expect_bitwise_equal(p1->unpack(), w1);  // codes decode to the payload
+
+  Tensor w2 = make_weight(21);
+  const auto p2 = quantize_weight_cached_packed(w2, DType::kE4M3);
+  ASSERT_NE(p2, nullptr);
+  EXPECT_EQ(delta().hits, 1u);
+  EXPECT_EQ(p2.get(), p1.get());  // the hit shares the cached codes
+  expect_bitwise_equal(w2, w1);
+}
+
+TEST_F(WeightCacheTest, ZeroCapacityStillReturnsPackedCodes) {
+  // FP8Q_WEIGHT_CACHE_MB=0 turns off retention, not packed compute: the
+  // graph still gets codes to attach, recomputed per call.
+  set_weight_cache_capacity_bytes(0);
+  Tensor w = make_weight(22);
+  const auto packed = quantize_weight_cached_packed(w, DType::kE3M4);
+  ASSERT_NE(packed, nullptr);
+  EXPECT_EQ(delta().entries, 0u);
+  EXPECT_EQ(delta().bypasses, 1u);
+  expect_bitwise_equal(w, uncached_quantize(make_weight(22), DType::kE3M4));
+  expect_bitwise_equal(packed->unpack(), w);
+}
+
+TEST_F(WeightCacheTest, NonFinitePayloadFallsBackToFp32Entry) {
+  // Fake quantization passes NaN payloads through, but a code can only
+  // decode to the canonical quiet NaN -- a negative NaN with payload bits
+  // cannot round-trip, so the insert-time verification must reject the
+  // packed form: the entry stores FP32 and the packed handle is null. The
+  // cached payload still matches uncached exactly.
+  Tensor w = make_weight(23);
+  w.flat()[5] = std::bit_cast<float>(0xFFC00001u);
+  Tensor copy = w;
+  const auto packed = quantize_weight_cached_packed(copy, DType::kE4M3);
+  EXPECT_EQ(packed, nullptr);
+  expect_bitwise_equal(copy, uncached_quantize(w, DType::kE4M3));
+
+  // And the FP32 fallback entry serves hits bit-identically too.
+  Tensor again = w;
+  EXPECT_EQ(quantize_weight_cached_packed(again, DType::kE4M3), nullptr);
+  EXPECT_EQ(delta().hits, 1u);
+  expect_bitwise_equal(again, copy);
+}
+
+TEST_F(WeightCacheTest, NonStandardRecipeYieldsNoPackedHandle) {
+  Tensor w = make_weight(24);
+  EXPECT_EQ(quantize_weight_cached_packed(w, DType::kINT8), nullptr);
+  Tensor v = make_weight(24);
+  EXPECT_EQ(quantize_weight_cached_packed(v, DType::kE4M3, Granularity::kPerTensor),
+            nullptr);
+  EXPECT_EQ(delta().bypasses, 2u);
+}
+
+TEST_F(WeightCacheTest, PackedHitsCountTheCacheDecodePath) {
+  kernel_counters_reset();
+  Tensor w1 = make_weight(25);
+  quantize_weight_cached(w1, DType::kE4M3);  // miss: no decode
+  EXPECT_EQ(kernel_counters_snapshot().get(ObsKernelPath::kCacheDecode), 0u);
+  Tensor w2 = make_weight(25);
+  quantize_weight_cached(w2, DType::kE4M3);  // hit: served by decoding codes
+  EXPECT_EQ(kernel_counters_snapshot().get(ObsKernelPath::kCacheDecode), 1u);
 }
 
 TEST_F(WeightCacheTest, IdentityMemoSkipsRehashAcrossRestore) {

@@ -234,11 +234,33 @@ TEST(BenchGate, CheckBenchAppliesTheSpeedupFloor) {
       R"({"cast": [{"format": "E4M3", "scalar_elems_per_sec": 1e8,
                     "batched_elems_per_sec": 3e8, "speedup": 3.0}]})");
   std::ostringstream out;
-  EXPECT_EQ(report_cli::check_bench(good, 1.0, out), 0);
-  EXPECT_EQ(report_cli::check_bench(good, 3.5, out), 1);
+  EXPECT_EQ(report_cli::check_bench(good, 1.0, 0.0, out), 0);
+  EXPECT_EQ(report_cli::check_bench(good, 3.5, 0.0, out), 1);
   // No cast section at all is itself a failure (silent gate = no gate).
-  EXPECT_EQ(report_cli::check_bench(json::parse("{}"), 1.0, out), 1);
-  EXPECT_EQ(report_cli::check_bench(json::parse(R"({"cast": []})"), 1.0, out), 1);
+  EXPECT_EQ(report_cli::check_bench(json::parse("{}"), 1.0, 0.0, out), 1);
+  EXPECT_EQ(report_cli::check_bench(json::parse(R"({"cast": []})"), 1.0, 0.0, out), 1);
+}
+
+TEST(BenchGate, CheckBenchAppliesThePackedGemmFloor) {
+  const json::Value bench = json::parse(
+      R"({"cast": [{"format": "E4M3", "scalar_elems_per_sec": 1e8,
+                    "batched_elems_per_sec": 3e8, "speedup": 3.0}],
+          "packed_gemm": [{"m": 64, "k": 256, "n": 256, "format": "E4M3",
+                           "packed_gflops": 15.0, "dequant_gflops": 3.0,
+                           "speedup": 5.0}]})");
+  std::ostringstream out;
+  // <= 0 skips the packed gate entirely; above the floor passes; a floor
+  // above the measured speedup breaches.
+  EXPECT_EQ(report_cli::check_bench(bench, 1.0, 0.0, out), 0);
+  EXPECT_EQ(report_cli::check_bench(bench, 1.0, 2.0, out), 0);
+  EXPECT_EQ(report_cli::check_bench(bench, 1.0, 6.0, out), 1);
+  // With the packed gate armed, a snapshot without packed_gemm rows is a
+  // breach (silent gate = no gate); unarmed, the old snapshot stays valid.
+  const json::Value cast_only = json::parse(
+      R"({"cast": [{"format": "E4M3", "scalar_elems_per_sec": 1e8,
+                    "batched_elems_per_sec": 3e8, "speedup": 3.0}]})");
+  EXPECT_EQ(report_cli::check_bench(cast_only, 1.0, 2.0, out), 1);
+  EXPECT_EQ(report_cli::check_bench(cast_only, 1.0, 0.0, out), 0);
 }
 
 TEST(BenchGate, DiffBenchCatchesThroughputRegressions) {
@@ -299,6 +321,13 @@ TEST(RunCli, ExitCodesAndFlagParsing) {
   EXPECT_EQ(report_cli::run({"check-bench", bench_path, "--min-cast-speedup=1.5"},
                             out, err), 0);
   EXPECT_EQ(report_cli::run({"check-bench", bench_path, "--min-cast-speedup=2.5"},
+                            out, err), 1);
+
+  // --min-packed-gemm-speedup arms the packed gate: this snapshot has no
+  // packed_gemm section, so a positive floor fails while the default
+  // (0 = off) keeps it valid.
+  EXPECT_EQ(report_cli::run({"check-bench", bench_path, "--min-cast-speedup=1.5",
+                             "--min-packed-gemm-speedup=2.0"},
                             out, err), 1);
 
   // diff-bench wires through to the regression gate.

@@ -15,9 +15,10 @@
 #                        missing one)
 #   3. FP8Q_* knobs      env vars / CMake options — must appear in the
 #                        source tree or a CMakeLists.txt
-#   4. backticked        `like_this` / `Class::member` — underscore- or
-#      identifiers       ::-containing inline-code tokens must appear
-#                        somewhere in the source tree
+#   4. backticked        `like_this` / `Class::member` / `CamelCaseType` —
+#      identifiers       inline-code tokens that look like identifiers
+#                        (underscore, ::, or CamelCase with an interior
+#                        capital) must appear somewhere in the source tree
 #   5. check_* targets   build/ctest gate names (check_static, check_tsan,
 #                        ...) — must be defined in a CMakeLists.txt
 #
@@ -87,10 +88,13 @@ done < <(grep -ohE '\bFP8Q_[A-Z][A-Z_]+' "${DOCS[@]}" | sort -u)
 
 # --- 4. backticked identifiers --------------------------------------------
 # Inline code only; fenced blocks contain no backticks so they are skipped.
+# CamelCase: a lowercase run followed later by another capital
+# (PackedFp8Tensor, IsaTier) — single words like `Tensor` stay prose.
+camelcase() { [[ $1 =~ ^[A-Z][A-Za-z0-9]*[a-z][A-Za-z0-9]*[A-Z] ]]; }
 while IFS= read -r id; do
   name="${id%%(*}"       # drop call parens: foo() -> foo
   name="${name#fp8q::}"  # docs qualify, source defines inside the namespace
-  [[ $name == *_* || $name == *::* ]] || continue
+  [[ $name == *_* || $name == *::* ]] || camelcase "$name" || continue
   [[ $name == FP8Q_* ]] && continue  # covered by the knob check
   allowed "$name" && continue
   in_tree "$name" || err "identifier '$name' not found in the source tree"

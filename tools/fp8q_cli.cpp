@@ -79,6 +79,7 @@ int cmd_eval(const char* workload, const char* fmt, bool dynamic) {
   RunReport report;
   report.tool = "fp8q_cli eval";
   report.num_threads = num_threads();
+  report.isa = isa_label();
   set_active_report(&report);
   const auto rec = evaluate_workload(w, scheme_from_args(fmt, dynamic));
   set_active_report(nullptr);
@@ -109,6 +110,7 @@ int cmd_tune(const char* workload, const char* fmt) {
   RunReport report;
   report.tool = "fp8q_cli tune";
   report.num_threads = num_threads();
+  report.isa = isa_label();
   set_active_report(&report);
   const TuneResult r = autotune(w, preferred);
   set_active_report(nullptr);

@@ -345,7 +345,8 @@ std::vector<std::string> validate_chrome_trace(std::string_view json_text) {
   return problems;
 }
 
-int check_bench(const json::Value& bench, double min_speedup, std::ostream& out) {
+int check_bench(const json::Value& bench, double min_speedup, double min_packed_speedup,
+                std::ostream& out) {
   Gate gate{out};
   const json::Value* casts = bench.is_object() ? bench.find("cast") : nullptr;
   if (casts == nullptr || !casts->is_array() || casts->array.empty()) {
@@ -361,6 +362,25 @@ int check_bench(const json::Value& bench, double min_speedup, std::ostream& out)
     line << "cast " << c.string_or("format") << " batched/scalar speedup " << std::fixed
          << std::setprecision(2) << speedup << "x (min " << min_speedup << "x)";
     gate.check(speedup < min_speedup, line.str());
+  }
+  if (min_packed_speedup > 0.0) {
+    const json::Value* packed = bench.is_object() ? bench.find("packed_gemm") : nullptr;
+    if (packed == nullptr || !packed->is_array() || packed->array.empty()) {
+      gate.check(true, "bench json has no packed_gemm measurements");
+      return gate.breaches;
+    }
+    for (const json::Value& p : packed->array) {
+      if (!p.is_object()) continue;
+      const double pg = p.number_or("packed_gflops");
+      const double dg = p.number_or("dequant_gflops");
+      const double speedup = p.number_or("speedup", dg > 0.0 ? pg / dg : 0.0);
+      std::ostringstream line;
+      line << "packed_gemm " << p.number_or("m") << "x" << p.number_or("k") << "x"
+           << p.number_or("n") << " " << p.string_or("format")
+           << " packed/dequant speedup " << std::fixed << std::setprecision(2) << speedup
+           << "x (min " << min_packed_speedup << "x)";
+      gate.check(speedup < min_packed_speedup, line.str());
+    }
   }
   return gate.breaches;
 }
@@ -410,6 +430,28 @@ int diff_bench(const json::Value& base, const json::Value& candidate,
       }
     }
   }
+
+  const json::Value* base_pg = base.is_object() ? base.find("packed_gemm") : nullptr;
+  const json::Value* cand_pg = candidate.is_object() ? candidate.find("packed_gemm") : nullptr;
+  if (base_pg != nullptr && base_pg->is_array() && cand_pg != nullptr &&
+      cand_pg->is_array()) {
+    for (const json::Value& bp : base_pg->array) {
+      for (const json::Value& cp : cand_pg->array) {
+        if (cp.number_or("m") != bp.number_or("m") ||
+            cp.number_or("k") != bp.number_or("k") ||
+            cp.number_or("n") != bp.number_or("n") ||
+            cp.string_or("format") != bp.string_or("format")) {
+          continue;
+        }
+        std::ostringstream shape;
+        shape << "packed_gemm " << bp.number_or("m") << "x" << bp.number_or("k") << "x"
+              << bp.number_or("n") << " " << bp.string_or("format") << " GFLOP/s";
+        gate_rate(shape.str(), bp.number_or("packed_gflops"),
+                  cp.number_or("packed_gflops"));
+        break;
+      }
+    }
+  }
   return gate.breaches;
 }
 
@@ -446,6 +488,7 @@ constexpr const char* kUsage =
     "       [--max-counter-drift-pct=P]   (negative disables a check)\n"
     "  check-trace <trace.json>\n"
     "  check-bench <BENCH.json> [--min-cast-speedup=S]\n"
+    "       [--min-packed-gemm-speedup=S]   (<= 0 skips the packed gate)\n"
     "  diff-bench <base_BENCH.json> <candidate_BENCH.json> [--max-regress-pct=P]\n";
 
 }  // namespace
@@ -499,13 +542,16 @@ int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& e
 
     if (cmd == "check-bench" && args.size() >= 2) {
       double min_speedup = 1.0;
+      double min_packed_speedup = 0.0;  // off unless requested: old snapshots stay valid
       for (std::size_t i = 2; i < args.size(); ++i) {
-        if (!flag_value(args[i], "--min-cast-speedup", &min_speedup)) {
+        if (!flag_value(args[i], "--min-cast-speedup", &min_speedup) &&
+            !flag_value(args[i], "--min-packed-gemm-speedup", &min_packed_speedup)) {
           err << "fp8q_report: unknown flag " << args[i] << "\n" << kUsage;
           return 2;
         }
       }
-      const int breaches = check_bench(json::parse(read_file(args[1])), min_speedup, out);
+      const int breaches = check_bench(json::parse(read_file(args[1])), min_speedup,
+                                       min_packed_speedup, out);
       out << (breaches > 0 ? "fp8q_report: bench gate FAILED\n" : "fp8q_report: bench ok\n");
       return breaches > 0 ? 1 : 0;
     }

@@ -53,12 +53,18 @@ int diff_reports(const RunReport& base, const RunReport& candidate,
 [[nodiscard]] std::vector<std::string> validate_chrome_trace(std::string_view json_text);
 
 /// Gate over one BENCH_kernels*.json: every "cast" entry's batched/scalar
-/// speedup must be >= min_speedup. Returns breach count.
-int check_bench(const json::Value& bench, double min_speedup, std::ostream& out);
+/// speedup must be >= min_speedup, and -- when min_packed_speedup > 0 --
+/// every "packed_gemm" entry's packed/dequant speedup must be >=
+/// min_packed_speedup (a missing packed_gemm section is then a breach;
+/// <= 0 skips the packed gate for pre-packed-GEMM snapshots). Returns
+/// breach count.
+int check_bench(const json::Value& bench, double min_speedup, double min_packed_speedup,
+                std::ostream& out);
 
 /// Diffs two BENCH_kernels*.json snapshots: batched cast throughput (per
-/// format) and matmul GFLOP/s (per shape) may regress at most
-/// max_regress_pct percent. Returns breach count.
+/// format), matmul GFLOP/s (per shape) and packed-GEMM GFLOP/s (per
+/// shape+format) may regress at most max_regress_pct percent. Returns
+/// breach count.
 int diff_bench(const json::Value& base, const json::Value& candidate,
                double max_regress_pct, std::ostream& out);
 
