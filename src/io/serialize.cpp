@@ -226,11 +226,21 @@ RunReport report_from_json(std::istream& in) {
   }
   // Older reports (v1: no "weight_cache"; v2: no "memory"/"histograms")
   // parse fine with the missing fields defaulted, so accept every version
-  // up to the current.
-  if (static_cast<int>(version->number) < 1 ||
-      static_cast<int>(version->number) > kReportVersion) {
+  // up to the current. Newer reports are rejected outright: fields this
+  // reader does not know about would be silently dropped, which matters
+  // when a resident fp8qd daemon and the fp8q_report CLI are built at
+  // different versions.
+  const int doc_version = static_cast<int>(version->number);
+  if (doc_version > kReportVersion) {
+    throw std::runtime_error(
+        "fp8q report: version " + std::to_string(doc_version) +
+        " is newer than this reader supports (max " + std::to_string(kReportVersion) +
+        "); it was written by a newer fp8q build -- rebuild this tool or "
+        "re-capture the report");
+  }
+  if (doc_version < 1) {
     throw std::runtime_error("fp8q report: unsupported version " +
-                             std::to_string(static_cast<int>(version->number)));
+                             std::to_string(doc_version));
   }
 
   RunReport report;

@@ -204,6 +204,14 @@ bool CacheCounterSnapshot::any() const {
   return false;
 }
 
+CacheCounterSnapshot CacheCounterSnapshot::since(const CacheCounterSnapshot& earlier) const {
+  CacheCounterSnapshot delta;
+  for (int e = 0; e < kObsCacheEventCount; ++e) {
+    delta.counts[e] = counts[e] >= earlier.counts[e] ? counts[e] - earlier.counts[e] : 0;
+  }
+  return delta;
+}
+
 CacheCounterSnapshot cache_counters_snapshot() {
   CacheCounterSnapshot snap;
   for (int e = 0; e < kObsCacheEventCount; ++e) {
@@ -243,6 +251,14 @@ bool KernelCounterSnapshot::any() const {
     if (counts[e] != 0) return true;
   }
   return false;
+}
+
+KernelCounterSnapshot KernelCounterSnapshot::since(const KernelCounterSnapshot& earlier) const {
+  KernelCounterSnapshot delta;
+  for (int e = 0; e < kObsKernelPathCount; ++e) {
+    delta.counts[e] = counts[e] >= earlier.counts[e] ? counts[e] - earlier.counts[e] : 0;
+  }
+  return delta;
 }
 
 KernelCounterSnapshot kernel_counters_snapshot() {

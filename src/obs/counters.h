@@ -123,6 +123,9 @@ struct CacheCounterSnapshot {
     return counts[static_cast<int>(event)];
   }
   [[nodiscard]] bool any() const;
+  /// Cell-wise difference (per-job deltas in the fp8qd service); saturates
+  /// at 0 if a reset happened in between.
+  [[nodiscard]] CacheCounterSnapshot since(const CacheCounterSnapshot& earlier) const;
 
   friend bool operator==(const CacheCounterSnapshot&, const CacheCounterSnapshot&) = default;
 };
@@ -167,6 +170,9 @@ struct KernelCounterSnapshot {
     return counts[static_cast<int>(path)];
   }
   [[nodiscard]] bool any() const;
+  /// Cell-wise difference (per-job deltas in the fp8qd service); saturates
+  /// at 0 if a reset happened in between.
+  [[nodiscard]] KernelCounterSnapshot since(const KernelCounterSnapshot& earlier) const;
 
   friend bool operator==(const KernelCounterSnapshot&, const KernelCounterSnapshot&) = default;
 };

@@ -1,0 +1,38 @@
+#include "service/job_queue.h"
+
+namespace fp8q::service {
+
+bool JobQueue::push(std::shared_ptr<Job> job) {
+  if (entries_.size() >= capacity_) return false;
+  entries_.push_back(Entry{next_seq_++, std::move(job)});
+  return true;
+}
+
+std::shared_ptr<Job> JobQueue::pop_best() {
+  if (entries_.empty()) return nullptr;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    const Entry& b = entries_[best];
+    if (e.job->spec.priority > b.job->spec.priority ||
+        (e.job->spec.priority == b.job->spec.priority && e.seq < b.seq)) {
+      best = i;
+    }
+  }
+  std::shared_ptr<Job> job = std::move(entries_[best].job);
+  entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(best));
+  return job;
+}
+
+std::shared_ptr<Job> JobQueue::remove(std::uint64_t id) {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].job->id == id) {
+      std::shared_ptr<Job> job = std::move(entries_[i].job);
+      entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+      return job;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace fp8q::service

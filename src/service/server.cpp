@@ -1,0 +1,598 @@
+#include "service/server.h"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+
+#include "core/cpu_dispatch.h"
+#include "core/parallel.h"
+#include "fp8/format.h"
+#include "obs/counters.h"
+#include "obs/memory.h"
+#include "obs/trace.h"
+#include "quant/qconfig.h"
+#include "quant/quantized_graph.h"
+#include "quant/weight_cache.h"
+#include "service/protocol.h"
+#include "tensor/rng.h"
+#include "tune/tuner.h"
+#include "workloads/registry.h"
+
+namespace fp8q::service {
+
+namespace {
+
+/// The CLI's scheme mapping (fp8q_cli scheme_from_args), shared verbatim
+/// so a served job and a one-shot run resolve formats identically.
+SchemeConfig scheme_for_spec(const JobSpec& spec) {
+  if (spec.format == "INT8" || spec.format == "int8") return int8_scheme(spec.dynamic);
+  if (spec.format == "mixed") return mixed_fp8_scheme();
+  switch (fp8_kind_from_string(spec.format)) {
+    case Fp8Kind::E5M2: return standard_fp8_scheme(DType::kE5M2, spec.dynamic);
+    case Fp8Kind::E4M3: return standard_fp8_scheme(DType::kE4M3, spec.dynamic);
+    case Fp8Kind::E3M4: return standard_fp8_scheme(DType::kE3M4, spec.dynamic);
+  }
+  throw std::runtime_error("unknown format \"" + spec.format + "\"");
+}
+
+/// Evaluation budget for a job: the full protocol, or the smoke-sized one
+/// when the spec asks for quick (same shape the unit tests use -- seconds
+/// instead of minutes per job, with every determinism property intact).
+EvalProtocol protocol_for_spec(const JobSpec& spec) {
+  EvalProtocol protocol;
+  if (spec.quick) {
+    protocol.calib_batches = 2;
+    protocol.calib_batch_size = 8;
+    protocol.eval_batches = 2;
+    protocol.eval_batch_size = 32;
+    protocol.bn_calibration_batches = 2;
+  }
+  return protocol;
+}
+
+DType preferred_tune_format(const std::string& format) {
+  if (format == "E5M2" || format == "e5m2") return DType::kE5M2;
+  if (format == "E3M4" || format == "e3m4") return DType::kE3M4;
+  return DType::kE4M3;
+}
+
+void append_hist_ms(std::string& out, const char* key, const HistogramSnapshot& h) {
+  out += '"';
+  out += key;
+  out += "\":{\"count\":";
+  out += std::to_string(h.total);
+  const double to_ms = 1.0 / 1e6;
+  for (const auto& [name, q] : {std::pair{"p50", 0.50}, std::pair{"p95", 0.95},
+                                std::pair{"p99", 0.99}}) {
+    out += ",\"";
+    out += name;
+    out += "\":";
+    out += std::to_string(h.quantile(q) * to_ms);
+  }
+  out += ",\"max\":";
+  out += std::to_string((h.total != 0 ? h.max_value : 0.0) * to_ms);
+  out += "}";
+}
+
+}  // namespace
+
+ServerOptions options_from_env() {
+  ServerOptions opts;
+  const char* sock = std::getenv("FP8QD_SOCKET");
+  opts.unix_path = (sock != nullptr && sock[0] != '\0') ? sock : "fp8qd.sock";
+  if (const char* port = std::getenv("FP8QD_TCP_PORT"); port != nullptr && port[0] != '\0') {
+    opts.tcp_port = std::atoi(port);
+  }
+  if (const char* qmax = std::getenv("FP8QD_QUEUE_MAX"); qmax != nullptr && qmax[0] != '\0') {
+    const int n = std::atoi(qmax);
+    if (n > 0) opts.queue_max = static_cast<std::size_t>(n);
+  }
+  return opts;
+}
+
+RunReport run_job_oneshot(const std::vector<Workload>& suite, const JobSpec& spec) {
+  const Workload& w = find_workload(suite, spec.workload);
+  const EvalProtocol protocol = protocol_for_spec(spec);
+
+  RunReport report;
+  report.tool = std::string("fp8qd ") + to_string(spec.kind);
+  report.num_threads = num_threads();
+  report.isa = isa_label();
+
+  // Snapshot the process-global tallies so the report carries this job's
+  // *delta*. Because counter totals are deterministic and the weight
+  // cache replays miss tallies on hits, the delta matches what a fresh
+  // one-shot process would report as its cumulative counters.
+  const CounterSnapshot counters0 = counters_snapshot();
+  const CacheCounterSnapshot cache0 = cache_counters_snapshot();
+  const KernelCounterSnapshot kernels0 = kernel_counters_snapshot();
+  const AllocCounterSnapshot allocs0 = alloc_counters_snapshot();
+
+  RunReport* previous = active_report();
+  set_active_report(&report);
+  try {
+    switch (spec.kind) {
+      case JobKind::kEval: {
+        report.records.push_back(evaluate_workload(w, scheme_for_spec(spec), protocol));
+        break;
+      }
+      case JobKind::kTune: {
+        TuneOptions options;
+        if (spec.quick) options.max_trials = 6;
+        const TuneResult r =
+            autotune(w, preferred_tune_format(spec.format), protocol, options);
+        for (const auto& step : r.history) report.records.push_back(step.record);
+        break;
+      }
+      case JobKind::kQuantize: {
+        ScopedStage stage("quantize:" + w.name);
+        const ModelQuantConfig cfg = default_model_config(w, scheme_for_spec(spec), protocol);
+        Graph graph = w.build();
+        // Exactly make_eval_plan's calibration stream (same generator and
+        // seed derivation), so quantize jobs hit the same weight-cache
+        // entries the eval path populates.
+        const auto& calib_gen = w.make_calib_batch ? w.make_calib_batch : w.make_batch;
+        Rng calib_rng(w.data_seed * 7919 + 1);
+        std::vector<std::vector<Tensor>> calib;
+        calib.reserve(static_cast<std::size_t>(protocol.calib_batches));
+        for (int b = 0; b < protocol.calib_batches; ++b) {
+          calib.push_back(calib_gen(calib_rng, protocol.calib_batch_size));
+        }
+        QuantizedGraph quantized(&graph, cfg);
+        quantized.prepare(std::span<const std::vector<Tensor>>(calib));
+        break;
+      }
+    }
+  } catch (...) {
+    set_active_report(previous);
+    throw;
+  }
+  set_active_report(previous);
+
+  report.counters = counters_snapshot().since(counters0);
+  report.weight_cache = cache_counters_snapshot().since(cache0);
+  report.kernel_paths = kernel_counters_snapshot().since(kernels0);
+  const AllocCounterSnapshot alloc_delta = alloc_counters_snapshot().since(allocs0);
+  report.memory.alloc_bytes = alloc_delta.bytes;
+  report.memory.allocs = alloc_delta.allocs;
+  report.memory.peak_rss_bytes = peak_rss_bytes();
+  return report;
+}
+
+Server::Server(ServerOptions options)
+    : queue_(options.queue_max == 0 ? 1 : options.queue_max) {
+  if (options.unix_path.empty() && options.tcp_port < 0) {
+    throw std::runtime_error("fp8qd: no listener configured (need a socket path or a "
+                             "TCP port)");
+  }
+  if (!options.unix_path.empty()) {
+    unix_listener_ = listen_unix(options.unix_path);
+    unix_path_ = options.unix_path;
+  }
+  if (options.tcp_port >= 0) {
+    tcp_listener_ = listen_tcp_loopback(options.tcp_port);
+    tcp_port_ = tcp_listener_.tcp_port();
+  }
+  // The daemon always counts: per-job reports are the product it serves.
+  set_counters_enabled(true);
+  suite_ = build_suite();
+  start_ns_ = obs_now_ns();
+}
+
+Server::~Server() {
+  // run() joins the executor on the normal path; this covers a Server
+  // that was constructed but whose run() threw or was never called.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    drain_mode_ = true;
+  }
+  executor_cv_.notify_all();
+  if (executor_.joinable()) executor_.join();
+}
+
+void Server::request_shutdown() noexcept {
+  shutdown_requested_.store(true, std::memory_order_relaxed);
+  wake_.signal();
+}
+
+ServiceStats Server::stats_snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ServiceStats s;
+  s.uptime_ns = obs_now_ns() - start_ns_;
+  s.submitted = submitted_;
+  s.completed = completed_;
+  s.failed = failed_;
+  s.cancelled = cancelled_;
+  s.expired = expired_;
+  s.rejected = rejected_;
+  s.queue_depth = queue_.size();
+  s.queue_capacity = queue_.capacity();
+  s.job_running = running_ != nullptr;
+  s.draining = drain_mode_;
+  s.job_wall_ns = job_wall_ns_.snap;
+  s.queue_wait_ns = queue_wait_ns_.snap;
+  return s;
+}
+
+void Server::executor_loop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      executor_cv_.wait(lock, [this] { return drain_mode_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // Drain mode with nothing left: the executor is done for good.
+        executor_done_ = true;
+        wake_.signal();
+        return;
+      }
+      job = queue_.pop_best();
+      const std::uint64_t now = obs_now_ns();
+      if (job->spec.deadline_ms > 0.0 &&
+          static_cast<double>(now - job->submit_ns) > job->spec.deadline_ms * 1e6) {
+        job->state = JobState::kExpired;
+        job->finish_ns = now;
+        job->error = "deadline of " + std::to_string(job->spec.deadline_ms) +
+                     " ms elapsed while queued";
+        ++expired_;
+        wake_.signal();
+        continue;
+      }
+      job->state = JobState::kRunning;
+      job->start_ns = now;
+      running_ = job;
+    }
+
+    // Run the job body outside the lock: submits/status/stats stay
+    // responsive while the executor works.
+    std::string report_json;
+    std::string error;
+    try {
+      report_json = run_job_oneshot(suite_, job->spec).to_json();
+    } catch (const std::exception& e) {
+      error = e.what();
+    } catch (...) {
+      error = "unknown error";
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job->finish_ns = obs_now_ns();
+      if (error.empty()) {
+        job->state = JobState::kDone;
+        job->report_json = std::move(report_json);
+        ++completed_;
+      } else {
+        job->state = JobState::kFailed;
+        job->error = std::move(error);
+        ++failed_;
+      }
+      job_wall_ns_.record(static_cast<double>(job->finish_ns - job->start_ns));
+      queue_wait_ns_.record(static_cast<double>(job->start_ns - job->submit_ns));
+      running_.reset();
+    }
+    if (histograms_enabled()) {
+      hist_record_named("service:job_wall_ns",
+                        static_cast<double>(job->finish_ns - job->start_ns));
+      hist_record_named("service:queue_wait_ns",
+                        static_cast<double>(job->start_ns - job->submit_ns));
+    }
+    wake_.signal();
+  }
+}
+
+void Server::begin_drain(bool cancel_queued) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (cancel_queued) {
+      while (std::shared_ptr<Job> job = queue_.pop_best()) {
+        job->state = JobState::kCancelled;
+        job->finish_ns = obs_now_ns();
+        job->error = "cancelled by non-draining shutdown";
+        ++cancelled_;
+      }
+    }
+    drain_mode_ = true;
+  }
+  executor_cv_.notify_all();
+}
+
+std::string Server::result_response_locked(const Job& job) {
+  std::string out = "{\"ok\":true,\"job_id\":";
+  out += std::to_string(job.id);
+  out += ",\"state\":";
+  append_json_string(out, to_string(job.state));
+  if (job.state == JobState::kDone) {
+    out += ",\"wall_ms\":";
+    out += std::to_string(static_cast<double>(job.finish_ns - job.start_ns) / 1e6);
+    out += ",\"queue_wait_ms\":";
+    out += std::to_string(static_cast<double>(job.start_ns - job.submit_ns) / 1e6);
+    out += ",\"report\":";
+    out += job.report_json;  // already a JSON object
+  } else if (is_terminal(job.state)) {
+    out += ",\"error\":";
+    append_json_string(out, job.error);
+  }
+  out += "}";
+  return out;
+}
+
+std::string Server::stats_response_locked() {
+  const WeightCacheStats cache = weight_cache_stats();
+  const std::uint64_t lookups = cache.hits + cache.misses;
+
+  std::string out = "{\"ok\":true,\"uptime_ms\":";
+  out += std::to_string(static_cast<double>(obs_now_ns() - start_ns_) / 1e6);
+  out += ",\"isa\":";
+  append_json_string(out, isa_label());
+  out += ",\"num_threads\":";
+  out += std::to_string(num_threads());
+  out += ",\"jobs\":{\"submitted\":";
+  out += std::to_string(submitted_);
+  out += ",\"completed\":";
+  out += std::to_string(completed_);
+  out += ",\"failed\":";
+  out += std::to_string(failed_);
+  out += ",\"cancelled\":";
+  out += std::to_string(cancelled_);
+  out += ",\"expired\":";
+  out += std::to_string(expired_);
+  out += ",\"rejected\":";
+  out += std::to_string(rejected_);
+  out += "},\"queue\":{\"depth\":";
+  out += std::to_string(queue_.size());
+  out += ",\"capacity\":";
+  out += std::to_string(queue_.capacity());
+  out += ",\"running\":";
+  out += running_ != nullptr ? "1" : "0";
+  out += ",\"draining\":";
+  out += drain_mode_ ? "true" : "false";
+  out += "},\"weight_cache\":{\"hits\":";
+  out += std::to_string(cache.hits);
+  out += ",\"misses\":";
+  out += std::to_string(cache.misses);
+  out += ",\"evictions\":";
+  out += std::to_string(cache.evictions);
+  out += ",\"bypasses\":";
+  out += std::to_string(cache.bypasses);
+  out += ",\"bytes\":";
+  out += std::to_string(cache.bytes);
+  out += ",\"entries\":";
+  out += std::to_string(cache.entries);
+  out += ",\"hit_rate\":";
+  out += std::to_string(lookups != 0 ? static_cast<double>(cache.hits) /
+                                           static_cast<double>(lookups)
+                                     : 0.0);
+  out += "},\"latency_ms\":{";
+  append_hist_ms(out, "job_wall", job_wall_ns_.snap);
+  out += ",";
+  append_hist_ms(out, "queue_wait", queue_wait_ns_.snap);
+  out += "}}";
+  return out;
+}
+
+std::optional<std::string> Server::handle_frame(const std::string& payload,
+                                                Client& client) {
+  Request req;
+  try {
+    req = parse_request(payload);
+  } catch (const std::exception& e) {
+    return error_response("bad_request", e.what());
+  }
+
+  switch (req.cmd) {
+    case Request::Cmd::kSubmit: {
+      // Validate outside the lock; both throw on bad input.
+      try {
+        (void)find_workload(suite_, req.spec.workload);
+        (void)scheme_for_spec(req.spec);
+      } catch (const std::exception& e) {
+        return error_response("unknown_workload", e.what());
+      }
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (drain_mode_) {
+        return error_response("draining", "server is shutting down; not accepting jobs");
+      }
+      auto job = std::make_shared<Job>();
+      job->spec = req.spec;
+      job->submit_ns = obs_now_ns();
+      job->id = next_job_id_;
+      if (!queue_.push(job)) {
+        ++rejected_;
+        return error_response("queue_full",
+                              "admission queue is full (" +
+                                  std::to_string(queue_.capacity()) +
+                                  " jobs); retry after a result is consumed");
+      }
+      ++next_job_id_;
+      ++submitted_;
+      jobs_.emplace(job->id, job);
+      executor_cv_.notify_one();
+      std::string out = "{\"ok\":true,\"job_id\":";
+      out += std::to_string(job->id);
+      out += ",\"state\":\"queued\",\"queue_depth\":";
+      out += std::to_string(queue_.size());
+      out += "}";
+      return out;
+    }
+    case Request::Cmd::kStatus: {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = jobs_.find(req.job_id);
+      if (it == jobs_.end()) {
+        return error_response("unknown_job", "no job " + std::to_string(req.job_id));
+      }
+      std::string out = "{\"ok\":true,\"job_id\":";
+      out += std::to_string(req.job_id);
+      out += ",\"state\":";
+      append_json_string(out, to_string(it->second->state));
+      out += ",\"queue_depth\":";
+      out += std::to_string(queue_.size());
+      out += "}";
+      return out;
+    }
+    case Request::Cmd::kResult: {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = jobs_.find(req.job_id);
+      if (it == jobs_.end()) {
+        return error_response("unknown_job", "no job " + std::to_string(req.job_id));
+      }
+      if (is_terminal(it->second->state)) return result_response_locked(*it->second);
+      if (req.wait) {
+        client.waiting.push_back(req.job_id);
+        return std::nullopt;  // answered by flush_waiters when terminal
+      }
+      std::string out = "{\"ok\":true,\"job_id\":";
+      out += std::to_string(req.job_id);
+      out += ",\"state\":";
+      append_json_string(out, to_string(it->second->state));
+      out += "}";
+      return out;
+    }
+    case Request::Cmd::kCancel: {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = jobs_.find(req.job_id);
+      if (it == jobs_.end()) {
+        return error_response("unknown_job", "no job " + std::to_string(req.job_id));
+      }
+      std::shared_ptr<Job> job = it->second;
+      bool cancelled = false;
+      if (job->state == JobState::kQueued && queue_.remove(req.job_id) != nullptr) {
+        job->state = JobState::kCancelled;
+        job->finish_ns = obs_now_ns();
+        job->error = "cancelled by request";
+        ++cancelled_;
+        cancelled = true;
+      }
+      std::string out = "{\"ok\":true,\"job_id\":";
+      out += std::to_string(req.job_id);
+      out += ",\"cancelled\":";
+      out += cancelled ? "true" : "false";
+      out += ",\"state\":";
+      append_json_string(out, to_string(job->state));
+      out += "}";
+      return out;
+    }
+    case Request::Cmd::kStats: {
+      std::lock_guard<std::mutex> lock(mutex_);
+      return stats_response_locked();
+    }
+    case Request::Cmd::kShutdown: {
+      std::size_t queued = 0;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queued = queue_.size();
+      }
+      begin_drain(/*cancel_queued=*/!req.drain);
+      std::string out = "{\"ok\":true,\"state\":\"draining\",\"queued\":";
+      out += std::to_string(req.drain ? queued : 0);
+      out += "}";
+      return out;
+    }
+  }
+  return error_response("bad_request", "unhandled command");
+}
+
+void Server::flush_waiters(std::vector<Client>& clients) {
+  for (Client& client : clients) {
+    if (client.waiting.empty() || !client.conn.valid()) continue;
+    std::vector<std::string> responses;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      std::vector<std::uint64_t> still_waiting;
+      for (const std::uint64_t id : client.waiting) {
+        const auto it = jobs_.find(id);
+        if (it != jobs_.end() && is_terminal(it->second->state)) {
+          responses.push_back(result_response_locked(*it->second));
+        } else {
+          still_waiting.push_back(id);
+        }
+      }
+      client.waiting = std::move(still_waiting);
+    }
+    for (const std::string& response : responses) {
+      try {
+        client.conn.send_frame(response);
+      } catch (const std::exception&) {
+        client.conn = Connection();  // peer vanished; drop the connection
+        break;
+      }
+    }
+  }
+}
+
+void Server::run() {
+  executor_ = std::thread([this] { executor_loop(); });
+  std::vector<Client> clients;
+
+  for (;;) {
+    if (shutdown_requested_.exchange(false, std::memory_order_relaxed)) {
+      begin_drain(/*cancel_queued=*/false);
+    }
+
+    // Exit once draining is complete and every answerable waiter has been
+    // answered (all jobs are terminal at that point, so flush_waiters has
+    // emptied the waiting lists).
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (drain_mode_ && executor_done_) break;
+    }
+
+    std::vector<PollFd> fds;
+    fds.push_back(PollFd{wake_.read_fd(), false});
+    if (unix_listener_.valid()) fds.push_back(PollFd{unix_listener_.fd(), false});
+    if (tcp_listener_.valid()) fds.push_back(PollFd{tcp_listener_.fd(), false});
+    const std::size_t first_client = fds.size();
+    const std::size_t polled_clients = clients.size();
+    for (const Client& client : clients) {
+      if (client.conn.valid()) fds.push_back(PollFd{client.conn.fd(), false});
+    }
+    (void)poll_readable(fds, /*timeout_ms=*/250);
+
+    std::size_t at = 0;
+    if (fds[at++].readable) wake_.drain();
+    for (Listener* listener : {&unix_listener_, &tcp_listener_}) {
+      if (!listener->valid()) continue;
+      if (fds[at++].readable) {
+        while (auto conn = listener->accept_connection()) {
+          clients.push_back(Client{std::move(*conn), {}});
+        }
+      }
+    }
+
+    // Read every readable connection and answer complete frames. fds
+    // indexes only the connections that existed when polled -- clients
+    // accepted above wait for the next poll round.
+    std::size_t poll_idx = first_client;
+    for (std::size_t ci = 0; ci < polled_clients; ++ci) {
+      Client& client = clients[ci];
+      if (!client.conn.valid()) continue;
+      const bool readable = fds[poll_idx++].readable;
+      if (!readable) continue;
+      bool alive = true;
+      try {
+        alive = client.conn.fill_from_socket();
+        while (auto frame = client.conn.next_buffered_frame()) {
+          if (auto response = handle_frame(*frame, client)) {
+            client.conn.send_frame(*response);
+          }
+        }
+      } catch (const std::exception&) {
+        // Malformed framing or a send failure: drop the connection. A
+        // frame-level protocol error cannot be answered reliably because
+        // the byte stream is no longer aligned.
+        alive = false;
+      }
+      if (!alive) client.conn = Connection();
+    }
+
+    flush_waiters(clients);
+    std::erase_if(clients, [](const Client& c) { return !c.conn.valid(); });
+  }
+
+  // Final flush: answer waiters whose jobs finished in the last executor
+  // round before the loop observed executor_done_.
+  flush_waiters(clients);
+  executor_.join();
+}
+
+}  // namespace fp8q::service

@@ -1,0 +1,164 @@
+// The fp8qd resident quantization server (docs/SERVICE.md).
+//
+// Turns the one-shot CLI workflow into a long-running daemon: clients
+// connect over a Unix-domain (or loopback-TCP) socket, submit
+// quantize/eval/tune jobs against the 75-workload suite, and stream back
+// the same structured report-v4 JSON the CLI writes -- with the process
+// staying resident, so the quantized-weight cache (quant/weight_cache.h)
+// and the warmed thread pool carry over between requests.
+//
+// Concurrency model: one poll(2) I/O thread (the caller of run())
+// multiplexes every connection and owns all protocol state, and one
+// executor thread runs jobs strictly one at a time, each job fanning out
+// internally over the core/parallel pool. Serializing job *execution* is
+// what makes per-job reports exact: the executor snapshots the
+// process-global counters before and after a job and stores the delta,
+// which -- because counter totals are deterministic and thread-count-
+// invariant (docs/THREADING.md), and the weight cache replays miss
+// tallies on hits -- equals the counters a fresh one-shot run of the same
+// job would report. Concurrency for clients comes from the bounded
+// priority queue in front of the executor, not from overlapping jobs.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/thread_annotations.h"
+#include "obs/histogram.h"
+#include "obs/report.h"
+#include "service/job_queue.h"
+#include "service/net.h"
+#include "workloads/workload.h"
+
+// Lint note (tools/fp8q_lint.cpp raw-thread rule): service/server.cpp is
+// exempt -- the daemon's executor is a long-lived service thread by
+// design, not pool work; everything *inside* a job still runs on the
+// core/parallel pool.
+#include <condition_variable>
+
+namespace fp8q::service {
+
+struct ServerOptions {
+  /// Unix-domain socket path; empty disables the Unix listener.
+  std::string unix_path;
+  /// Loopback TCP port: -1 disables, 0 picks an ephemeral port.
+  int tcp_port = -1;
+  /// Admission-queue capacity (jobs queued beyond the one running).
+  std::size_t queue_max = 64;
+};
+
+/// ServerOptions from the environment: FP8QD_SOCKET (default
+/// "fp8qd.sock"), FP8QD_TCP_PORT, FP8QD_QUEUE_MAX.
+[[nodiscard]] ServerOptions options_from_env();
+
+/// Point-in-time service statistics (the stats endpoint's source).
+struct ServiceStats {
+  std::uint64_t uptime_ns = 0;
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t rejected = 0;  ///< queue_full submit rejections
+  std::size_t queue_depth = 0;
+  std::size_t queue_capacity = 0;
+  bool job_running = false;
+  bool draining = false;
+  HistogramSnapshot job_wall_ns;    ///< executor wall time per finished job
+  HistogramSnapshot queue_wait_ns;  ///< admission -> executor pickup
+};
+
+/// Executes one job spec end to end and returns its report -- exactly the
+/// code path the daemon's executor runs, minus the queueing. Public so the
+/// end-to-end test (and any embedder) can compare a served job's report
+/// against a direct one-shot run of the same spec. Throws on unknown
+/// workloads/formats and on job-body failures.
+[[nodiscard]] RunReport run_job_oneshot(const std::vector<Workload>& suite,
+                                        const JobSpec& spec);
+
+class Server {
+ public:
+  /// Binds the listeners and builds the workload suite; throws
+  /// std::runtime_error when a socket cannot be bound.
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  [[nodiscard]] const std::string& unix_path() const { return unix_path_; }
+  /// Bound TCP port, or -1 when the TCP listener is disabled.
+  [[nodiscard]] int tcp_port() const { return tcp_port_; }
+
+  /// Serves until a shutdown request has been honored and the executor
+  /// drained. Call from exactly one thread; it becomes the I/O thread.
+  void run();
+
+  /// Requests a draining shutdown from any thread or signal handler
+  /// (async-signal-safe: one atomic store + one self-pipe write).
+  void request_shutdown() noexcept;
+
+  /// Snapshot for embedders/tools (the JSON stats endpoint carries the
+  /// same numbers plus weight-cache and ISA details).
+  [[nodiscard]] ServiceStats stats_snapshot() const;
+
+ private:
+  struct Client {
+    Connection conn;
+    std::vector<std::uint64_t> waiting;  ///< deferred result-wait job ids
+  };
+
+  void executor_loop();
+  /// Handles one request frame; nullopt when the response is deferred
+  /// (result with wait=true on a non-terminal job).
+  [[nodiscard]] std::optional<std::string> handle_frame(const std::string& payload,
+                                                        Client& client);
+  /// Answers every deferred result-wait whose job reached a terminal
+  /// state.
+  void flush_waiters(std::vector<Client>& clients);
+  /// Enters drain mode; with cancel_queued, empties the queue as
+  /// kCancelled first.
+  void begin_drain(bool cancel_queued);
+
+  // "_locked" = caller holds mutex_.
+  [[nodiscard]] std::string result_response_locked(const Job& job);
+  [[nodiscard]] std::string stats_response_locked();
+
+  // Immutable after construction.
+  Listener unix_listener_;
+  Listener tcp_listener_;
+  std::string unix_path_;
+  int tcp_port_ = -1;
+  std::vector<Workload> suite_;
+  std::uint64_t start_ns_ = 0;
+
+  WakePipe wake_;
+  std::atomic<bool> shutdown_requested_{false};
+
+  mutable std::mutex mutex_;
+  std::condition_variable executor_cv_;
+  JobQueue queue_ FP8Q_GUARDED_BY(mutex_);
+  std::unordered_map<std::uint64_t, std::shared_ptr<Job>> jobs_ FP8Q_GUARDED_BY(mutex_);
+  std::uint64_t next_job_id_ FP8Q_GUARDED_BY(mutex_) = 1;
+  std::shared_ptr<Job> running_ FP8Q_GUARDED_BY(mutex_);
+  bool drain_mode_ FP8Q_GUARDED_BY(mutex_) = false;
+  bool executor_done_ FP8Q_GUARDED_BY(mutex_) = false;
+  std::uint64_t submitted_ FP8Q_GUARDED_BY(mutex_) = 0;
+  std::uint64_t completed_ FP8Q_GUARDED_BY(mutex_) = 0;
+  std::uint64_t failed_ FP8Q_GUARDED_BY(mutex_) = 0;
+  std::uint64_t cancelled_ FP8Q_GUARDED_BY(mutex_) = 0;
+  std::uint64_t expired_ FP8Q_GUARDED_BY(mutex_) = 0;
+  std::uint64_t rejected_ FP8Q_GUARDED_BY(mutex_) = 0;
+  LocalHistogram job_wall_ns_ FP8Q_GUARDED_BY(mutex_);
+  LocalHistogram queue_wait_ns_ FP8Q_GUARDED_BY(mutex_);
+
+  std::thread executor_;
+};
+
+}  // namespace fp8q::service

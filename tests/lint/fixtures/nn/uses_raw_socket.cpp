@@ -1,0 +1,8 @@
+// Seeded violation: raw socket I/O outside src/service/net_* must be
+// flagged by the raw-socket-io rule (wire bytes go through the framed
+// Connection/Listener wrappers in service/net.h).
+int leak_bytes(int fd, const char* buf, unsigned long n) {
+  int s = socket(1, 1, 0);
+  (void)s;
+  return static_cast<int>(::send(fd, buf, n, 0));
+}

@@ -75,6 +75,13 @@ TEST(LintFixtures, HardcodedGrainFlagged) {
   EXPECT_TRUE(has_rule(lint_fixture("nn/hardcoded_grain.cpp"), "parallel-grain"));
 }
 
+TEST(LintFixtures, RawSocketFlagged) {
+  const auto findings = lint_fixture("nn/uses_raw_socket.cpp");
+  EXPECT_TRUE(has_rule(findings, "raw-socket-io"));
+  // Both the socket() creation and the ::send() are hits.
+  EXPECT_GE(findings.size(), 2u);
+}
+
 TEST(LintFixtures, CleanFileHasNoFindings) {
   EXPECT_TRUE(lint_fixture("fp8/clean.cpp").empty());
 }
@@ -87,6 +94,7 @@ TEST(LintFixtures, TreeWalkFindsEverySeededViolation) {
   EXPECT_TRUE(has_rule(findings, "io-stream"));
   EXPECT_TRUE(has_rule(findings, "pragma-once"));
   EXPECT_TRUE(has_rule(findings, "parallel-grain"));
+  EXPECT_TRUE(has_rule(findings, "raw-socket-io"));
   for (const auto& f : findings) {
     EXPECT_NE(f.file.find('/'), std::string::npos) << format_finding(f);
   }
@@ -117,6 +125,23 @@ TEST(LintRules, ParallelGrainLiteralsOnly) {
   EXPECT_TRUE(lint_file("nn/x.cpp", "parallel_for(0, n, 64, body);\n").empty());
   // core/parallel.* owns the grain constants and stays exempt.
   EXPECT_TRUE(lint_file("core/parallel.cpp", "parallel_for(0, n, 16384, b);\n").empty());
+}
+
+TEST(LintRules, RawSocketSyscallsOnly) {
+  // Bare and ::-qualified syscalls trip the rule...
+  const std::string raw = "int n = ::recv(fd, buf, len, 0);\n";
+  EXPECT_TRUE(has_rule(lint_file("quant/x.cpp", raw), "raw-socket-io"));
+  EXPECT_TRUE(has_rule(lint_file("io/x.cpp", "bind(fd, addr, len);\n"), "raw-socket-io"));
+  // ...but member calls and prefixed identifiers do not.
+  EXPECT_TRUE(lint_file("io/x.cpp", "conn.send_frame(payload);\n").empty());
+  EXPECT_TRUE(lint_file("io/x.cpp", "stream.read(buf, n);\n").empty());
+  EXPECT_TRUE(lint_file("io/x.cpp", "out->send(frame);\n").empty());
+  EXPECT_TRUE(lint_file("io/x.cpp", "poll_readable(fds, 250);\n").empty());
+  EXPECT_TRUE(lint_file("io/x.cpp", "server.request_shutdown();\n").empty());
+  // service/net_* is the sanctioned syscall home and stays exempt; the
+  // server core right next to it is not.
+  EXPECT_TRUE(lint_file("service/net_posix.cpp", raw).empty());
+  EXPECT_TRUE(has_rule(lint_file("service/server.cpp", raw), "raw-socket-io"));
 }
 
 TEST(LintRules, CommentsAndStringsDoNotTrip) {

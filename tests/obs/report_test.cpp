@@ -225,5 +225,21 @@ TEST(Report, MalformedJsonThrows) {
   EXPECT_THROW((void)report_from_json(no_version), std::runtime_error);
 }
 
+TEST(Report, FutureVersionIsRejectedWithAClearError) {
+  // A report written by a newer build (e.g. an fp8qd daemon ahead of this
+  // CLI) must fail loudly -- unknown future fields would otherwise be
+  // silently dropped -- and the error must say the document is *newer*,
+  // not just "unsupported".
+  std::istringstream future("{\"fp8q_report_version\": 99, \"tool\": \"fp8qd eval\"}");
+  try {
+    (void)report_from_json(future);
+    FAIL() << "future schema version must throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("newer"), std::string::npos) << what;
+    EXPECT_NE(what.find("99"), std::string::npos) << what;
+  }
+}
+
 }  // namespace
 }  // namespace fp8q

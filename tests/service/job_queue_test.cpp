@@ -1,0 +1,92 @@
+// Tests for the fp8qd admission queue (service/job_queue.h): bounded
+// capacity, priority-then-FIFO dispatch order, and targeted removal (the
+// cancel path). Pure data-structure tests -- no sockets, no threads.
+#include "service/job_queue.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+namespace fp8q::service {
+namespace {
+
+std::shared_ptr<Job> make_job(std::uint64_t id, int priority = 0) {
+  auto job = std::make_shared<Job>();
+  job->id = id;
+  job->spec.priority = priority;
+  return job;
+}
+
+TEST(JobQueue, FifoWithinOnePriority) {
+  JobQueue q(8);
+  EXPECT_TRUE(q.push(make_job(1)));
+  EXPECT_TRUE(q.push(make_job(2)));
+  EXPECT_TRUE(q.push(make_job(3)));
+  EXPECT_EQ(q.pop_best()->id, 1u);
+  EXPECT_EQ(q.pop_best()->id, 2u);
+  EXPECT_EQ(q.pop_best()->id, 3u);
+  EXPECT_EQ(q.pop_best(), nullptr);
+}
+
+TEST(JobQueue, HigherPriorityDispatchesFirst) {
+  JobQueue q(8);
+  EXPECT_TRUE(q.push(make_job(1, 0)));
+  EXPECT_TRUE(q.push(make_job(2, 5)));
+  EXPECT_TRUE(q.push(make_job(3, -2)));
+  EXPECT_TRUE(q.push(make_job(4, 5)));
+  // Priority 5 jobs first (FIFO among themselves), then 0, then -2.
+  EXPECT_EQ(q.pop_best()->id, 2u);
+  EXPECT_EQ(q.pop_best()->id, 4u);
+  EXPECT_EQ(q.pop_best()->id, 1u);
+  EXPECT_EQ(q.pop_best()->id, 3u);
+}
+
+TEST(JobQueue, CapacityIsAHardBound) {
+  JobQueue q(2);
+  EXPECT_TRUE(q.push(make_job(1)));
+  EXPECT_TRUE(q.push(make_job(2)));
+  EXPECT_FALSE(q.push(make_job(3)));  // queue_full: caller rejects
+  EXPECT_EQ(q.size(), 2u);
+  // Draining one slot re-opens admission.
+  EXPECT_EQ(q.pop_best()->id, 1u);
+  EXPECT_TRUE(q.push(make_job(4)));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.capacity(), 2u);
+}
+
+TEST(JobQueue, RemoveTakesOutExactlyTheRequestedJob) {
+  JobQueue q(8);
+  EXPECT_TRUE(q.push(make_job(1)));
+  EXPECT_TRUE(q.push(make_job(2, 9)));
+  EXPECT_TRUE(q.push(make_job(3)));
+
+  const auto removed = q.remove(2);
+  ASSERT_NE(removed, nullptr);
+  EXPECT_EQ(removed->id, 2u);
+  EXPECT_EQ(q.size(), 2u);
+  // A second removal of the same id is a miss, as is an unknown id.
+  EXPECT_EQ(q.remove(2), nullptr);
+  EXPECT_EQ(q.remove(42), nullptr);
+  // FIFO order among the survivors is intact.
+  EXPECT_EQ(q.pop_best()->id, 1u);
+  EXPECT_EQ(q.pop_best()->id, 3u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(JobQueue, PopOrderIsDeterministicForInterleavedPriorities) {
+  // The dispatch order must be a pure function of the submission history.
+  for (int trial = 0; trial < 3; ++trial) {
+    JobQueue q(16);
+    const int priorities[] = {0, 3, 3, -1, 7, 0, 7};
+    for (std::uint64_t i = 0; i < 7; ++i) {
+      EXPECT_TRUE(q.push(make_job(i + 1, priorities[i])));
+    }
+    const std::uint64_t expected[] = {5, 7, 2, 3, 1, 6, 4};
+    for (const std::uint64_t id : expected) {
+      EXPECT_EQ(q.pop_best()->id, id);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fp8q::service

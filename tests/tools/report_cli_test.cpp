@@ -234,11 +234,11 @@ TEST(BenchGate, CheckBenchAppliesTheSpeedupFloor) {
       R"({"cast": [{"format": "E4M3", "scalar_elems_per_sec": 1e8,
                     "batched_elems_per_sec": 3e8, "speedup": 3.0}]})");
   std::ostringstream out;
-  EXPECT_EQ(report_cli::check_bench(good, 1.0, 0.0, out), 0);
-  EXPECT_EQ(report_cli::check_bench(good, 3.5, 0.0, out), 1);
+  EXPECT_EQ(report_cli::check_bench(good, 1.0, 0.0, 0.0, out), 0);
+  EXPECT_EQ(report_cli::check_bench(good, 3.5, 0.0, 0.0, out), 1);
   // No cast section at all is itself a failure (silent gate = no gate).
-  EXPECT_EQ(report_cli::check_bench(json::parse("{}"), 1.0, 0.0, out), 1);
-  EXPECT_EQ(report_cli::check_bench(json::parse(R"({"cast": []})"), 1.0, 0.0, out), 1);
+  EXPECT_EQ(report_cli::check_bench(json::parse("{}"), 1.0, 0.0, 0.0, out), 1);
+  EXPECT_EQ(report_cli::check_bench(json::parse(R"({"cast": []})"), 1.0, 0.0, 0.0, out), 1);
 }
 
 TEST(BenchGate, CheckBenchAppliesThePackedGemmFloor) {
@@ -251,16 +251,38 @@ TEST(BenchGate, CheckBenchAppliesThePackedGemmFloor) {
   std::ostringstream out;
   // <= 0 skips the packed gate entirely; above the floor passes; a floor
   // above the measured speedup breaches.
-  EXPECT_EQ(report_cli::check_bench(bench, 1.0, 0.0, out), 0);
-  EXPECT_EQ(report_cli::check_bench(bench, 1.0, 2.0, out), 0);
-  EXPECT_EQ(report_cli::check_bench(bench, 1.0, 6.0, out), 1);
+  EXPECT_EQ(report_cli::check_bench(bench, 1.0, 0.0, 0.0, out), 0);
+  EXPECT_EQ(report_cli::check_bench(bench, 1.0, 2.0, 0.0, out), 0);
+  EXPECT_EQ(report_cli::check_bench(bench, 1.0, 6.0, 0.0, out), 1);
   // With the packed gate armed, a snapshot without packed_gemm rows is a
   // breach (silent gate = no gate); unarmed, the old snapshot stays valid.
   const json::Value cast_only = json::parse(
       R"({"cast": [{"format": "E4M3", "scalar_elems_per_sec": 1e8,
                     "batched_elems_per_sec": 3e8, "speedup": 3.0}]})");
-  EXPECT_EQ(report_cli::check_bench(cast_only, 1.0, 2.0, out), 1);
-  EXPECT_EQ(report_cli::check_bench(cast_only, 1.0, 0.0, out), 0);
+  EXPECT_EQ(report_cli::check_bench(cast_only, 1.0, 2.0, 0.0, out), 1);
+  EXPECT_EQ(report_cli::check_bench(cast_only, 1.0, 0.0, 0.0, out), 0);
+}
+
+TEST(BenchGate, CheckBenchAppliesTheServiceJobsPerSecFloor) {
+  // A BENCH_service.json from fp8qd_bench (docs/SERVICE.md): a "service"
+  // section instead of kernel sections.
+  const json::Value bench = json::parse(
+      R"({"service": {"connections": 4, "jobs": 32, "jobs_per_sec": 2.5,
+                      "latency_ms": {"count": 32, "p50": 90.0, "p95": 140.0,
+                                     "p99": 160.0, "max": 180.0}}})");
+  std::ostringstream out;
+  // A pure service snapshot passes without cast sections as long as the
+  // service gate passes; the floor breaches when above the measurement.
+  EXPECT_EQ(report_cli::check_bench(bench, 1.0, 0.0, 1.0, out), 0);
+  EXPECT_EQ(report_cli::check_bench(bench, 1.0, 0.0, 0.0, out), 0);
+  EXPECT_EQ(report_cli::check_bench(bench, 1.0, 0.0, 5.0, out), 1);
+  EXPECT_NE(out.str().find("jobs/sec"), std::string::npos);
+  // With the service gate armed, a kernel-only snapshot is a breach
+  // (silent gate = no gate), mirroring the packed_gemm rule.
+  const json::Value cast_only = json::parse(
+      R"({"cast": [{"format": "E4M3", "scalar_elems_per_sec": 1e8,
+                    "batched_elems_per_sec": 3e8, "speedup": 3.0}]})");
+  EXPECT_EQ(report_cli::check_bench(cast_only, 1.0, 0.0, 1.0, out), 1);
 }
 
 TEST(BenchGate, DiffBenchCatchesThroughputRegressions) {

@@ -13,13 +13,17 @@
 #      thresholds (docs/PERFORMANCE.md, docs/OBSERVABILITY.md). A third
 #      bench run pinned to FP8Q_ISA=scalar re-checks counter determinism
 #      across dispatch tiers (the packed kernels' bit-exactness contract).
-#   4. AddressSanitizer build + full ctest suite (`check_asan`)
-#   5. UndefinedBehaviorSanitizer build + full ctest suite (`check_ubsan`)
-#   6. ThreadSanitizer build + concurrency suite (`check_tsan`)
+#   4. service smoke: boot fp8qd on a private socket, drive a concurrent
+#      load with fp8qd_bench, and gate the BENCH_service.json snapshot on
+#      a sustained jobs/sec floor via `fp8q_report check-bench
+#      --min-jobs-per-sec` (docs/SERVICE.md)
+#   5. AddressSanitizer build + full ctest suite (`check_asan`)
+#   6. UndefinedBehaviorSanitizer build + full ctest suite (`check_ubsan`)
+#   7. ThreadSanitizer build + concurrency suite (`check_tsan`)
 #
 # Any failure stops the script with a non-zero exit. Build trees default to
 # build-ci-* next to the source tree; override the prefix with
-# FP8Q_CI_BUILD_PREFIX. FP8Q_CI_SKIP_SANITIZERS=1 runs only steps 1-3
+# FP8Q_CI_BUILD_PREFIX. FP8Q_CI_SKIP_SANITIZERS=1 runs only steps 1-4
 # (useful on machines where three extra build trees are too slow).
 set -euo pipefail
 
@@ -75,6 +79,26 @@ FP8Q_ISA=scalar FP8Q_REPORT="$PREFIX/report_smoke_scalar.json" \
   "$PREFIX/report_smoke_scalar.json" \
   --max-counter-drift-pct=0 --max-wall-regress-pct=400 \
   --max-alloc-growth-pct=50 --max-rss-growth-pct=100
+
+step "service smoke (fp8qd + fp8qd_bench through fp8q_report)"
+# Boot the resident daemon on a private socket, drive a small concurrent
+# load through the load generator, and gate the resulting
+# BENCH_service.json on a deliberately low sustained-throughput floor --
+# the point is "the daemon serves concurrent jobs at all", not a perf
+# race on shared CI hardware (docs/SERVICE.md).
+SERVICE_SOCK="$(mktemp -u /tmp/fp8qd_ci_XXXXXX.sock)"
+"$PREFIX/tools/fp8qd" --socket="$SERVICE_SOCK" --queue-max=16 &
+FP8QD_PID=$!
+for _ in $(seq 1 100); do
+  [[ -S "$SERVICE_SOCK" ]] && break
+  sleep 0.1
+done
+[[ -S "$SERVICE_SOCK" ]] || { echo "ci: fp8qd never bound $SERVICE_SOCK" >&2; exit 1; }
+"$PREFIX/tools/fp8qd_bench" --socket="$SERVICE_SOCK" --connections=2 --jobs=8 \
+  --quick --shutdown --out="$PREFIX/BENCH_service.json"
+wait "$FP8QD_PID"
+"$PREFIX/tools/fp8q_report" check-bench "$PREFIX/BENCH_service.json" \
+  --min-jobs-per-sec=0.2
 
 if [[ "${FP8Q_CI_SKIP_SANITIZERS:-0}" != "1" ]]; then
   step "AddressSanitizer build + full suite (check_asan)"

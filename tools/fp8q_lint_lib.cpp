@@ -24,9 +24,20 @@ bool starts_with(const std::string& s, const char* prefix) {
 const Rule kRules[] = {
     {"raw-thread",
      R"(std::(thread|jthread|async)\b|#\s*include\s*<(thread|future)>)",
-     [](const std::string& rel) { return starts_with(rel, "core/parallel."); },
+     [](const std::string& rel) {
+       // service/server.{h,cpp} owns the daemon's single executor thread
+       // (jobs still fan out through core/parallel; docs/SERVICE.md).
+       return starts_with(rel, "core/parallel.") || starts_with(rel, "service/server.");
+     },
      "raw threading primitive outside core/parallel.{h,cpp}; use "
      "parallel_for/parallel_run (docs/THREADING.md)"},
+    {"raw-socket-io",
+     R"((^|[^\w.>])(::)?(socket|accept|accept4|bind|listen|connect|recv|recvfrom|recvmsg|send|sendto|sendmsg|read|write|setsockopt|getsockopt|getsockname|poll|select|epoll_wait)\s*\()",
+     [](const std::string& rel) { return starts_with(rel, "service/net_"); },
+     "raw socket/poll syscall outside src/service/net_*; go through the "
+     "framed Connection/Listener wrappers (service/net.h) so every byte "
+     "on the wire passes one audited length-checked path "
+     "(docs/SERVICE.md)"},
     {"determinism",
      R"(\bsrand\s*\(|\brand\s*\(|\brandom_device\b|\bsystem_clock\b|\bsteady_clock\b|\bhigh_resolution_clock\b|\bgettimeofday\b|\btime\s*\(|\bclock\s*\(|#\s*include\s*<chrono>|#\s*include\s*<random>)",
      [](const std::string& rel) {

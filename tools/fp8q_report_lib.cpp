@@ -346,22 +346,29 @@ std::vector<std::string> validate_chrome_trace(std::string_view json_text) {
 }
 
 int check_bench(const json::Value& bench, double min_speedup, double min_packed_speedup,
-                std::ostream& out) {
+                double min_jobs_per_sec, std::ostream& out) {
   Gate gate{out};
   const json::Value* casts = bench.is_object() ? bench.find("cast") : nullptr;
-  if (casts == nullptr || !casts->is_array() || casts->array.empty()) {
-    gate.check(true, "bench json has no cast measurements");
+  const json::Value* service = bench.is_object() ? bench.find("service") : nullptr;
+  const bool has_casts = casts != nullptr && casts->is_array() && !casts->array.empty();
+  const bool has_service = service != nullptr && service->is_object();
+  // A snapshot must carry at least one gateable section: kernel numbers
+  // (bench_kernels) or service numbers (fp8qd_bench).
+  if (!has_casts && !has_service) {
+    gate.check(true, "bench json has no cast or service measurements");
     return gate.breaches;
   }
-  for (const json::Value& c : casts->array) {
-    if (!c.is_object()) continue;
-    const double scalar = c.number_or("scalar_elems_per_sec");
-    const double batched = c.number_or("batched_elems_per_sec");
-    const double speedup = c.number_or("speedup", scalar > 0.0 ? batched / scalar : 0.0);
-    std::ostringstream line;
-    line << "cast " << c.string_or("format") << " batched/scalar speedup " << std::fixed
-         << std::setprecision(2) << speedup << "x (min " << min_speedup << "x)";
-    gate.check(speedup < min_speedup, line.str());
+  if (has_casts) {
+    for (const json::Value& c : casts->array) {
+      if (!c.is_object()) continue;
+      const double scalar = c.number_or("scalar_elems_per_sec");
+      const double batched = c.number_or("batched_elems_per_sec");
+      const double speedup = c.number_or("speedup", scalar > 0.0 ? batched / scalar : 0.0);
+      std::ostringstream line;
+      line << "cast " << c.string_or("format") << " batched/scalar speedup " << std::fixed
+           << std::setprecision(2) << speedup << "x (min " << min_speedup << "x)";
+      gate.check(speedup < min_speedup, line.str());
+    }
   }
   if (min_packed_speedup > 0.0) {
     const json::Value* packed = bench.is_object() ? bench.find("packed_gemm") : nullptr;
@@ -380,6 +387,26 @@ int check_bench(const json::Value& bench, double min_speedup, double min_packed_
            << " packed/dequant speedup " << std::fixed << std::setprecision(2) << speedup
            << "x (min " << min_packed_speedup << "x)";
       gate.check(speedup < min_packed_speedup, line.str());
+    }
+  }
+  if (min_jobs_per_sec > 0.0) {
+    if (!has_service) {
+      gate.check(true, "bench json has no service measurements");
+      return gate.breaches;
+    }
+    const double jobs_per_sec = service->number_or("jobs_per_sec");
+    std::ostringstream line;
+    line << "service sustained " << std::fixed << std::setprecision(2) << jobs_per_sec
+         << " jobs/sec (min " << min_jobs_per_sec << ")";
+    gate.check(jobs_per_sec < min_jobs_per_sec, line.str());
+    if (const json::Value* latency = service->find("latency_ms");
+        latency != nullptr && latency->is_object()) {
+      std::ostringstream tail;
+      tail << "service latency p50/p95/p99 " << std::fixed << std::setprecision(1)
+           << latency->number_or("p50") << "/" << latency->number_or("p95") << "/"
+           << latency->number_or("p99") << " ms over "
+           << static_cast<std::uint64_t>(latency->number_or("count")) << " jobs";
+      gate.note(tail.str());
     }
   }
   return gate.breaches;
@@ -489,6 +516,7 @@ constexpr const char* kUsage =
     "  check-trace <trace.json>\n"
     "  check-bench <BENCH.json> [--min-cast-speedup=S]\n"
     "       [--min-packed-gemm-speedup=S]   (<= 0 skips the packed gate)\n"
+    "       [--min-jobs-per-sec=J]          (<= 0 skips the service gate)\n"
     "  diff-bench <base_BENCH.json> <candidate_BENCH.json> [--max-regress-pct=P]\n";
 
 }  // namespace
@@ -543,15 +571,17 @@ int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& e
     if (cmd == "check-bench" && args.size() >= 2) {
       double min_speedup = 1.0;
       double min_packed_speedup = 0.0;  // off unless requested: old snapshots stay valid
+      double min_jobs_per_sec = 0.0;    // off unless requested: kernel snapshots stay valid
       for (std::size_t i = 2; i < args.size(); ++i) {
         if (!flag_value(args[i], "--min-cast-speedup", &min_speedup) &&
-            !flag_value(args[i], "--min-packed-gemm-speedup", &min_packed_speedup)) {
+            !flag_value(args[i], "--min-packed-gemm-speedup", &min_packed_speedup) &&
+            !flag_value(args[i], "--min-jobs-per-sec", &min_jobs_per_sec)) {
           err << "fp8q_report: unknown flag " << args[i] << "\n" << kUsage;
           return 2;
         }
       }
       const int breaches = check_bench(json::parse(read_file(args[1])), min_speedup,
-                                       min_packed_speedup, out);
+                                       min_packed_speedup, min_jobs_per_sec, out);
       out << (breaches > 0 ? "fp8q_report: bench gate FAILED\n" : "fp8q_report: bench ok\n");
       return breaches > 0 ? 1 : 0;
     }

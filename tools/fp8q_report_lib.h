@@ -52,14 +52,18 @@ int diff_reports(const RunReport& base, const RunReport& candidate,
 /// empty = valid.
 [[nodiscard]] std::vector<std::string> validate_chrome_trace(std::string_view json_text);
 
-/// Gate over one BENCH_kernels*.json: every "cast" entry's batched/scalar
-/// speedup must be >= min_speedup, and -- when min_packed_speedup > 0 --
-/// every "packed_gemm" entry's packed/dequant speedup must be >=
-/// min_packed_speedup (a missing packed_gemm section is then a breach;
-/// <= 0 skips the packed gate for pre-packed-GEMM snapshots). Returns
-/// breach count.
+/// Gate over one BENCH_*.json snapshot. Kernel snapshots (bench_kernels):
+/// every "cast" entry's batched/scalar speedup must be >= min_speedup,
+/// and -- when min_packed_speedup > 0 -- every "packed_gemm" entry's
+/// packed/dequant speedup must be >= min_packed_speedup (a missing
+/// packed_gemm section is then a breach; <= 0 skips the packed gate).
+/// Service snapshots (fp8qd_bench, docs/SERVICE.md): when
+/// min_jobs_per_sec > 0, the "service" section's sustained jobs_per_sec
+/// must be >= that floor (a missing service section is then a breach;
+/// <= 0 skips the service gate). A snapshot with neither a cast nor a
+/// service section is always a breach. Returns breach count.
 int check_bench(const json::Value& bench, double min_speedup, double min_packed_speedup,
-                std::ostream& out);
+                double min_jobs_per_sec, std::ostream& out);
 
 /// Diffs two BENCH_kernels*.json snapshots: batched cast throughput (per
 /// format), matmul GFLOP/s (per shape) and packed-GEMM GFLOP/s (per

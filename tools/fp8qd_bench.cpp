@@ -1,0 +1,286 @@
+// fp8qd_bench: load generator for the fp8qd service (docs/SERVICE.md).
+//
+//   fp8qd_bench --socket=PATH [--connections=N] [--jobs=M] [--workload=W]
+//               [--mix=eval,quantize] [--format=F] [--quick]
+//               [--out=BENCH_service.json] [--shutdown]
+//
+// Drives N concurrent connections against a running daemon: each
+// connection loops submit -> result(wait) over a shared job counter, so
+// the daemon sees a sustained closed-loop load at concurrency N. Measures
+// sustained jobs/sec and the p50/p95/p99 tail of the per-job round-trip
+// latency (submit sent -> result received), embeds the server's own stats
+// endpoint snapshot, and writes a BENCH_service.json that
+// `fp8q_report check-bench --min-jobs-per-sec=J` gates in CI.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/json.h"
+#include "obs/histogram.h"
+#include "obs/trace.h"
+#include "service/net.h"
+#include "service/protocol.h"
+
+using namespace fp8q;
+
+namespace {
+
+struct BenchOptions {
+  std::string socket_path;
+  int tcp_port = -1;
+  int connections = 4;
+  int jobs = 16;
+  std::string workload = "dlrm-ish";
+  std::string mix = "eval,quantize";
+  std::string format = "E4M3";
+  bool quick = false;
+  bool shutdown = false;
+  std::string out_path = "BENCH_service.json";
+};
+
+struct WorkerResult {
+  LocalHistogram latency_ns;
+  int completed = 0;
+  int failed = 0;
+  int queue_full_retries = 0;
+};
+
+service::Connection connect(const BenchOptions& opts) {
+  if (!opts.socket_path.empty()) return service::connect_unix(opts.socket_path);
+  return service::connect_tcp_loopback(opts.tcp_port);
+}
+
+std::vector<std::string> split_mix(const std::string& mix) {
+  std::vector<std::string> kinds;
+  std::string current;
+  for (const char c : mix + ",") {
+    if (c == ',') {
+      if (!current.empty()) kinds.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  return kinds;
+}
+
+std::string submit_payload(const BenchOptions& opts, const std::string& kind) {
+  std::string payload = "{\"cmd\":\"submit\",\"kind\":";
+  service::append_json_string(payload, kind);
+  payload += ",\"workload\":";
+  service::append_json_string(payload, opts.workload);
+  payload += ",\"format\":";
+  service::append_json_string(payload, opts.format);
+  payload += opts.quick ? ",\"quick\":true}" : "}";
+  return payload;
+}
+
+/// One closed-loop worker: submit, wait for the result, repeat until the
+/// shared job counter is exhausted. queue_full rejections back off and
+/// retry (the daemon's admission control at work).
+void worker(const BenchOptions& opts, const std::vector<std::string>& kinds,
+            std::atomic<int>& next_job, WorkerResult& result) {
+  service::Connection conn = connect(opts);
+  for (;;) {
+    const int index = next_job.fetch_add(1, std::memory_order_relaxed);
+    if (index >= opts.jobs) return;
+    const std::string& kind = kinds[static_cast<std::size_t>(index) % kinds.size()];
+
+    const std::uint64_t t0 = obs_now_ns();
+    std::uint64_t job_id = 0;
+    for (;;) {
+      conn.send_frame(submit_payload(opts, kind));
+      const auto reply = conn.recv_frame();
+      if (!reply) throw std::runtime_error("daemon closed the connection on submit");
+      const json::Value v = json::parse(*reply);
+      const json::Value* ok = v.find("ok");
+      if (ok != nullptr && ok->boolean) {
+        job_id = static_cast<std::uint64_t>(v.number_or("job_id"));
+        break;
+      }
+      if (v.string_or("code") == "queue_full") {
+        ++result.queue_full_retries;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        continue;
+      }
+      throw std::runtime_error("submit rejected: " + *reply);
+    }
+
+    std::string payload = "{\"cmd\":\"result\",\"job_id\":";
+    payload += std::to_string(job_id);
+    payload += ",\"wait\":true}";
+    conn.send_frame(payload);
+    const auto reply = conn.recv_frame();
+    if (!reply) throw std::runtime_error("daemon closed the connection on result");
+    const json::Value v = json::parse(*reply);
+    const std::uint64_t t1 = obs_now_ns();
+    if (v.string_or("state") == "done") {
+      ++result.completed;
+      result.latency_ns.record(static_cast<double>(t1 - t0));
+    } else {
+      ++result.failed;
+      std::fprintf(stderr, "[fp8qd_bench] job %llu ended %s: %s\n",
+                   static_cast<unsigned long long>(job_id), v.string_or("state").c_str(),
+                   v.string_or("error").c_str());
+    }
+  }
+}
+
+void append_quantiles_ms(std::string& out, const HistogramSnapshot& h) {
+  out += "{\"count\":";
+  out += std::to_string(h.total);
+  const double to_ms = 1.0 / 1e6;
+  out += ",\"p50\":" + std::to_string(h.quantile(0.50) * to_ms);
+  out += ",\"p95\":" + std::to_string(h.quantile(0.95) * to_ms);
+  out += ",\"p99\":" + std::to_string(h.quantile(0.99) * to_ms);
+  out += ",\"max\":" + std::to_string((h.total != 0 ? h.max_value : 0.0) * to_ms);
+  out += "}";
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: fp8qd_bench --socket=PATH | --tcp-port=N\n"
+      "  [--connections=N]   concurrent client connections (default 4)\n"
+      "  [--jobs=M]          total jobs across all connections (default 16)\n"
+      "  [--workload=W]      suite workload name (default dlrm-ish)\n"
+      "  [--mix=K1,K2]       job kinds to cycle through (default eval,quantize)\n"
+      "  [--format=F]        E5M2|E4M3|E3M4|INT8|mixed (default E4M3)\n"
+      "  [--quick]           smoke-sized evaluation protocol per job\n"
+      "  [--out=PATH]        snapshot path (default BENCH_service.json)\n"
+      "  [--shutdown]        ask the daemon to drain and exit afterwards\n");
+  return 2;
+}
+
+bool flag_value(const char* arg, const char* name, const char** value) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions opts;
+  if (const char* sock = std::getenv("FP8QD_SOCKET"); sock != nullptr && sock[0] != '\0') {
+    opts.socket_path = sock;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const char* value = nullptr;
+    if (flag_value(argv[i], "--socket", &value)) {
+      opts.socket_path = value;
+    } else if (flag_value(argv[i], "--tcp-port", &value)) {
+      opts.tcp_port = std::atoi(value);
+      opts.socket_path.clear();
+    } else if (flag_value(argv[i], "--connections", &value)) {
+      opts.connections = std::atoi(value);
+    } else if (flag_value(argv[i], "--jobs", &value)) {
+      opts.jobs = std::atoi(value);
+    } else if (flag_value(argv[i], "--workload", &value)) {
+      opts.workload = value;
+    } else if (flag_value(argv[i], "--mix", &value)) {
+      opts.mix = value;
+    } else if (flag_value(argv[i], "--format", &value)) {
+      opts.format = value;
+    } else if (flag_value(argv[i], "--out", &value)) {
+      opts.out_path = value;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      opts.quick = true;
+    } else if (std::strcmp(argv[i], "--shutdown") == 0) {
+      opts.shutdown = true;
+    } else {
+      return usage();
+    }
+  }
+  if ((opts.socket_path.empty() && opts.tcp_port < 0) || opts.connections < 1 ||
+      opts.jobs < 1) {
+    return usage();
+  }
+  const std::vector<std::string> kinds = split_mix(opts.mix);
+  if (kinds.empty()) return usage();
+
+  try {
+    std::atomic<int> next_job{0};
+    std::vector<WorkerResult> results(static_cast<std::size_t>(opts.connections));
+    std::vector<std::thread> threads;
+    threads.reserve(results.size());
+
+    const std::uint64_t bench_start = obs_now_ns();
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      threads.emplace_back(
+          [&, i] { worker(opts, kinds, next_job, results[i]); });
+    }
+    for (auto& t : threads) t.join();
+    const double wall_s = static_cast<double>(obs_now_ns() - bench_start) / 1e9;
+
+    HistogramSnapshot latency;
+    int completed = 0, failed = 0, retries = 0;
+    for (const WorkerResult& r : results) {
+      latency.merge_from(r.latency_ns.snap);
+      completed += r.completed;
+      failed += r.failed;
+      retries += r.queue_full_retries;
+    }
+    const double jobs_per_sec = wall_s > 0.0 ? completed / wall_s : 0.0;
+
+    // Fetch the daemon's own stats snapshot over a fresh control
+    // connection, then optionally ask it to drain.
+    std::string server_stats = "{}";
+    {
+      service::Connection control = connect(opts);
+      control.send_frame("{\"cmd\":\"stats\"}");
+      if (const auto reply = control.recv_frame()) server_stats = *reply;
+      if (opts.shutdown) {
+        control.send_frame("{\"cmd\":\"shutdown\",\"drain\":true}");
+        (void)control.recv_frame();
+      }
+    }
+
+    std::string json = "{\n  \"service\": {\n    \"connections\": ";
+    json += std::to_string(opts.connections);
+    json += ",\n    \"jobs\": " + std::to_string(opts.jobs);
+    json += ",\n    \"completed\": " + std::to_string(completed);
+    json += ",\n    \"failed\": " + std::to_string(failed);
+    json += ",\n    \"queue_full_retries\": " + std::to_string(retries);
+    json += ",\n    \"workload\": ";
+    service::append_json_string(json, opts.workload);
+    json += ",\n    \"mix\": ";
+    service::append_json_string(json, opts.mix);
+    json += ",\n    \"format\": ";
+    service::append_json_string(json, opts.format);
+    json += ",\n    \"quick\": ";
+    json += opts.quick ? "true" : "false";
+    json += ",\n    \"wall_s\": " + std::to_string(wall_s);
+    json += ",\n    \"jobs_per_sec\": " + std::to_string(jobs_per_sec);
+    json += ",\n    \"latency_ms\": ";
+    append_quantiles_ms(json, latency);
+    json += "\n  },\n  \"server_stats\": " + server_stats + "\n}\n";
+
+    std::ofstream out(opts.out_path);
+    if (!out) throw std::runtime_error("cannot write " + opts.out_path);
+    out << json;
+    out.close();
+
+    std::printf("connections: %d  jobs: %d (%d completed, %d failed, %d retries)\n",
+                opts.connections, opts.jobs, completed, failed, retries);
+    std::printf("wall: %.2f s  sustained: %.2f jobs/sec\n", wall_s, jobs_per_sec);
+    std::printf("latency: p50 %.1f ms  p95 %.1f ms  p99 %.1f ms  max %.1f ms\n",
+                latency.quantile(0.50) / 1e6, latency.quantile(0.95) / 1e6,
+                latency.quantile(0.99) / 1e6,
+                (latency.total != 0 ? latency.max_value : 0.0) / 1e6);
+    std::printf("snapshot written to %s\n", opts.out_path.c_str());
+    return failed == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fp8qd_bench: %s\n", e.what());
+    return 1;
+  }
+}
