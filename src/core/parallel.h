@@ -36,7 +36,7 @@ namespace fp8q {
 /// parallel_for grain so a chunk covers ~64 KiB regardless of element
 /// width -- enough work to amortize the fork/join handshake, small enough
 /// that short tensors still fan out. Kernels must not hard-code their own
-/// thresholds (lint rule "parallel-grain", tools/fp8q_lint_lib.cpp).
+/// thresholds (lint rule "parallel-grain", tools/lint/rules.cpp).
 inline constexpr std::int64_t kParallelGrainBytes = 65536;
 
 /// Parallelization grain for compute-bound kernels (matmul/linear/conv), in

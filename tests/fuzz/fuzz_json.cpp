@@ -1,0 +1,32 @@
+// Fuzz harness for the hardened JSON reader (io/json.h) — the parser that
+// ingests every run report, trace export and bench snapshot, including
+// bytes echoed back from the daemon. Contract under fuzzing: any byte
+// sequence either parses into a Value or throws std::runtime_error;
+// nothing may crash, hang, overflow a buffer (ASan is always on in the
+// FP8Q_SANITIZE=fuzzer build) or recurse past kMaxDepth.
+//
+// Built as a libFuzzer target when the compiler provides one (clang
+// -fsanitize=fuzzer) and as a standalone corpus-replay + deterministic-
+// mutation binary otherwise (tests/fuzz/standalone_driver.cpp) — see
+// docs/STATIC_ANALYSIS.md for the runbook. Seeds: tests/fuzz/corpus/json.
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string_view>
+
+#include "io/json.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  try {
+    const fp8q::json::Value value = fp8q::json::parse(text);
+    // Exercise the accessor surface too: lookups on a freshly parsed
+    // value must be safe whatever shape the input took.
+    (void)value.find("kind");
+    (void)value.number_or("count");
+    (void)value.string_or("name");
+  } catch (const std::runtime_error&) {
+    // Malformed input rejecting cleanly is the contract, not a bug.
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Fuzz harness for the daemon's request parser (service/protocol.h) —
+// the first code that touches bytes off the wire after the framed reader
+// (service/net.h) hands over a payload. Contract under fuzzing: any
+// payload either yields a Request or throws std::runtime_error; a
+// malformed request must never crash the daemon or corrupt memory (ASan
+// is always on in the FP8Q_SANITIZE=fuzzer build).
+//
+// Built as a libFuzzer target when the compiler provides one (clang
+// -fsanitize=fuzzer) and as a standalone corpus-replay + deterministic-
+// mutation binary otherwise (tests/fuzz/standalone_driver.cpp) — see
+// docs/STATIC_ANALYSIS.md for the runbook. Seeds:
+// tests/fuzz/corpus/protocol.
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string_view>
+
+#include "service/protocol.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string_view payload(reinterpret_cast<const char*>(data), size);
+  try {
+    const fp8q::service::Request req = fp8q::service::parse_request(payload);
+    (void)req;
+  } catch (const std::runtime_error&) {
+    // Clean rejection is the contract.
+  }
+  return 0;
+}

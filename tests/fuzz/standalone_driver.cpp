@@ -1,0 +1,182 @@
+// Standalone driver for the fuzz harnesses when the toolchain has no
+// libFuzzer (this container builds with GCC; clang's -fsanitize=fuzzer
+// supplies its own main). Same entry-point contract — the harness defines
+// LLVMFuzzerTestOneInput — so a harness source compiles unchanged against
+// either driver.
+//
+//   fuzz_json [--runs=N] [--max-seconds=S] <corpus file or dir>...
+//
+// Two phases, both bounded. The input *sequence* is deterministic
+// (fixed-seed xorshift PRNG, corpus files visited in sorted order), so a
+// CI failure reproduces locally by rerunning with a --runs bound at least
+// as large; --max-seconds only truncates the sequence on slow machines,
+// it never reorders it:
+//
+//   1. replay: every corpus file is fed to the harness verbatim — the
+//      regression half (any past crasher checked into the corpus stays
+//      covered)
+//   2. mutate: round-robin over the corpus seeds, apply 1..4 random
+//      mutations (bit flips, byte writes, truncation, duplication,
+//      insertion, splicing two seeds) and feed the result — the
+//      exploration half
+//
+// Crashes surface as ASan reports / uncaught exceptions aborting the
+// process; the driver itself only exits non-zero on usage or I/O errors.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);
+
+namespace {
+
+/// xorshift64* — tiny, seedable, and identical everywhere; the driver
+/// must not depend on libc rand() state.
+struct Rng {
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  std::uint64_t next() {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545f4914f6cdd1dull;
+  }
+  /// Uniform in [0, n); n must be nonzero.
+  std::size_t below(std::size_t n) { return static_cast<std::size_t>(next() % n); }
+};
+
+std::vector<std::string> collect_corpus(const std::vector<std::string>& paths) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const std::string& p : paths) {
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (const auto& entry : fs::directory_iterator(p, ec)) {
+        if (entry.is_regular_file()) files.push_back(entry.path().string());
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(p);
+    } else {
+      std::fprintf(stderr, "fuzz: no such corpus path: %s\n", p.c_str());
+      std::exit(2);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::vector<std::uint8_t> read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "fuzz: cannot read %s\n", path.c_str());
+    std::exit(2);
+  }
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+/// One random mutation in place. Mirrors libFuzzer's basic mutators on a
+/// much smaller budget; `other` donates bytes for the splice mutator.
+void mutate(std::vector<std::uint8_t>& data, const std::vector<std::uint8_t>& other,
+            Rng& rng) {
+  switch (rng.below(6)) {
+    case 0:  // bit flip
+      if (!data.empty()) data[rng.below(data.size())] ^= 1u << rng.below(8);
+      break;
+    case 1:  // byte write (interesting values: 0, 0xff, quotes, braces, digits)
+      if (!data.empty()) {
+        static constexpr std::uint8_t kBytes[] = {0x00, 0xff, '"', '{', '}', '[',
+                                                  ']', ':', ',', '\\', '9', '-'};
+        data[rng.below(data.size())] = kBytes[rng.below(sizeof kBytes)];
+      }
+      break;
+    case 2:  // truncate
+      if (!data.empty()) data.resize(rng.below(data.size()));
+      break;
+    case 3:  // duplicate a chunk at the end
+      if (!data.empty()) {
+        const std::size_t begin = rng.below(data.size());
+        const std::size_t len = 1 + rng.below(data.size() - begin);
+        data.insert(data.end(), data.begin() + static_cast<std::ptrdiff_t>(begin),
+                    data.begin() + static_cast<std::ptrdiff_t>(begin + len));
+      }
+      break;
+    case 4:  // insert a random byte
+      data.insert(data.begin() + static_cast<std::ptrdiff_t>(
+                      data.empty() ? 0 : rng.below(data.size() + 1)),
+                  static_cast<std::uint8_t>(rng.next() & 0xff));
+      break;
+    case 5:  // splice: overwrite the tail with the head of another seed
+      if (!other.empty()) {
+        const std::size_t keep = data.empty() ? 0 : rng.below(data.size());
+        data.resize(keep);
+        const std::size_t take = 1 + rng.below(other.size());
+        data.insert(data.end(), other.begin(),
+                    other.begin() + static_cast<std::ptrdiff_t>(take));
+      }
+      break;
+  }
+  if (data.size() > (1u << 16)) data.resize(1u << 16);  // keep inputs bounded
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long runs = 25000;
+  long max_seconds = 15;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--runs=", 7) == 0) {
+      runs = std::atol(argv[i] + 7);
+    } else if (std::strncmp(argv[i], "--max-seconds=", 14) == 0) {
+      max_seconds = std::atol(argv[i] + 14);
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr,
+                   "usage: %s [--runs=N] [--max-seconds=S] <corpus file or dir>...\n",
+                   argv[0]);
+      return 2;
+    } else {
+      paths.emplace_back(argv[i]);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "%s: need at least one corpus path\n", argv[0]);
+    return 2;
+  }
+
+  std::vector<std::vector<std::uint8_t>> seeds;
+  for (const std::string& file : collect_corpus(paths)) seeds.push_back(read_bytes(file));
+  if (seeds.empty()) {
+    std::fprintf(stderr, "%s: corpus is empty\n", argv[0]);
+    return 2;
+  }
+
+  // Phase 1: replay every seed verbatim.
+  for (const auto& seed : seeds) {
+    LLVMFuzzerTestOneInput(seed.data(), seed.size());
+  }
+
+  // Phase 2: bounded deterministic mutation.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(max_seconds);
+  Rng rng;
+  long executed = 0;
+  for (; executed < runs; ++executed) {
+    if ((executed & 0x3ff) == 0 && std::chrono::steady_clock::now() >= deadline) break;
+    std::vector<std::uint8_t> input = seeds[executed % seeds.size()];
+    const auto& donor = seeds[rng.below(seeds.size())];
+    const std::size_t rounds = 1 + rng.below(4);
+    for (std::size_t r = 0; r < rounds; ++r) mutate(input, donor, rng);
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+  }
+
+  std::printf("%s: %zu seeds replayed, %ld mutated runs, no crashes\n", argv[0],
+              seeds.size(), executed);
+  return 0;
+}

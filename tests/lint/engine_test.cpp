@@ -1,0 +1,234 @@
+// Tests for the fp8q_lint v2 engine surface beyond the ported v1 rules
+// (tests/lint/lint_test.cpp covers those): manifest parsing, the four
+// syntactic rules (include-layers, naked-mutex, unordered-iteration,
+// env-access) against the seeded fixture pairs, SARIF emission, and the
+// manifest-armed scan of the real tree — the in-process twin of the
+// `check_lint` ctest entry.
+#include "fp8q_lint_lib.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "lint/sarif.h"
+
+namespace fp8q::lint {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// The real architecture manifest, as the CLI loads it.
+const Manifest& repo_manifest() {
+  static const Manifest m = [] {
+    std::string error;
+    Manifest parsed =
+        load_manifest(std::string(FP8Q_LINT_REPO_ROOT) + "/tools/lint/layers.manifest", &error);
+    EXPECT_TRUE(error.empty()) << error;
+    return parsed;
+  }();
+  return m;
+}
+
+std::vector<Finding> lint_fixture(const std::string& rel, const Manifest* manifest) {
+  return lint_file(rel, read_file(std::string(FP8Q_LINT_FIXTURES) + "/" + rel), manifest);
+}
+
+bool has_rule(const std::vector<Finding>& findings, const std::string& rule) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+TEST(Manifest, ParsesLayersSealedAllowEnvUnordered) {
+  std::string error;
+  const Manifest m = parse_manifest(
+      "# comment\n"
+      "layer low  src/low\n"
+      "layer mid  src/mid src/low/special.h\n"
+      "layer high src/high\n"
+      "sealed high tools\n"
+      "allow-include src/low/umbrella.h * re-exports everything\n"
+      "env src/mid/config.cpp KNOB_A KNOB_B\n"
+      "unordered-ok src/high/dump.cpp order never reaches output\n",
+      &error);
+  EXPECT_TRUE(error.empty()) << error;
+  ASSERT_EQ(m.layers.size(), 3u);
+
+  EXPECT_EQ(m.layer_rank("src/low/a.cpp"), 0);
+  EXPECT_EQ(m.layer_rank("src/mid/b.h"), 1);
+  EXPECT_EQ(m.layer_rank("src/high/c.cpp"), 2);
+  EXPECT_EQ(m.layer_rank("src/elsewhere/d.cpp"), -1);
+  // The exact-file member wins over the directory prefix.
+  EXPECT_EQ(m.layer_rank("src/low/special.h"), 1);
+  EXPECT_EQ(m.layer_name(2), "high");
+
+  ASSERT_NE(m.sealed_entry("high"), nullptr);
+  EXPECT_EQ(m.sealed_entry("low"), nullptr);
+  EXPECT_TRUE(m.include_allowed("src/low/umbrella.h", "high"));
+  EXPECT_FALSE(m.include_allowed("src/low/other.h", "high"));
+  EXPECT_TRUE(m.is_env_tu("src/mid/config.cpp"));
+  EXPECT_FALSE(m.is_env_tu("src/mid/other.cpp"));
+  EXPECT_TRUE(m.is_unordered_ok("src/high/dump.cpp"));
+}
+
+TEST(Manifest, MalformedLinesReportButDoNotAbort) {
+  std::string error;
+  const Manifest m = parse_manifest("layer ok src/ok\nnot-a-directive x y\n", &error);
+  EXPECT_FALSE(error.empty());
+  ASSERT_EQ(m.layers.size(), 1u);  // the good line still landed
+}
+
+TEST(IncludeLayers, BackEdgeFixturePairWithRepoManifest) {
+  const auto bad = lint_fixture("tensor/includes_nn.cpp", &repo_manifest());
+  EXPECT_TRUE(has_rule(bad, "include-layers"));
+
+  const auto good = lint_fixture("nn/includes_tensor.cpp", &repo_manifest());
+  EXPECT_FALSE(has_rule(good, "include-layers"));
+  EXPECT_TRUE(good.empty());
+
+  // Without a manifest the rule is unarmed — v1 callers see no change.
+  EXPECT_TRUE(lint_fixture("tensor/includes_nn.cpp", nullptr).empty());
+}
+
+TEST(IncludeLayers, ServiceLayerIsSealed) {
+  const std::string inc = "#include \"service/protocol.h\"\n";
+  const Manifest& m = repo_manifest();
+  // Library code may not reach into the daemon...
+  EXPECT_TRUE(has_rule(lint_file("quant/x.cpp", inc, &m), "include-layers"));
+  // ...but the daemon binaries under tools/ and the layer itself may.
+  EXPECT_FALSE(has_rule(lint_file("tools/fp8qd.cpp", inc, &m), "include-layers"));
+  EXPECT_FALSE(has_rule(lint_file("service/server.cpp", inc, &m), "include-layers"));
+}
+
+TEST(IncludeLayers, UmbrellaHeaderIsAllowListed) {
+  const auto findings = lint_file(
+      "core/fp8q.h", "#pragma once\n#include \"service/protocol.h\"\n", &repo_manifest());
+  EXPECT_FALSE(has_rule(findings, "include-layers")) << format_finding(findings.front());
+}
+
+TEST(IncludeLayers, UncoveredSrcFileIsAFinding) {
+  const auto findings = lint_file("mystery/new_dir.cpp", "int a;\n", &repo_manifest());
+  ASSERT_TRUE(has_rule(findings, "include-layers"));
+  EXPECT_EQ(findings.front().line, 1);
+}
+
+TEST(EnvAccess, FixtureFlaggedUnlessDeclared) {
+  const auto flagged = lint_fixture("nn/uses_getenv.cpp", &repo_manifest());
+  EXPECT_TRUE(has_rule(flagged, "env-access"));
+
+  // Declaring the TU under [env] clears it.
+  std::string error;
+  const Manifest declared =
+      parse_manifest("env src/nn/uses_getenv.cpp FP8Q_FIXTURE_VERBOSE test fixture\n", &error);
+  EXPECT_TRUE(lint_fixture("nn/uses_getenv.cpp", &declared).empty());
+
+  // No manifest, no rule: the v1 entry points never see env-access.
+  EXPECT_TRUE(lint_fixture("nn/uses_getenv.cpp", nullptr).empty());
+}
+
+TEST(EnvAccess, OnlyLibcSpellingsTrip) {
+  std::string error;
+  const Manifest m = parse_manifest("env src/core/cpu_dispatch.cpp knobs\n", &error);
+  EXPECT_TRUE(has_rule(lint_file("nn/x.cpp", "const char* v = getenv(\"K\");\n", &m),
+                       "env-access"));
+  EXPECT_TRUE(has_rule(lint_file("nn/x.cpp", "const char* v = std::getenv(\"K\");\n", &m),
+                       "env-access"));
+  // Methods and non-std namespaces that happen to share the name do not.
+  EXPECT_TRUE(lint_file("nn/x.cpp", "auto v = config.getenv(\"K\");\n", &m).empty());
+  EXPECT_TRUE(lint_file("nn/x.cpp", "auto v = fakeenv::getenv(\"K\");\n", &m).empty());
+}
+
+TEST(NakedMutex, FixturePair) {
+  const auto bad = lint_fixture("quant/naked_mutex.cpp", nullptr);
+  ASSERT_TRUE(has_rule(bad, "naked-mutex"));
+  // The finding anchors to the mutex member's line and names the class.
+  EXPECT_NE(bad.front().message.find("FixtureCache"), std::string::npos);
+
+  EXPECT_TRUE(lint_fixture("quant/guarded_mutex.cpp", nullptr).empty());
+}
+
+TEST(NakedMutex, AppCodeIsExempt) {
+  const std::string cls = "#include <mutex>\nclass C { std::mutex mu_; };\n";
+  EXPECT_TRUE(has_rule(lint_file("quant/x.cpp", cls), "naked-mutex"));
+  EXPECT_FALSE(has_rule(lint_file("tools/x.cpp", cls), "naked-mutex"));
+}
+
+TEST(UnorderedIteration, FixturePair) {
+  const auto bad = lint_fixture("quant/unordered_iter.cpp", nullptr);
+  // Both loops — the direct parameter and the auto copy of the alias —
+  // are findings, one per loop.
+  EXPECT_EQ(bad.size(), 2u);
+  EXPECT_TRUE(has_rule(bad, "unordered-iteration"));
+
+  EXPECT_TRUE(lint_fixture("quant/sorted_iter.cpp", nullptr).empty());
+}
+
+TEST(UnorderedIteration, ManifestAllowlistClears) {
+  std::string error;
+  const Manifest m = parse_manifest(
+      "unordered-ok src/quant/unordered_iter.cpp fixture: order never emitted\n", &error);
+  EXPECT_TRUE(lint_fixture("quant/unordered_iter.cpp", &m).empty());
+}
+
+TEST(Suppressions, CoverTheNewRules) {
+  EXPECT_TRUE(
+      lint_file("quant/x.cpp",
+                "class C { std::mutex mu_;  // fp8q-lint: allow(naked-mutex)\n};\n")
+          .empty());
+  std::string error;
+  const Manifest m = parse_manifest("env src/core/cpu_dispatch.cpp knobs\n", &error);
+  EXPECT_TRUE(
+      lint_file("nn/x.cpp",
+                "// fp8q-lint: allow-file(env-access)\nconst char* v = getenv(\"K\");\n", &m)
+          .empty());
+}
+
+TEST(Sarif, EmitsRulesAndResults) {
+  const std::vector<Finding> findings = {
+      {"src/nn/linear.cpp", 42, "raw-thread", "raw threading primitive"},
+      {"tools/x.cpp", 7, "env-access", "message with \"quotes\" and \\slash"},
+  };
+  std::ostringstream out;
+  write_sarif(out, findings);
+  const std::string sarif = out.str();
+  EXPECT_NE(sarif.find("\"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("fp8q_lint"), std::string::npos);
+  EXPECT_NE(sarif.find("\"raw-thread\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"env-access\""), std::string::npos);
+  EXPECT_NE(sarif.find("src/nn/linear.cpp"), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 42"), std::string::npos);
+  // Quotes and backslashes in messages must be escaped, not emitted raw.
+  EXPECT_NE(sarif.find("\\\"quotes\\\""), std::string::npos);
+  EXPECT_NE(sarif.find("\\\\slash"), std::string::npos);
+}
+
+TEST(Sarif, EmptyFindingsStillAValidDocument) {
+  std::ostringstream out;
+  write_sarif(out, {});
+  EXPECT_NE(out.str().find("\"results\": []"), std::string::npos);
+}
+
+TEST(RealTree, SrcToolsBenchCleanWithManifest) {
+  // The in-process twin of the `check_lint` ctest entry: the shipped tree
+  // must be clean under the full v2 rule set, manifest armed.
+  std::string errors;
+  ScanOptions options;
+  const std::string root = FP8Q_LINT_REPO_ROOT;
+  options.roots = {{root + "/src", "src"}, {root + "/tools", "tools"},
+                   {root + "/bench", "bench"}};
+  options.manifest = &repo_manifest();
+  const auto findings = lint_roots(options, &errors);
+  EXPECT_TRUE(errors.empty()) << errors;
+  for (const auto& f : findings) ADD_FAILURE() << format_finding(f);
+}
+
+}  // namespace
+}  // namespace fp8q::lint

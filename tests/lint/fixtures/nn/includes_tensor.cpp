@@ -1,0 +1,11 @@
+// Lint fixture: the passing twin of tensor/includes_nn.cpp — nn sits
+// above tensor in the layer DAG, so a downward include is legal under
+// `include-layers`. Expected finding count: zero even with the manifest
+// armed (tests/lint/lint_test.cpp).
+#include "tensor/tensor.h"
+
+namespace fp8q {
+
+int fixture_layer_ok() { return 0; }
+
+}  // namespace fp8q

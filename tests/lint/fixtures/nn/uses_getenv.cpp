@@ -1,0 +1,15 @@
+// Lint fixture: getenv() outside the declared config/dispatch surface.
+// Seeded violation for the manifest-armed `env-access` rule — linted with
+// a manifest that does NOT list this TU it must be flagged; linted with
+// one that declares it `env` (or with no manifest at all) it must not
+// (tests/lint/lint_test.cpp).
+#include <cstdlib>
+
+namespace fp8q {
+
+bool fixture_verbose() {
+  const char* v = std::getenv("FP8Q_FIXTURE_VERBOSE");
+  return v != nullptr && v[0] == '1';
+}
+
+}  // namespace fp8q

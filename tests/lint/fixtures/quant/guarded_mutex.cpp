@@ -1,0 +1,23 @@
+// Lint fixture: the passing twin of naked_mutex.cpp — the mutex member
+// has an FP8Q_GUARDED_BY sibling, so `naked-mutex` stays quiet. A local
+// std::lock_guard<std::mutex> must not count as a mutex *member* either.
+// Expected finding count: zero (tests/lint/lint_test.cpp).
+#include <mutex>
+
+#define FP8Q_GUARDED_BY(x)
+
+namespace fp8q {
+
+class FixtureGuardedCache {
+ public:
+  int get() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return value_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  int value_ FP8Q_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fp8q

@@ -1,0 +1,17 @@
+// Lint fixture: a class with a std::mutex member but no FP8Q_GUARDED_BY
+// sibling. Seeded violation for the `naked-mutex` rule
+// (tests/lint/lint_test.cpp).
+#include <mutex>
+
+namespace fp8q {
+
+class FixtureCache {
+ public:
+  int get() const { return value_; }
+
+ private:
+  mutable std::mutex mu_;
+  int value_ = 0;
+};
+
+}  // namespace fp8q

@@ -1,0 +1,26 @@
+// Lint fixture: the passing twin of unordered_iter.cpp — the unordered
+// container is only used for lookups, and the iteration happens over a
+// std::map (deterministic order) and a std::vector. Expected finding
+// count: zero (tests/lint/lint_test.cpp).
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fp8q {
+
+float fixture_lookup(const std::unordered_map<std::string, float>& scales,
+                     const std::string& name) {
+  const auto it = scales.find(name);
+  return it != scales.end() ? it->second : 0.0f;
+}
+
+float fixture_sum_sorted(const std::map<std::string, float>& sorted_scales,
+                         const std::vector<float>& extra) {
+  float total = 0.0f;
+  for (const auto& kv : sorted_scales) total += kv.second;
+  for (const float v : extra) total += v;
+  return total;
+}
+
+}  // namespace fp8q

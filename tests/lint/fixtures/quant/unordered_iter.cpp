@@ -1,0 +1,24 @@
+// Lint fixture: range-for over a std::unordered_map, including through a
+// `using` alias and an `auto` binding. Seeded violations for the
+// `unordered-iteration` rule (tests/lint/lint_test.cpp).
+#include <string>
+#include <unordered_map>
+
+namespace fp8q {
+
+using ScaleMap = std::unordered_map<std::string, float>;
+
+float fixture_sum(const std::unordered_map<std::string, float>& scales) {
+  float total = 0.0f;
+  for (const auto& kv : scales) total += kv.second;
+  return total;
+}
+
+float fixture_sum_alias(const ScaleMap& by_name) {
+  auto snapshot = by_name;
+  float total = 0.0f;
+  for (const auto& kv : snapshot) total += kv.second;
+  return total;
+}
+
+}  // namespace fp8q

@@ -1,0 +1,12 @@
+// Lint fixture: a tensor-layer file including an nn-layer header — a
+// back-edge in the layer DAG. Seeded violation for the manifest-armed
+// `include-layers` rule; without a manifest the rule stays quiet, so this
+// fixture is absent from the manifest-less tree-walk expectations
+// (tests/lint/lint_test.cpp).
+#include "nn/ops.h"
+
+namespace fp8q {
+
+int fixture_layer_violation() { return 1; }
+
+}  // namespace fp8q

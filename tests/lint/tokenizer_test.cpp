@@ -1,0 +1,213 @@
+// Tests for the fp8q_lint tokenizer (tools/lint/token.h): the lexing
+// corner cases the rule engine depends on — escape sequences that must
+// not end a literal early, raw strings whose delimiters must match
+// exactly, backslash-newline splices inside every token form, and the
+// no-nesting semantics of block comments.
+#include "lint/token.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fp8q::lint {
+namespace {
+
+/// Code tokens only (comments and directives dropped), as the rules see
+/// the stream.
+std::vector<Token> code_tokens(const std::string& content) {
+  std::vector<Token> out;
+  for (Token& t : tokenize(content)) {
+    if (t.kind != TokKind::kComment && t.kind != TokKind::kDirective) {
+      out.push_back(std::move(t));
+    }
+  }
+  return out;
+}
+
+TEST(Tokenizer, EscapedQuoteDoesNotEndString) {
+  const auto toks = code_tokens(R"(const char* s = "a\"b"; thread t;)");
+  ASSERT_GE(toks.size(), 8u);
+  // The literal is one token whose text has the escape resolved away...
+  EXPECT_EQ(toks[5].kind, TokKind::kString);
+  EXPECT_EQ(toks[5].text, "a\"b");
+  // ...and the identifier after the semicolon is real code again.
+  EXPECT_EQ(toks[7].kind, TokKind::kIdent);
+  EXPECT_EQ(toks[7].text, "thread");
+}
+
+TEST(Tokenizer, CharEscapes) {
+  const auto quote = code_tokens(R"(char c = '\'';)");
+  ASSERT_GE(quote.size(), 4u);
+  EXPECT_EQ(quote[3].kind, TokKind::kChar);
+  EXPECT_EQ(quote[3].text, "'");
+
+  const auto backslash = code_tokens(R"(char c = '\\'; int after = 1;)");
+  bool saw_after = false;
+  for (const Token& t : backslash) {
+    if (t.kind == TokKind::kIdent && t.text == "after") saw_after = true;
+  }
+  EXPECT_TRUE(saw_after) << "escaped backslash must not hide the rest of the line";
+}
+
+TEST(Tokenizer, UnterminatedStringStopsAtNewline) {
+  // A linter must not let one bad literal swallow the file.
+  const auto toks = code_tokens("const char* s = \"oops\nint next = 1;\n");
+  bool saw_next = false;
+  for (const Token& t : toks) {
+    if (t.kind == TokKind::kIdent && t.text == "next") saw_next = true;
+  }
+  EXPECT_TRUE(saw_next);
+}
+
+TEST(Tokenizer, RawStringWithEmbeddedQuotesAndParens) {
+  const std::string content =
+      "auto s = R\"x(say \"hi\" (twice) )\" still raw)x\"; thread t;";
+  const auto toks = code_tokens(content);
+  bool saw_string = false, saw_thread = false;
+  for (const Token& t : toks) {
+    if (t.kind == TokKind::kString) {
+      saw_string = true;
+      EXPECT_EQ(t.text, "say \"hi\" (twice) )\" still raw");
+    }
+    if (t.kind == TokKind::kIdent && t.text == "thread") saw_thread = true;
+  }
+  EXPECT_TRUE(saw_string);
+  EXPECT_TRUE(saw_thread);
+}
+
+TEST(Tokenizer, RawStringPrefixesAreExact) {
+  // u8R"..." is a raw string; FOUR"..." is an identifier then a string.
+  const auto raw = code_tokens("auto a = u8R\"(x)\";");
+  bool raw_seen = false;
+  for (const Token& t : raw) {
+    if (t.kind == TokKind::kString) {
+      raw_seen = true;
+      EXPECT_EQ(t.text, "x");
+    }
+  }
+  EXPECT_TRUE(raw_seen);
+
+  const auto plain = code_tokens("auto b = FOUR\"(y)\";");
+  bool ident_seen = false, string_seen = false;
+  for (const Token& t : plain) {
+    if (t.kind == TokKind::kIdent && t.text == "FOUR") ident_seen = true;
+    if (t.kind == TokKind::kString) {
+      string_seen = true;
+      EXPECT_EQ(t.text, "(y)");
+    }
+  }
+  EXPECT_TRUE(ident_seen);
+  EXPECT_TRUE(string_seen);
+}
+
+TEST(Tokenizer, SpliceInsideIdentifier) {
+  // Phase-2 splicing: "thr\<newline>ead" is one identifier, reported at
+  // the line where it starts.
+  const auto toks = code_tokens("int x;\nstd::thr\\\nead t;\n");
+  bool found = false;
+  for (const Token& t : toks) {
+    if (t.kind == TokKind::kIdent && t.text == "thread") {
+      found = true;
+      EXPECT_EQ(t.line, 2);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Tokenizer, SpliceInsideDirective) {
+  const auto toks = tokenize("#include \\\n<thread>\nint x;\n");
+  ASSERT_FALSE(toks.empty());
+  EXPECT_EQ(toks[0].kind, TokKind::kDirective);
+  // The continuation is spliced into one logical directive...
+  EXPECT_NE(toks[0].text.find("<thread>"), std::string::npos);
+  // ...and the code after it starts on the correct physical line.
+  bool saw_x = false;
+  for (const Token& t : toks) {
+    if (t.kind == TokKind::kIdent && t.text == "x") {
+      saw_x = true;
+      EXPECT_EQ(t.line, 3);
+    }
+  }
+  EXPECT_TRUE(saw_x);
+}
+
+TEST(Tokenizer, SplicedLineCommentContinues) {
+  // A // comment ending in a backslash swallows the next line (phase-2
+  // splicing happens before comment recognition).
+  const auto toks = code_tokens("// hidden \\\nstd::thread t;\nint y;\n");
+  for (const Token& t : toks) {
+    EXPECT_NE(t.text, "thread") << "spliced comment must hide the next line";
+  }
+  bool saw_y = false;
+  for (const Token& t : toks) {
+    if (t.kind == TokKind::kIdent && t.text == "y") {
+      saw_y = true;
+      EXPECT_EQ(t.line, 3);
+    }
+  }
+  EXPECT_TRUE(saw_y);
+}
+
+TEST(Tokenizer, BlockCommentsDoNotNest) {
+  // C++ block comments end at the FIRST */ — the tail of a would-be
+  // nested comment is live code again.
+  const auto toks = code_tokens("/* outer /* inner */ thread t; /* tail */\n");
+  bool saw_thread = false;
+  for (const Token& t : toks) {
+    if (t.kind == TokKind::kIdent && t.text == "thread") saw_thread = true;
+  }
+  EXPECT_TRUE(saw_thread);
+}
+
+TEST(Tokenizer, MultilineBlockCommentTracksLines) {
+  const auto toks = code_tokens("/* one\ntwo\nthree */ int x;\n");
+  ASSERT_FALSE(toks.empty());
+  EXPECT_EQ(toks[0].text, "int");
+  EXPECT_EQ(toks[0].line, 3);
+}
+
+TEST(Tokenizer, NumberValuesAndSeparators) {
+  const auto toks = code_tokens("a(16384); b(1'024); c(0x400); d(0b1000000000000); e(64);");
+  std::vector<double> values;
+  for (const Token& t : toks) {
+    if (t.kind == TokKind::kNumber) values.push_back(t.value);
+  }
+  ASSERT_EQ(values.size(), 5u);
+  EXPECT_EQ(values[0], 16384.0);
+  EXPECT_EQ(values[1], 1024.0);
+  EXPECT_EQ(values[2], 1024.0);
+  EXPECT_EQ(values[3], 4096.0);
+  EXPECT_EQ(values[4], 64.0);
+}
+
+TEST(Tokenizer, FusedPunctuation) {
+  const auto toks = code_tokens("a::b; c->d; e > f; g >> h;");
+  std::vector<std::string> puncts;
+  for (const Token& t : toks) {
+    if (t.kind == TokKind::kPunct) puncts.push_back(t.text);
+  }
+  // '::' and '->' fuse; '>>' stays two single '>' so template brackets
+  // close one level per token.
+  const std::vector<std::string> expected = {"::", ";", "->", ";", ">", ";", ">", ">", ";"};
+  EXPECT_EQ(puncts, expected);
+}
+
+TEST(Tokenizer, StripPreservesShape) {
+  const std::string content =
+      "int a; /* gone\nacross lines */ const char* s = \"bye\";\n// tail\n";
+  const std::string stripped = strip_comments_and_strings(content);
+  // Same length, same newline positions — line/column math survives.
+  ASSERT_EQ(stripped.size(), content.size());
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    if (content[i] == '\n') {
+      EXPECT_EQ(stripped[i], '\n') << "at byte " << i;
+    }
+  }
+  EXPECT_EQ(stripped.find("gone"), std::string::npos);
+  EXPECT_EQ(stripped.find("bye"), std::string::npos);
+  EXPECT_NE(stripped.find("int a;"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fp8q::lint

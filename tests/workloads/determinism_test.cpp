@@ -5,9 +5,11 @@
 // compares 1-thread and 8-thread results directly.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "core/parallel.h"
+#include "fp8q_lint_lib.h"
 #include "fp8/cast_fast.h"
 #include "nn/conv.h"
 #include "nn/matmul.h"
@@ -193,6 +195,24 @@ TEST(Determinism, CountersDoNotPerturbAccuracyRecords) {
   // ...and the counted run actually counted: an E4M3 evaluation pushes
   // every weight and activation through the instrumented casts.
   EXPECT_GT(totals.get(ObsFormat::kE4M3, ObsEvent::kQuantized), 0u);
+}
+
+TEST(Determinism, NoUnorderedIterationInLibrarySources) {
+  // Regression lock for the structural side of this contract: range-for
+  // over an unordered container is iteration in hash/address order — a
+  // determinism leak the moment it reaches any output. The 2026-08 sweep
+  // left src/ free of them (every emitter sorts or uses std::map); the
+  // fp8q_lint unordered-iteration rule keeps it that way, and this assert
+  // keeps the failure inside the determinism suite where the contract
+  // lives (docs/STATIC_ANALYSIS.md).
+  std::string errors;
+  const auto findings = lint::lint_tree(FP8Q_LINT_SRC_ROOT, &errors);
+  ASSERT_TRUE(errors.empty()) << errors;
+  for (const auto& f : findings) {
+    if (f.rule == "unordered-iteration") {
+      ADD_FAILURE() << lint::format_finding(f);
+    }
+  }
 }
 
 }  // namespace

@@ -3,7 +3,9 @@
 #
 #   1. warnings-as-errors build (FP8Q_WERROR=ON) + full ctest suite
 #   2. static-analysis gate: project linter, linter self-test, header
-#      self-containment, docs freshness (`check_static`)
+#      self-containment, docs freshness (`check_static`); then the linter
+#      once more with --sarif so every CI run leaves a SARIF artifact for
+#      annotation tooling (fails on any finding)
 #   3. perf + telemetry smoke: bench_kernels --smoke twice, with report /
 #      trace export on; `fp8q_report check-bench` enforces the batched >=
 #      scalar cast-speedup floor and the packed-GEMM >= 2x dequantize
@@ -20,11 +22,14 @@
 #   5. AddressSanitizer build + full ctest suite (`check_asan`)
 #   6. UndefinedBehaviorSanitizer build + full ctest suite (`check_ubsan`)
 #   7. ThreadSanitizer build + concurrency suite (`check_tsan`)
+#   8. fuzz build (FP8Q_SANITIZE=fuzzer: ASan + the tests/fuzz/ harnesses)
+#      + a 30-second bounded run of both network-facing parser fuzzers
+#      over the checked-in corpora (`check_fuzz`)
 #
 # Any failure stops the script with a non-zero exit. Build trees default to
 # build-ci-* next to the source tree; override the prefix with
 # FP8Q_CI_BUILD_PREFIX. FP8Q_CI_SKIP_SANITIZERS=1 runs only steps 1-4
-# (useful on machines where three extra build trees are too slow).
+# (useful on machines where four extra build trees are too slow).
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -40,6 +45,14 @@ ctest --test-dir "$PREFIX" --output-on-failure
 
 step "static-analysis gate (check_static)"
 cmake --build "$PREFIX" --target check_static
+
+# The same scan once more with SARIF on: CI annotation tooling ingests
+# the artifact, and the run doubles as the "linter is clean" gate (exit 1
+# on any finding stops the script). The artifact is written even when
+# clean, so the upload step never 404s.
+"$PREFIX/tools/fp8q_lint" --manifest="$ROOT/tools/lint/layers.manifest" \
+  --sarif="$PREFIX/lint.sarif" "$ROOT/src" "$ROOT/tools" "$ROOT/bench"
+echo "ci: SARIF artifact: $PREFIX/lint.sarif"
 
 step "perf + telemetry smoke (bench_kernels --smoke through fp8q_report)"
 # Instrumented run: report + histograms + trace export all on. The gates
@@ -114,6 +127,10 @@ if [[ "${FP8Q_CI_SKIP_SANITIZERS:-0}" != "1" ]]; then
   step "ThreadSanitizer build + concurrency suite (check_tsan)"
   cmake -B "$PREFIX-tsan" -S "$ROOT" -DFP8Q_SANITIZE=thread -DFP8Q_WERROR=ON
   cmake --build "$PREFIX-tsan" -j "$JOBS" --target check_tsan
+
+  step "fuzz the network-facing parsers (check_fuzz, 30s bounded)"
+  cmake -B "$PREFIX-fuzz" -S "$ROOT" -DFP8Q_SANITIZE=fuzzer -DFP8Q_WERROR=ON
+  cmake --build "$PREFIX-fuzz" -j "$JOBS" --target check_fuzz
 fi
 
 echo

@@ -1,42 +1,114 @@
 // fp8q_lint — project-invariant linter CLI (docs/STATIC_ANALYSIS.md).
 //
-//   fp8q_lint <src-root>
+//   fp8q_lint [--manifest=FILE] [--sarif=FILE] <root>...
 //
-// Scans every .h/.hpp/.cpp/.cc under <src-root> (normally the repo's src/
-// directory) against the repo-specific rules in fp8q_lint_lib.h and prints
-// one "file:line: [rule] message" per violation. Exit status 0 on a clean
-// tree, 1 when findings exist, 2 on usage/I-O errors. Registered with
-// ctest as `check_lint` and runs as one leg of `check_static`.
+// Scans every .h/.hpp/.cpp/.cc under each <root> against the token-aware
+// rule engine in tools/lint/ and prints one "file:line: [rule] message"
+// per violation. Each root's basename becomes the path prefix and selects
+// the rule profile: a root named src gets the full library rule set,
+// tools/ and bench/ get the app profile (may print, may getenv if
+// declared — clocks, threads and unordered iteration still policed).
+//
+//   --manifest=FILE  arms the manifest-driven rules (include-layers,
+//                    env-access, the unordered-ok allowlist); normally
+//                    tools/lint/layers.manifest
+//   --sarif=FILE     additionally writes a SARIF 2.1.0 report for CI
+//                    annotation (written on clean runs too, so the
+//                    artifact always exists)
+//
+// Exit status 0 on a clean tree, 1 when findings exist, 2 on usage/I-O/
+// manifest errors. Registered with ctest as `check_lint` (full roots +
+// manifest) and runs as one leg of `check_static`; tools/ci.sh adds the
+// --sarif artifact.
 #include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
+#include "lint/sarif.h"
 #include "fp8q_lint_lib.h"
 
+namespace {
+
+int usage() {
+  std::cerr << "usage: fp8q_lint [--manifest=FILE] [--sarif=FILE] <root>...\n";
+  return 2;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::cerr << "usage: fp8q_lint <src-root>\n";
-    return 2;
+  std::string manifest_path;
+  std::string sarif_path;
+  std::vector<std::filesystem::path> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--manifest=", 0) == 0) {
+      manifest_path = arg.substr(11);
+    } else if (arg.rfind("--sarif=", 0) == 0) {
+      sarif_path = arg.substr(8);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      roots.emplace_back(arg);
+    }
   }
-  const std::filesystem::path root(argv[1]);
-  if (!std::filesystem::is_directory(root)) {
-    std::cerr << "fp8q_lint: not a directory: " << root.string() << "\n";
+  if (roots.empty()) return usage();
+  for (const auto& root : roots) {
+    if (!std::filesystem::is_directory(root)) {
+      std::cerr << "fp8q_lint: not a directory: " << root.string() << "\n";
+      return 2;
+    }
+  }
+
+  std::string errors;
+  fp8q::lint::Manifest manifest;
+  fp8q::lint::ScanOptions options;
+  if (!manifest_path.empty()) {
+    manifest = fp8q::lint::load_manifest(manifest_path, &errors);
+    if (!errors.empty()) {
+      std::cerr << errors;
+      return 2;
+    }
+    options.manifest = &manifest;
+  }
+  for (const auto& root : roots) {
+    // The basename is the reported prefix and the rule profile ("src",
+    // "tools", "bench"); trailing slashes are tolerated.
+    auto normalized = root;
+    normalized.make_preferred();
+    std::string label = normalized.filename().string();
+    if (label.empty() || label == ".") label = normalized.parent_path().filename().string();
+    options.roots.push_back({root, label});
+  }
+
+  const auto findings = fp8q::lint::lint_roots(options, &errors);
+  if (!errors.empty()) {
+    std::cerr << errors;
     return 2;
   }
 
-  std::string io_errors;
-  const auto findings = fp8q::lint::lint_tree(root, &io_errors);
-  if (!io_errors.empty()) {
-    std::cerr << io_errors;
-    return 2;
+  if (!sarif_path.empty()) {
+    std::ofstream sarif(sarif_path);
+    if (!sarif) {
+      std::cerr << "fp8q_lint: cannot write " << sarif_path << "\n";
+      return 2;
+    }
+    fp8q::lint::write_sarif(sarif, findings);
   }
+
   for (const auto& f : findings) {
     std::cout << fp8q::lint::format_finding(f) << "\n";
   }
   if (!findings.empty()) {
-    std::cout << "fp8q_lint: " << findings.size() << " finding(s) in "
-              << root.string() << "\n";
+    std::cout << "fp8q_lint: " << findings.size() << " finding(s)\n";
     return 1;
   }
-  std::cout << "fp8q_lint: OK (" << root.string() << " clean)\n";
+  std::cout << "fp8q_lint: OK (";
+  for (std::size_t i = 0; i < options.roots.size(); ++i) {
+    std::cout << (i != 0 ? " " : "") << options.roots[i].label;
+  }
+  std::cout << " clean)\n";
   return 0;
 }

@@ -1,64 +1,14 @@
-// Project-invariant linter for the fp8q source tree (docs/STATIC_ANALYSIS.md).
+// Compatibility facade for the fp8q_lint rule engine.
 //
-// Enforces repo-specific rules the compiler cannot check — the invariants
-// the paper reproduction's claims rest on (bit-exact casts, thread-count
-// determinism, silent library code):
-//
-//   raw-thread    std::thread / std::jthread / std::async and the
-//                 <thread>/<future> headers are confined to
-//                 core/parallel.{h,cpp}; everything else goes through
-//                 parallel_for / parallel_run so the documented threading
-//                 model (docs/THREADING.md) is the only one in the tree.
-//   determinism   rand()/srand(), std::random_device and wall clocks
-//                 (<chrono> clocks, time(), gettimeofday, ...) are
-//                 confined to src/obs/ (owns the process clocks; see
-//                 obs_now_ns) and tensor/rng.{h,cpp} (the deterministic
-//                 generator). Everything else must be a pure function of
-//                 its inputs.
-//   io-stream     no <iostream>, std::cout/cerr/clog or printf-family
-//                 console output from library code; only src/obs/ (the
-//                 gated report/trace writers) may emit. Benches, tests,
-//                 examples and tools live outside src/ and are exempt.
-//   pragma-once   every header carries #pragma once. (Deep header
-//                 self-containment — "does it compile alone?" — is the
-//                 compiled check: cmake/HeaderSelfContain.cmake.)
-//
-// Comments and string literals are stripped before matching, so prose
-// mentioning std::thread does not trip the linter. Suppressions:
-//   // fp8q-lint: allow(<rule>)       on the offending line
-//   // fp8q-lint: allow-file(<rule>)  anywhere in the file
+// The v1 linter lived entirely in this header/source pair; v2 is a real
+// static-analysis library under tools/lint/ (tokenizer, per-TU model,
+// manifest-driven rules, SARIF — see lint/engine.h for the overview and
+// docs/STATIC_ANALYSIS.md for the operator's guide). The v1 entry points
+// (Finding, format_finding, strip_comments_and_strings, lint_file,
+// lint_tree) kept their signatures and live in the same fp8q::lint
+// namespace, so existing callers — the fixture test suite above all —
+// compile unchanged against the new engine.
 #pragma once
 
-#include <filesystem>
-#include <string>
-#include <vector>
-
-namespace fp8q::lint {
-
-/// One rule violation at a source location.
-struct Finding {
-  std::string file;     ///< path relative to the scanned root
-  int line = 0;         ///< 1-based
-  std::string rule;     ///< rule id (raw-thread, determinism, ...)
-  std::string message;  ///< human-readable explanation
-};
-
-/// "file:line: [rule] message" — the CLI's (and test failures') format.
-[[nodiscard]] std::string format_finding(const Finding& f);
-
-/// Replaces the contents of comments and string/char literals with spaces
-/// (newlines preserved, so line numbers survive). Exposed for tests.
-[[nodiscard]] std::string strip_comments_and_strings(const std::string& content);
-
-/// Lints one file's contents. `rel_path` is the path relative to src/
-/// (forward slashes); it decides which rules apply and appears in findings.
-[[nodiscard]] std::vector<Finding> lint_file(const std::string& rel_path,
-                                             const std::string& content);
-
-/// Lints every .h/.hpp/.cpp/.cc under `src_root`. Findings are sorted by
-/// (file, line, rule) so output is deterministic. On I/O failure appends a
-/// message to `*error` (when non-null) and reports a finding for the file.
-[[nodiscard]] std::vector<Finding> lint_tree(const std::filesystem::path& src_root,
-                                             std::string* error = nullptr);
-
-}  // namespace fp8q::lint
+#include "lint/engine.h"  // IWYU pragma: export
+#include "lint/token.h"   // IWYU pragma: export

@@ -1,0 +1,142 @@
+#include "lint/engine.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "lint/model.h"
+#include "lint/rules.h"
+
+namespace fp8q::lint {
+
+namespace {
+
+/// Splits into lines (newline excluded). A trailing newline does not add
+/// an empty final line.
+std::vector<std::string> split_lines(const std::string& s) {
+  std::vector<std::string> lines;
+  std::string::size_type pos = 0;
+  while (pos <= s.size()) {
+    const auto nl = s.find('\n', pos);
+    if (nl == std::string::npos) {
+      if (pos < s.size()) lines.push_back(s.substr(pos));
+      break;
+    }
+    lines.push_back(s.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  return lines;
+}
+
+bool line_allows(const std::string& raw_line, const std::string& rule_id) {
+  const std::string marker = "fp8q-lint: allow(" + rule_id + ")";
+  return raw_line.find(marker) != std::string::npos;
+}
+
+bool file_allows(const std::string& raw_content, const std::string& rule_id) {
+  const std::string marker = "fp8q-lint: allow-file(" + rule_id + ")";
+  return raw_content.find(marker) != std::string::npos;
+}
+
+void sort_findings(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+}
+
+bool lintable_extension(const std::filesystem::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+}
+
+/// Collects the lintable files under `root`, sorted for determinism.
+std::vector<std::filesystem::path> collect_files(const std::filesystem::path& root,
+                                                 std::string* error) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(root, ec), end; it != end; it.increment(ec)) {
+    if (ec) break;
+    if (it->is_regular_file() && lintable_extension(it->path())) {
+      files.push_back(it->path());
+    }
+  }
+  if (ec && error != nullptr) {
+    *error += "fp8q_lint: error walking " + root.string() + ": " + ec.message() + "\n";
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+void lint_one_path(const std::filesystem::path& path, const std::string& rel,
+                   const Manifest* manifest, std::vector<Finding>* findings,
+                   std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    findings->push_back({rel, 0, "io-error", "cannot read file"});
+    if (error != nullptr) *error += "fp8q_lint: cannot read " + path.string() + "\n";
+    return;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto file_findings = lint_file(rel, buf.str(), manifest);
+  findings->insert(findings->end(), file_findings.begin(), file_findings.end());
+}
+
+}  // namespace
+
+std::string format_finding(const Finding& f) {
+  std::ostringstream os;
+  os << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message;
+  return os.str();
+}
+
+std::vector<Finding> lint_file(const std::string& rel_path, const std::string& content,
+                               const Manifest* manifest) {
+  const FilePath path = classify_path(rel_path);
+  const TuModel model = build_model(content);
+
+  std::vector<Finding> raw;
+  run_rules(path, model, manifest, &raw);
+
+  // Suppressions are matched against the raw source lines, so a marker
+  // works no matter which token the rule anchored the finding to.
+  const std::vector<std::string> raw_lines = split_lines(content);
+  std::vector<Finding> findings;
+  findings.reserve(raw.size());
+  for (Finding& f : raw) {
+    if (file_allows(content, f.rule)) continue;
+    const std::size_t idx = f.line > 0 ? static_cast<std::size_t>(f.line) - 1 : 0;
+    if (idx < raw_lines.size() && line_allows(raw_lines[idx], f.rule)) continue;
+    findings.push_back(std::move(f));
+  }
+  sort_findings(findings);
+  return findings;
+}
+
+std::vector<Finding> lint_tree(const std::filesystem::path& src_root, std::string* error) {
+  std::vector<Finding> findings;
+  for (const auto& path : collect_files(src_root, error)) {
+    const std::string rel = path.lexically_relative(src_root).generic_string();
+    lint_one_path(path, rel, /*manifest=*/nullptr, &findings, error);
+  }
+  sort_findings(findings);
+  return findings;
+}
+
+std::vector<Finding> lint_roots(const ScanOptions& options, std::string* error) {
+  std::vector<Finding> findings;
+  for (const ScanRoot& root : options.roots) {
+    for (const auto& path : collect_files(root.path, error)) {
+      const std::string rel =
+          root.label + "/" + path.lexically_relative(root.path).generic_string();
+      lint_one_path(path, rel, options.manifest, &findings, error);
+    }
+  }
+  sort_findings(findings);
+  return findings;
+}
+
+}  // namespace fp8q::lint

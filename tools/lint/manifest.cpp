@@ -1,0 +1,170 @@
+#include "lint/manifest.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace fp8q::lint {
+
+namespace {
+
+/// Splits one manifest line into whitespace-separated fields, dropping
+/// everything from the first '#' on.
+std::vector<std::string> fields_of(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  for (const char c : line) {
+    if (c == '#') break;
+    if (c == ' ' || c == '\t' || c == '\r') {
+      if (!cur.empty()) fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) fields.push_back(std::move(cur));
+  return fields;
+}
+
+std::string join_from(const std::vector<std::string>& fields, std::size_t start) {
+  std::string out;
+  for (std::size_t i = start; i < fields.size(); ++i) {
+    if (!out.empty()) out += ' ';
+    out += fields[i];
+  }
+  return out;
+}
+
+/// True when `path` equals `member` or lives under it as a directory.
+bool covers(const std::string& member, const std::string& path) {
+  if (path == member) return true;
+  return path.size() > member.size() + 1 && path.compare(0, member.size(), member) == 0 &&
+         path[member.size()] == '/';
+}
+
+}  // namespace
+
+int Manifest::layer_rank(const std::string& path) const {
+  int best = -1;
+  std::size_t best_len = 0;  // longest matching member wins (exact file beats dir)
+  for (const Layer& layer : layers) {
+    for (const std::string& member : layer.members) {
+      if (covers(member, path) && member.size() >= best_len) {
+        best = layer.rank;
+        best_len = member.size();
+      }
+    }
+  }
+  return best;
+}
+
+const std::string& Manifest::layer_name(int rank) const {
+  static const std::string unknown = "?";
+  for (const Layer& layer : layers) {
+    if (layer.rank == rank) return layer.name;
+  }
+  return unknown;
+}
+
+bool Manifest::is_env_tu(const std::string& path) const {
+  for (const std::string& tu : env_tus) {
+    if (tu == path) return true;
+  }
+  return false;
+}
+
+bool Manifest::is_unordered_ok(const std::string& path) const {
+  for (const std::string& tu : unordered_ok_tus) {
+    if (tu == path) return true;
+  }
+  return false;
+}
+
+const SealedLayer* Manifest::sealed_entry(const std::string& layer) const {
+  for (const SealedLayer& s : sealed) {
+    if (s.layer == layer) return &s;
+  }
+  return nullptr;
+}
+
+bool Manifest::include_allowed(const std::string& file,
+                               const std::string& target_layer) const {
+  for (const AllowInclude& a : allow_includes) {
+    if (a.file == file && (a.target_layer == "*" || a.target_layer == target_layer)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Manifest parse_manifest(const std::string& text, std::string* error) {
+  Manifest m;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  auto complain = [&](const std::string& what) {
+    if (error != nullptr) {
+      *error += "layers.manifest:" + std::to_string(lineno) + ": " + what + "\n";
+    }
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::vector<std::string> f = fields_of(line);
+    if (f.empty()) continue;
+    if (f[0] == "layer") {
+      if (f.size() < 3) {
+        complain("layer needs a name and at least one member");
+        continue;
+      }
+      Layer layer;
+      layer.name = f[1];
+      layer.rank = static_cast<int>(m.layers.size());
+      layer.members.assign(f.begin() + 2, f.end());
+      m.layers.push_back(std::move(layer));
+    } else if (f[0] == "sealed") {
+      if (f.size() < 2) {
+        complain("sealed needs a layer name");
+        continue;
+      }
+      SealedLayer s;
+      s.layer = f[1];
+      s.extra_roots.assign(f.begin() + 2, f.end());
+      m.sealed.push_back(std::move(s));
+    } else if (f[0] == "allow-include") {
+      if (f.size() < 4) {
+        complain("allow-include needs <file> <layer|*> <reason>");
+        continue;
+      }
+      m.allow_includes.push_back({f[1], f[2], join_from(f, 3)});
+    } else if (f[0] == "env") {
+      if (f.size() < 3) {
+        complain("env needs <tu> <reason>");
+        continue;
+      }
+      m.env_tus.push_back(f[1]);
+    } else if (f[0] == "unordered-ok") {
+      if (f.size() < 3) {
+        complain("unordered-ok needs <tu> <reason>");
+        continue;
+      }
+      m.unordered_ok_tus.push_back(f[1]);
+    } else {
+      complain("unknown directive '" + f[0] + "'");
+    }
+  }
+  return m;
+}
+
+Manifest load_manifest(const std::filesystem::path& path, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) {
+      *error += "fp8q_lint: cannot read manifest " + path.string() + "\n";
+    }
+    return Manifest{};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_manifest(buf.str(), error);
+}
+
+}  // namespace fp8q::lint

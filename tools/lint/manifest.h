@@ -1,0 +1,86 @@
+// The lint manifest: the declared architecture fp8q_lint enforces
+// (tools/lint/layers.manifest, docs/STATIC_ANALYSIS.md).
+//
+// Three declarations live here, all consumed by the rule engine:
+//
+//   layer <name> <member>...   The include-layer DAG, lowest layer first.
+//                              Members are path prefixes ("src/nn") or
+//                              exact files ("src/obs/memory.h") — exact
+//                              files win, so a directory can sit in one
+//                              layer while a header it owns sits lower
+//                              (mirroring the fp8q_obs_base link split).
+//                              A quoted include from layer A to layer B
+//                              with B above A is a back-edge finding;
+//                              because layers form a total order, any
+//                              include cycle necessarily contains a
+//                              back-edge and is therefore a finding too.
+//   sealed <layer> <root>...   Nothing may include this layer except the
+//                              layer itself and files under the listed
+//                              extra roots (e.g. "tools"). Tests are not
+//                              scanned, so they are implicitly free.
+//   allow-include <file> <layer|*> <reason...>
+//                              A declared, justified exception (e.g. the
+//                              core/fp8q.h umbrella header).
+//   env <tu> <reason...>       TUs allowed to call getenv() — the
+//                              declared config/dispatch surface.
+//   unordered-ok <tu> <reason...>
+//                              TUs where range-for over an unordered
+//                              container is tolerated (order provably
+//                              does not reach any output).
+//
+// '#' starts a comment; blank lines are ignored. Every exception carries
+// its reason in the manifest itself, so the policy file reads as the
+// architecture document it is.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace fp8q::lint {
+
+struct Layer {
+  std::string name;
+  int rank = 0;                      ///< position in the file, 0 = lowest
+  std::vector<std::string> members;  ///< path prefixes or exact files
+};
+
+struct AllowInclude {
+  std::string file;          ///< exact path, e.g. "src/core/fp8q.h"
+  std::string target_layer;  ///< layer name, or "*" for any
+  std::string reason;
+};
+
+struct SealedLayer {
+  std::string layer;
+  std::vector<std::string> extra_roots;  ///< e.g. "tools"
+};
+
+struct Manifest {
+  std::vector<Layer> layers;
+  std::vector<SealedLayer> sealed;
+  std::vector<AllowInclude> allow_includes;
+  std::vector<std::string> env_tus;
+  std::vector<std::string> unordered_ok_tus;
+
+  /// Rank of the layer owning `path` ("src/nn/linear.cpp"), or -1 when no
+  /// layer covers it. Exact-file members beat directory prefixes.
+  [[nodiscard]] int layer_rank(const std::string& path) const;
+  /// Name for a rank returned by layer_rank().
+  [[nodiscard]] const std::string& layer_name(int rank) const;
+
+  [[nodiscard]] bool is_env_tu(const std::string& path) const;
+  [[nodiscard]] bool is_unordered_ok(const std::string& path) const;
+  [[nodiscard]] const SealedLayer* sealed_entry(const std::string& layer) const;
+  [[nodiscard]] bool include_allowed(const std::string& file,
+                                     const std::string& target_layer) const;
+};
+
+/// Parses manifest text. Unknown directives or malformed lines append to
+/// `*error` (when non-null) and are skipped — the linter still runs.
+[[nodiscard]] Manifest parse_manifest(const std::string& text, std::string* error);
+
+/// Loads and parses a manifest file; I/O failure reports via `*error`.
+[[nodiscard]] Manifest load_manifest(const std::filesystem::path& path, std::string* error);
+
+}  // namespace fp8q::lint

@@ -1,0 +1,313 @@
+#include "lint/model.h"
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace fp8q::lint {
+
+namespace {
+
+bool is_unordered_container(const std::string& name) {
+  return name == "unordered_map" || name == "unordered_set" ||
+         name == "unordered_multimap" || name == "unordered_multiset";
+}
+
+/// Parses "#   include <x>" / "#include \"x\"" out of a directive token.
+bool parse_include(const std::string& directive, Include* out) {
+  std::size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < directive.size() && (directive[i] == ' ' || directive[i] == '\t')) ++i;
+  };
+  if (i >= directive.size() || directive[i] != '#') return false;
+  ++i;
+  skip_ws();
+  if (directive.compare(i, 7, "include") != 0) return false;
+  i += 7;
+  skip_ws();
+  if (i >= directive.size()) return false;
+  const char open = directive[i];
+  const char close = open == '<' ? '>' : (open == '"' ? '"' : '\0');
+  if (close == '\0') return false;
+  ++i;
+  const std::size_t end = directive.find(close, i);
+  if (end == std::string::npos) return false;
+  out->path = directive.substr(i, end - i);
+  out->angled = open == '<';
+  return true;
+}
+
+bool parse_pragma_once(const std::string& directive) {
+  std::size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < directive.size() && (directive[i] == ' ' || directive[i] == '\t')) ++i;
+  };
+  if (i >= directive.size() || directive[i] != '#') return false;
+  ++i;
+  skip_ws();
+  if (directive.compare(i, 6, "pragma") != 0) return false;
+  i += 6;
+  skip_ws();
+  return directive.compare(i, 4, "once") == 0;
+}
+
+/// The model builder walks the comment-free, directive-free code stream.
+class ModelBuilder {
+ public:
+  explicit ModelBuilder(TuModel& model) : m_(model) {
+    code_.reserve(m_.tokens.size());
+    for (std::size_t i = 0; i < m_.tokens.size(); ++i) {
+      const TokKind k = m_.tokens[i].kind;
+      if (k == TokKind::kComment) continue;
+      if (k == TokKind::kDirective) {
+        Include inc;
+        if (parse_include(m_.tokens[i].text, &inc)) {
+          inc.line = m_.tokens[i].line;
+          m_.includes.push_back(inc);
+        } else if (parse_pragma_once(m_.tokens[i].text)) {
+          m_.has_pragma_once = true;
+        }
+        continue;
+      }
+      code_.push_back(i);
+    }
+  }
+
+  void run() {
+    scan_structure();
+    collect_unordered_idents();
+    collect_range_fors();
+  }
+
+ private:
+  const Token& tok(std::size_t ci) const { return m_.tokens[code_[ci]]; }
+  std::size_t size() const { return code_.size(); }
+
+  bool is_ident(std::size_t ci, const char* text) const {
+    return ci < size() && tok(ci).kind == TokKind::kIdent && tok(ci).text == text;
+  }
+  bool is_punct(std::size_t ci, const char* text) const {
+    return ci < size() && tok(ci).kind == TokKind::kPunct && tok(ci).text == text;
+  }
+
+  /// ci points at '<': returns the index one past the matching '>', or
+  /// size() when unbalanced. Single-char puncts mean '>>' closes two.
+  std::size_t skip_angles(std::size_t ci) const {
+    int depth = 0;
+    for (; ci < size(); ++ci) {
+      if (is_punct(ci, "<")) ++depth;
+      if (is_punct(ci, ">")) {
+        --depth;
+        if (depth == 0) return ci + 1;
+      }
+      if (is_punct(ci, ";")) break;  // runaway '<' (a comparison): bail
+    }
+    return size();
+  }
+
+  /// One pass over the code stream: classes with their mutex members and
+  /// FP8Q_GUARDED_BY siblings, plus free/global-qualified call sites.
+  void scan_structure() {
+    struct OpenClass {
+      std::size_t class_index;  ///< into m_.classes
+      int depth_at_open;        ///< brace depth just before the '{'
+    };
+    std::vector<OpenClass> open;
+    int depth = 0;
+
+    for (std::size_t ci = 0; ci < size(); ++ci) {
+      const Token& t = tok(ci);
+      if (t.kind == TokKind::kPunct) {
+        if (t.text == "{") ++depth;
+        if (t.text == "}") {
+          --depth;
+          while (!open.empty() && depth <= open.back().depth_at_open) open.pop_back();
+        }
+        continue;
+      }
+      if (t.kind != TokKind::kIdent) continue;
+
+      if (!open.empty() && t.text == "FP8Q_GUARDED_BY") {
+        m_.classes[open.back().class_index].has_guarded_member = true;
+      }
+
+      // Mutex member: `std :: (shared_)mutex NAME` at the innermost open
+      // class's member depth. Requiring a following identifier keeps
+      // `std::lock_guard<std::mutex>` (name followed by '>') out.
+      if (!open.empty() && depth == open.back().depth_at_open + 1 &&
+          (t.text == "mutex" || t.text == "shared_mutex") && ci >= 2 &&
+          is_punct(ci - 1, "::") && is_ident(ci - 2, "std") &&
+          ci + 1 < size() && tok(ci + 1).kind == TokKind::kIdent) {
+        m_.classes[open.back().class_index].mutex_member_lines.push_back(t.line);
+      }
+
+      // Call sites: IDENT '(' that is not a member or namespace access.
+      if (ci + 1 < size() && is_punct(ci + 1, "(")) {
+        bool qualified = false;
+        if (ci >= 1) {
+          if (is_punct(ci - 1, ".") || is_punct(ci - 1, "->")) qualified = true;
+          if (is_punct(ci - 1, "::") && ci >= 2 &&
+              (tok(ci - 2).kind == TokKind::kIdent || is_punct(ci - 2, ">"))) {
+            qualified = true;  // ns::call() — but bare ::call() still counts
+          }
+        }
+        if (!qualified) m_.calls.push_back({t.text, t.line});
+      }
+
+      // Class/struct definitions (not `enum class`, not template params).
+      if ((t.text == "class" || t.text == "struct") &&
+          !(ci >= 1 && is_ident(ci - 1, "enum"))) {
+        try_open_class(ci, depth, open);
+      }
+    }
+  }
+
+  /// ci points at the class-key. Walks the class-head; when it ends in a
+  /// '{' (a definition), records the class and pushes it as open.
+  template <class OpenVec>
+  void try_open_class(std::size_t ci, int depth, OpenVec& open) {
+    std::string name;
+    int angle_depth = 0;
+    for (std::size_t j = ci + 1; j < size(); ++j) {
+      const Token& t = tok(j);
+      if (t.kind == TokKind::kIdent) {
+        if (angle_depth == 0 && name.empty()) name = t.text;
+        continue;
+      }
+      if (t.kind != TokKind::kPunct) continue;
+      if (t.text == "<") ++angle_depth;
+      else if (t.text == ">") --angle_depth;
+      else if (t.text == "{" && angle_depth <= 0) {
+        m_.classes.push_back(ClassInfo{name, tok(ci).line, false, {}});
+        open.push_back({m_.classes.size() - 1, depth});
+        return;
+      } else if (t.text == ";") {
+        return;  // forward declaration
+      } else if (angle_depth <= 0 && t.text != "::" && t.text != ":" &&
+                 t.text != "," && t.text != "[" && t.text != "]") {
+        return;  // `template <class T>`, `class Foo*` param, etc.
+      }
+      if (t.text == ":" ) {
+        // Base clause: anything up to the '{' belongs to it.
+        for (std::size_t k = j + 1; k < size(); ++k) {
+          if (is_punct(k, "{")) {
+            m_.classes.push_back(ClassInfo{name, tok(ci).line, false, {}});
+            open.push_back({m_.classes.size() - 1, depth});
+            return;
+          }
+          if (is_punct(k, ";")) return;
+        }
+        return;
+      }
+    }
+  }
+
+  void collect_unordered_idents() {
+    std::set<std::string> types;  // unordered container spellings + aliases
+    std::set<std::string> vars;
+
+    // Pass 1: `using Alias = ...unordered_*...;` and
+    // `typedef ... unordered_*<...> Alias;`.
+    for (std::size_t ci = 0; ci + 3 < size(); ++ci) {
+      if (is_ident(ci, "using") && tok(ci + 1).kind == TokKind::kIdent &&
+          is_punct(ci + 2, "=")) {
+        for (std::size_t j = ci + 3; j < size() && !is_punct(j, ";"); ++j) {
+          if (tok(j).kind == TokKind::kIdent && is_unordered_container(tok(j).text)) {
+            types.insert(tok(ci + 1).text);
+            break;
+          }
+        }
+      }
+      if (is_ident(ci, "typedef")) {
+        bool unordered = false;
+        std::string last_ident;
+        for (std::size_t j = ci + 1; j < size() && !is_punct(j, ";"); ++j) {
+          if (tok(j).kind != TokKind::kIdent) continue;
+          if (is_unordered_container(tok(j).text)) unordered = true;
+          last_ident = tok(j).text;
+        }
+        if (unordered && !last_ident.empty()) types.insert(last_ident);
+      }
+    }
+
+    // Pass 2: declarations. `unordered_map<...> name` (first identifier
+    // after the closing '>', skipping cv/ref tokens) and `Alias name`.
+    for (std::size_t ci = 0; ci < size(); ++ci) {
+      if (tok(ci).kind != TokKind::kIdent) continue;
+      const bool builtin = is_unordered_container(tok(ci).text);
+      const bool alias = types.count(tok(ci).text) != 0;
+      if (!builtin && !alias) continue;
+      std::size_t j = ci + 1;
+      if (is_punct(j, "<")) j = skip_angles(j);
+      while (j < size() &&
+             (is_punct(j, "*") || is_punct(j, "&") || is_ident(j, "const"))) {
+        ++j;
+      }
+      if (j < size() && tok(j).kind == TokKind::kIdent && !is_ident(j, "const")) {
+        vars.insert(tok(j).text);
+      }
+    }
+
+    // Pass 3: `auto[&] name = <expr mentioning a tracked ident>;`.
+    for (std::size_t ci = 0; ci + 2 < size(); ++ci) {
+      if (!is_ident(ci, "auto")) continue;
+      std::size_t j = ci + 1;
+      while (j < size() && (is_punct(j, "&") || is_punct(j, "*") || is_ident(j, "const")))
+        ++j;
+      if (j + 1 >= size() || tok(j).kind != TokKind::kIdent || !is_punct(j + 1, "="))
+        continue;
+      for (std::size_t k = j + 2; k < size() && !is_punct(k, ";"); ++k) {
+        if (tok(k).kind == TokKind::kIdent && vars.count(tok(k).text) != 0) {
+          vars.insert(tok(j).text);
+          break;
+        }
+      }
+    }
+
+    m_.unordered_idents.assign(vars.begin(), vars.end());
+  }
+
+  void collect_range_fors() {
+    for (std::size_t ci = 0; ci + 1 < size(); ++ci) {
+      if (!is_ident(ci, "for") || !is_punct(ci + 1, "(")) continue;
+      int paren = 0;
+      std::size_t colon = 0;
+      bool classic = false;
+      std::size_t close = size();
+      for (std::size_t j = ci + 1; j < size(); ++j) {
+        if (is_punct(j, "(")) ++paren;
+        if (is_punct(j, ")")) {
+          --paren;
+          if (paren == 0) {
+            close = j;
+            break;
+          }
+        }
+        if (paren == 1 && is_punct(j, ";")) classic = true;
+        if (paren == 1 && colon == 0 && !classic && is_punct(j, ":")) colon = j;
+      }
+      if (classic || colon == 0 || close == size()) continue;
+      RangeFor rf;
+      rf.line = tok(ci).line;
+      for (std::size_t j = colon + 1; j < close; ++j) {
+        if (tok(j).kind == TokKind::kIdent) rf.range_idents.push_back(tok(j).text);
+      }
+      m_.range_fors.push_back(std::move(rf));
+    }
+  }
+
+  TuModel& m_;
+  std::vector<std::size_t> code_;  ///< indices of code tokens in m_.tokens
+};
+
+}  // namespace
+
+TuModel build_model(const std::string& content) {
+  TuModel model;
+  model.tokens = tokenize(content);
+  ModelBuilder(model).run();
+  return model;
+}
+
+}  // namespace fp8q::lint

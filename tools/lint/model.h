@@ -1,0 +1,81 @@
+// Per-translation-unit model for the fp8q_lint analysis engine.
+//
+// Built from the token stream (lint/token.h), this is the syntactic view
+// the rules match against instead of raw text: the include list, every
+// class/struct body with its members (mutex members and FP8Q_GUARDED_BY
+// siblings in particular), every range-for statement with the identifiers
+// its range expression mentions, every free-function-style call site, and
+// the set of identifiers declared with an unordered (hash-ordered)
+// container type — including `using` aliases of such types and `auto`
+// bindings initialized from tracked identifiers.
+//
+// The model is a deliberate approximation (no semantic analysis, no
+// headers followed): good enough to express rules a line-regex cannot —
+// "mutex member without a guarded sibling in the same class body",
+// "range-for over a container with nondeterministic iteration order",
+// "include crossing the layer DAG" — while staying a few hundred lines.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/token.h"
+
+namespace fp8q::lint {
+
+/// One #include directive.
+struct Include {
+  std::string path;    ///< the include target, without <> or ""
+  bool angled = false; ///< <...> (system) vs "..." (project)
+  int line = 0;
+};
+
+/// One class/struct body.
+struct ClassInfo {
+  std::string name;                 ///< "" for anonymous
+  int line = 0;                     ///< line of the class-key
+  bool has_guarded_member = false;  ///< FP8Q_GUARDED_BY appears in the body
+  /// Lines of members whose declared type is std::mutex or
+  /// std::shared_mutex (member depth only, not function locals).
+  std::vector<int> mutex_member_lines;
+};
+
+/// One range-based for statement.
+struct RangeFor {
+  int line = 0;
+  /// Every identifier appearing in the range expression (after the ':').
+  std::vector<std::string> range_idents;
+};
+
+/// One call through a plain or globally-qualified name: `foo(` or
+/// `::foo(`, but not `x.foo(`, `x->foo(` or `ns::foo(`. This mirrors how
+/// the rules distinguish a raw syscall/libc call from a method of the
+/// same name.
+struct CallSite {
+  std::string callee;
+  int line = 0;
+};
+
+struct TuModel {
+  std::vector<Token> tokens;  ///< the full stream, comments included
+  std::vector<Include> includes;
+  std::vector<ClassInfo> classes;
+  std::vector<RangeFor> range_fors;
+  std::vector<CallSite> calls;
+  /// Identifiers declared (directly, via alias, or via `auto x = tracked`)
+  /// with an unordered container type.
+  std::vector<std::string> unordered_idents;
+  bool has_pragma_once = false;
+
+  [[nodiscard]] bool includes_header(const std::string& path) const {
+    for (const Include& inc : includes) {
+      if (inc.path == path) return true;
+    }
+    return false;
+  }
+};
+
+/// Builds the model for one TU.
+[[nodiscard]] TuModel build_model(const std::string& content);
+
+}  // namespace fp8q::lint

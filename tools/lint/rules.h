@@ -1,0 +1,35 @@
+// Rule implementations for the fp8q_lint v2 engine (internal header).
+//
+// The engine (lint/engine.cpp) classifies the path, builds the TU model
+// and applies suppressions; run_rules() is the pure middle: model in,
+// findings out. Rule semantics are documented on lint/engine.h and in
+// docs/STATIC_ANALYSIS.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/engine.h"
+#include "lint/model.h"
+
+namespace fp8q::lint {
+
+/// A scanned file's path, classified by the engine.
+struct FilePath {
+  std::string reported;  ///< as it appears in findings (caller's spelling)
+  std::string root;      ///< "src", "tools" or "bench" (rule profile)
+  std::string sub;       ///< path below the root ("nn/linear.cpp")
+  std::string canonical; ///< root-prefixed path for manifest lookups
+};
+
+/// Classifies a rel path: "src/..."/"tools/..."/"bench/..." keep their
+/// root; anything else is treated as src-relative (v1 convention).
+[[nodiscard]] FilePath classify_path(const std::string& rel_path);
+
+/// Runs every armed rule for `path`'s profile over the model. `manifest`
+/// may be null (manifest-armed rules are skipped). Suppressions are NOT
+/// applied here — the engine filters afterwards against the raw lines.
+void run_rules(const FilePath& path, const TuModel& model, const Manifest* manifest,
+               std::vector<Finding>* out);
+
+}  // namespace fp8q::lint

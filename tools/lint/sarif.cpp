@@ -1,0 +1,83 @@
+#include "lint/sarif.h"
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+namespace fp8q::lint {
+
+namespace {
+
+/// JSON string escaping (the minimal audited subset: control chars,
+/// quote, backslash — finding messages are ASCII by construction).
+void write_escaped(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      case '\r': out << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void write_sarif(std::ostream& out, const std::vector<Finding>& findings) {
+  // Rule table: id -> one representative message (the per-rule text is
+  // identical across findings of the same rule).
+  std::map<std::string, std::string> rules;
+  for (const Finding& f : findings) rules.emplace(f.rule, f.message);
+
+  out << "{\n"
+      << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"fp8q_lint\",\n"
+      << "          \"informationUri\": \"docs/STATIC_ANALYSIS.md\",\n"
+      << "          \"rules\": [";
+  bool first = true;
+  for (const auto& [id, message] : rules) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "            {\"id\": ";
+    write_escaped(out, id);
+    out << ", \"shortDescription\": {\"text\": ";
+    write_escaped(out, message);
+    out << "}}";
+  }
+  out << (first ? "]\n" : "\n          ]\n");
+  out << "        }\n"
+      << "      },\n"
+      << "      \"results\": [";
+  first = true;
+  for (const Finding& f : findings) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "        {\"ruleId\": ";
+    write_escaped(out, f.rule);
+    out << ", \"level\": \"error\", \"message\": {\"text\": ";
+    write_escaped(out, f.message);
+    out << "}, \"locations\": [{\"physicalLocation\": {\"artifactLocation\": {\"uri\": ";
+    write_escaped(out, f.file);
+    out << "}, \"region\": {\"startLine\": " << (f.line > 0 ? f.line : 1) << "}}}]}";
+  }
+  out << (first ? "]\n" : "\n      ]\n");
+  out << "    }\n  ]\n}\n";
+}
+
+}  // namespace fp8q::lint

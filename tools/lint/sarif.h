@@ -1,0 +1,21 @@
+// SARIF 2.1.0 emission for fp8q_lint findings (docs/STATIC_ANALYSIS.md).
+//
+// SARIF (Static Analysis Results Interchange Format) is what CI systems
+// ingest for inline annotations: one `run` for the fp8q_lint driver, one
+// `rule` per distinct rule id seen, one `result` per finding with its
+// file/line region. The writer emits deterministic output (findings in
+// the engine's sorted order, rules sorted by id) so SARIF artifacts diff
+// cleanly between runs.
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "lint/engine.h"
+
+namespace fp8q::lint {
+
+/// Writes one SARIF 2.1.0 document covering `findings` to `out`.
+void write_sarif(std::ostream& out, const std::vector<Finding>& findings);
+
+}  // namespace fp8q::lint

@@ -1,0 +1,318 @@
+#include "lint/token.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace fp8q::lint {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+/// The only identifiers that can prefix a raw-string literal. Requiring an
+/// exact match keeps `FOUR"..."` an identifier followed by a plain string.
+bool is_raw_prefix(const std::string& s) {
+  return s == "R" || s == "u8R" || s == "LR" || s == "uR" || s == "UR";
+}
+
+/// True when content[i] starts a backslash-newline splice; sets `len`.
+bool is_splice(const std::string& s, std::size_t i, std::size_t& len) {
+  if (i + 1 < s.size() && s[i] == '\\' && s[i + 1] == '\n') {
+    len = 2;
+    return true;
+  }
+  if (i + 2 < s.size() && s[i] == '\\' && s[i + 1] == '\r' && s[i + 2] == '\n') {
+    len = 3;
+    return true;
+  }
+  return false;
+}
+
+/// Best-effort magnitude of a numeric literal (separators stripped,
+/// suffixes ignored). 0.0 when unparseable — rules only compare against
+/// thresholds, so "can't tell" must read as "small".
+double number_value(const std::string& text) {
+  std::string digits;
+  digits.reserve(text.size());
+  for (const char c : text) {
+    if (c != '\'') digits += c;
+  }
+  const char* begin = digits.c_str();
+  char* end = nullptr;
+  if (digits.size() > 1 && digits[0] == '0' && (digits[1] == 'b' || digits[1] == 'B')) {
+    const unsigned long long v = std::strtoull(begin + 2, &end, 2);
+    return end != begin + 2 ? static_cast<double>(v) : 0.0;
+  }
+  const double v = std::strtod(begin, &end);
+  return end != begin ? v : 0.0;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& content) : s_(content) {}
+
+  std::vector<Token> run() {
+    while (i_ < s_.size()) {
+      const char c = s_[i_];
+      std::size_t splice_len = 0;
+      if (c == '\n') {
+        ++line_;
+        ++i_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++i_;
+        continue;
+      }
+      if (is_splice(s_, i_, splice_len)) {
+        ++line_;
+        i_ += splice_len;
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        lex_directive();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '/' && i_ + 1 < s_.size() && (s_[i_ + 1] == '/' || s_[i_ + 1] == '*')) {
+        lex_comment();
+        continue;
+      }
+      if (is_ident_start(c)) {
+        lex_ident_or_raw_string();
+        continue;
+      }
+      if (is_digit(c) || (c == '.' && i_ + 1 < s_.size() && is_digit(s_[i_ + 1]))) {
+        lex_number();
+        continue;
+      }
+      if (c == '"') {
+        lex_quoted(TokKind::kString, '"', i_, line_);
+        continue;
+      }
+      if (c == '\'') {
+        lex_quoted(TokKind::kChar, '\'', i_, line_);
+        continue;
+      }
+      lex_punct();
+    }
+    return std::move(tokens_);
+  }
+
+ private:
+  void emit(TokKind kind, std::string text, int line, std::size_t begin, double value = 0.0) {
+    tokens_.push_back(Token{kind, std::move(text), line, begin, i_, value});
+  }
+
+  /// Appends s_[i_] to `out` and advances, transparently consuming any
+  /// splice that follows. Returns false at end of input.
+  bool take(std::string& out) {
+    if (i_ >= s_.size()) return false;
+    out += s_[i_++];
+    std::size_t len = 0;
+    while (is_splice(s_, i_, len)) {
+      ++line_;
+      i_ += len;
+    }
+    return true;
+  }
+
+  void lex_directive() {
+    const std::size_t begin = i_;
+    const int line = line_;
+    std::string text;
+    while (i_ < s_.size() && s_[i_] != '\n') {
+      std::size_t len = 0;
+      if (is_splice(s_, i_, len)) {
+        ++line_;
+        i_ += len;
+        text += ' ';
+        continue;
+      }
+      text += s_[i_++];
+    }
+    emit(TokKind::kDirective, std::move(text), line, begin);
+    at_line_start_ = false;
+  }
+
+  void lex_comment() {
+    const std::size_t begin = i_;
+    const int line = line_;
+    std::string text;
+    if (s_[i_ + 1] == '/') {
+      while (i_ < s_.size() && s_[i_] != '\n') {
+        std::size_t len = 0;
+        if (is_splice(s_, i_, len)) {  // a spliced // comment continues
+          ++line_;
+          i_ += len;
+          text += ' ';
+          continue;
+        }
+        text += s_[i_++];
+      }
+    } else {
+      // Block comment: ends at the *first* "*/" — C++ comments do not
+      // nest, so "/* a /* b */" ends after "b ".
+      text += s_[i_++];
+      text += s_[i_++];
+      while (i_ < s_.size()) {
+        if (s_[i_] == '*' && i_ + 1 < s_.size() && s_[i_ + 1] == '/') {
+          text += "*/";
+          i_ += 2;
+          break;
+        }
+        if (s_[i_] == '\n') ++line_;
+        text += s_[i_++];
+      }
+    }
+    emit(TokKind::kComment, std::move(text), line, begin);
+  }
+
+  void lex_ident_or_raw_string() {
+    const std::size_t begin = i_;
+    const int line = line_;
+    std::string text;
+    while (i_ < s_.size() && is_ident_char(s_[i_])) {
+      if (!take(text)) break;
+    }
+    if (i_ < s_.size() && s_[i_] == '"' && is_raw_prefix(text)) {
+      lex_raw_string(begin, line);
+      return;
+    }
+    emit(TokKind::kIdent, std::move(text), line, begin);
+  }
+
+  /// R"delim( ... )delim" — i_ sits on the opening quote; `begin`/`line`
+  /// cover the prefix identifier, which folds into the string token.
+  void lex_raw_string(std::size_t begin, int line) {
+    ++i_;  // opening quote
+    std::string delim;
+    while (i_ < s_.size() && s_[i_] != '(' && s_[i_] != '\n') delim += s_[i_++];
+    if (i_ < s_.size() && s_[i_] == '(') ++i_;
+    const std::string terminator = ")" + delim + "\"";
+    std::string text;
+    while (i_ < s_.size()) {
+      if (s_.compare(i_, terminator.size(), terminator) == 0) {
+        i_ += terminator.size();
+        break;
+      }
+      if (s_[i_] == '\n') ++line_;
+      text += s_[i_++];
+    }
+    emit(TokKind::kString, std::move(text), line, begin);
+  }
+
+  void lex_number() {
+    const std::size_t begin = i_;
+    const int line = line_;
+    std::string text;
+    // pp-number: digits, identifier chars, ' separators, '.' and
+    // exponent signs. Consuming greedily matches how the preprocessor
+    // lexes, so "1e+5f" and "0x1p-3" stay one token.
+    while (i_ < s_.size()) {
+      const char c = s_[i_];
+      if (is_ident_char(c) || c == '.' || c == '\'') {
+        if (!take(text)) break;
+        continue;
+      }
+      if ((c == '+' || c == '-') && !text.empty()) {
+        const char prev = text.back();
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          if (!take(text)) break;
+          continue;
+        }
+      }
+      break;
+    }
+    const double value = number_value(text);
+    emit(TokKind::kNumber, std::move(text), line, begin, value);
+  }
+
+  void lex_quoted(TokKind kind, char quote, std::size_t begin, int line) {
+    ++i_;  // opening quote
+    std::string text;
+    while (i_ < s_.size()) {
+      std::size_t len = 0;
+      if (is_splice(s_, i_, len)) {
+        ++line_;
+        i_ += len;
+        continue;
+      }
+      const char c = s_[i_];
+      if (c == '\\') {  // escape: consume the backslash and the next char
+        ++i_;
+        if (i_ < s_.size()) {
+          if (s_[i_] == '\n') ++line_;
+          text += s_[i_];
+          ++i_;
+        }
+        continue;
+      }
+      if (c == quote) {
+        ++i_;
+        break;
+      }
+      if (c == '\n') {
+        // Unterminated literal: stop at the line break so the rest of
+        // the file still tokenizes (linters must not cascade).
+        break;
+      }
+      text += c;
+      ++i_;
+    }
+    emit(kind, std::move(text), line, begin);
+  }
+
+  void lex_punct() {
+    const std::size_t begin = i_;
+    const int line = line_;
+    const char c = s_[i_];
+    // '::' and '->' are fused (rules use them to classify call sites);
+    // everything else is one char, so '>>' closes two template args.
+    if (c == ':' && i_ + 1 < s_.size() && s_[i_ + 1] == ':') {
+      i_ += 2;
+      emit(TokKind::kPunct, "::", line, begin);
+      return;
+    }
+    if (c == '-' && i_ + 1 < s_.size() && s_[i_ + 1] == '>') {
+      i_ += 2;
+      emit(TokKind::kPunct, "->", line, begin);
+      return;
+    }
+    ++i_;
+    emit(TokKind::kPunct, std::string(1, c), line, begin);
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+  std::vector<Token> tokens_;
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& content) { return Lexer(content).run(); }
+
+std::string strip_comments_and_strings(const std::string& content) {
+  std::string out = content;
+  for (const Token& t : tokenize(content)) {
+    if (t.kind != TokKind::kComment && t.kind != TokKind::kString &&
+        t.kind != TokKind::kChar) {
+      continue;
+    }
+    for (std::size_t i = t.begin; i < t.end && i < out.size(); ++i) {
+      if (out[i] != '\n') out[i] = ' ';
+    }
+  }
+  return out;
+}
+
+}  // namespace fp8q::lint

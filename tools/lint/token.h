@@ -1,0 +1,64 @@
+// C++ tokenizer for the fp8q_lint analysis engine (docs/STATIC_ANALYSIS.md).
+//
+// Lexes one translation unit into a flat token stream the rule engine and
+// the per-TU model (lint/model.h) walk instead of re-matching regexes per
+// line. The lexer understands exactly as much C++ as the rules need:
+//
+//   - identifiers and keywords (one kind; rules match by spelling)
+//   - numeric literals (decimal / hex / octal / binary, separators,
+//     suffixes, floating forms), with the parsed magnitude attached
+//   - string, char and raw-string literals (escape sequences consumed so
+//     an escaped quote never ends a literal early; raw-string delimiters
+//     matched exactly)
+//   - // and /* */ comments, kept as tokens so suppression markers
+//     ("fp8q-lint: allow(...)") stay visible to the engine
+//   - preprocessor directives as one logical token each, with
+//     backslash-newline continuations spliced
+//   - punctuation, with '::' and '->' fused (rules need them to decide
+//     whether a call is member/namespace-qualified) and everything else
+//     single-char, so '>>' closes two template args
+//
+// Backslash-newline splices are handled inside every token form, matching
+// phase-2 translation; `line` is always the token's *start* line, so
+// findings keep stable line numbers across continuations. Malformed input
+// (unterminated literal/comment) never fails: the token ends at EOF —
+// a linter must degrade gracefully on code the compiler would reject.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fp8q::lint {
+
+enum class TokKind : std::uint8_t {
+  kIdent,      ///< identifier or keyword
+  kNumber,     ///< numeric literal (value() holds the magnitude)
+  kString,     ///< "..." or R"delim(...)delim" (text excludes quotes)
+  kChar,       ///< '...'
+  kComment,    ///< // or /* */ (text includes the comment markers)
+  kDirective,  ///< one whole preprocessor directive, continuations spliced
+  kPunct,      ///< operator/punctuation ("::" and "->" fused, else 1 char)
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;        ///< spliced spelling (see per-kind notes above)
+  int line = 0;            ///< 1-based line of the token's first character
+  std::size_t begin = 0;   ///< byte offset of the first character
+  std::size_t end = 0;     ///< one past the last byte (original content)
+  double value = 0.0;      ///< kNumber only: parsed magnitude (0 if huge)
+};
+
+/// Lexes `content` into tokens. Never throws; unterminated constructs end
+/// at EOF. Comments and directives are included in the stream.
+[[nodiscard]] std::vector<Token> tokenize(const std::string& content);
+
+/// Replaces comment and string/char literal spans with spaces (newlines
+/// preserved, so line numbers and file shape survive). Built on the
+/// tokenizer; exposed for tests and for callers that still want a text
+/// view with prose removed.
+[[nodiscard]] std::string strip_comments_and_strings(const std::string& content);
+
+}  // namespace fp8q::lint
