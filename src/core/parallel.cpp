@@ -8,7 +8,9 @@
 #include <thread>
 
 #include "core/thread_annotations.h"
+#include "obs/domain.h"
 #include "obs/histogram.h"
+#include "obs/report.h"
 #include "obs/trace.h"
 
 namespace fp8q {
@@ -18,6 +20,9 @@ namespace {
 /// Set while a thread is executing region tasks (worker, or the caller
 /// participating in its own region): nested parallel calls go inline.
 thread_local bool tls_in_region = false;
+
+/// The calling thread's arena binding (ScopedArenaBinding), or nullptr.
+thread_local ParallelArena* tls_arena = nullptr;
 
 constexpr int kMaxThreads = 256;
 
@@ -43,9 +48,22 @@ std::atomic<int> g_thread_override{0};
 
 /// One-job-at-a-time pool. Concurrent top-level regions (from distinct
 /// user threads) serialize on run_mutex_; nested regions never reach the
-/// pool (they run inline via tls_in_region).
+/// pool (they run inline via tls_in_region). The default-constructed
+/// global pool tracks num_threads()-1 workers; arena pools
+/// (ParallelArena) construct with a fixed worker count.
+///
+/// Obs-context propagation: each job publishes the dispatching thread's
+/// CounterDomain and per-thread report binding (obs/domain.h,
+/// obs/report.h) with the job state, and every worker binds both around
+/// its share of the region -- so a job running under a scoped observation
+/// domain keeps its counters exact when it fans out across the pool.
 class ThreadPool {
  public:
+  /// Global-sized pool: resizes to num_threads()-1 at each region.
+  ThreadPool() = default;
+  /// Fixed-size pool with exactly `workers` workers (may be 0).
+  explicit ThreadPool(int workers) : fixed_workers_(workers < 0 ? 0 : workers) {}
+
   static ThreadPool& global() {
     static ThreadPool pool;
     return pool;
@@ -57,13 +75,15 @@ class ThreadPool {
   void run(std::int64_t n, const std::function<void(std::int64_t)>& fn)
       FP8Q_EXCLUDES(run_mutex_) {
     std::lock_guard<std::mutex> run_lock(run_mutex_);
-    resize_locked(num_threads() - 1);
+    resize_locked(fixed_workers_ >= 0 ? fixed_workers_ : num_threads() - 1);
 
     std::exception_ptr error;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       job_fn_ = &fn;
       job_n_ = n;
+      job_domain_ = current_counter_domain();
+      job_report_ = current_thread_report();
       next_.store(0, std::memory_order_relaxed);
       active_ = static_cast<int>(workers_.size());
       error_ = nullptr;
@@ -92,7 +112,6 @@ class ThreadPool {
   }
 
  private:
-  ThreadPool() = default;
 
   /// Claims indices until the job is exhausted, capturing the first error.
   void drain(std::int64_t n, const std::function<void(std::int64_t)>& fn) {
@@ -118,6 +137,8 @@ class ThreadPool {
     for (;;) {
       const std::function<void(std::int64_t)>* fn = nullptr;
       std::int64_t n = 0;
+      CounterDomain* domain = nullptr;
+      ThreadReportBinding report;
       {
         std::unique_lock<std::mutex> lock(mutex_);
         work_cv_.wait(lock, [&] { return stop_ || job_id_ != seen; });
@@ -125,8 +146,17 @@ class ThreadPool {
         seen = job_id_;
         fn = job_fn_;
         n = job_n_;
+        domain = job_domain_;
+        report = job_report_;
       }
-      if (fn) drain(n, *fn);
+      if (fn) {
+        // Adopt the dispatcher's obs context for this region: its domain
+        // (or nullptr = global routing) and its report binding.
+        ScopedCounterDomain domain_scope(domain);
+        const ThreadReportBinding prev = set_thread_report(report);
+        drain(n, *fn);
+        set_thread_report(prev);
+      }
       {
         std::lock_guard<std::mutex> lock(mutex_);
         if (--active_ == 0) done_cv_.notify_all();
@@ -164,10 +194,15 @@ class ThreadPool {
   // Current job (guarded by mutex_ except the lock-free index counter).
   const std::function<void(std::int64_t)>* job_fn_ FP8Q_GUARDED_BY(mutex_) = nullptr;
   std::int64_t job_n_ FP8Q_GUARDED_BY(mutex_) = 0;
+  CounterDomain* job_domain_ FP8Q_GUARDED_BY(mutex_) = nullptr;
+  ThreadReportBinding job_report_ FP8Q_GUARDED_BY(mutex_);
   std::atomic<std::int64_t> next_{0};
   int active_ FP8Q_GUARDED_BY(mutex_) = 0;
   std::uint64_t job_id_ FP8Q_GUARDED_BY(mutex_) = 0;
   std::exception_ptr error_ FP8Q_GUARDED_BY(mutex_);
+
+  /// -1 = track num_threads()-1 (the global pool); >= 0 = fixed size.
+  const int fixed_workers_ = -1;
 };
 
 }  // namespace
@@ -178,6 +213,7 @@ int hardware_threads() {
 }
 
 int num_threads() {
+  if (const ParallelArena* arena = tls_arena) return arena->budget();
   const int override_n = g_thread_override.load(std::memory_order_relaxed);
   return override_n > 0 ? override_n : env_default_threads();
 }
@@ -188,11 +224,44 @@ void set_num_threads(int n) {
 
 bool in_parallel_region() { return tls_in_region; }
 
+/// A fixed pool of budget-1 workers, created lazily by the pool itself at
+/// the first multi-chunk region (a budget-1 arena never constructs one).
+struct ParallelArena::Impl {
+  ThreadPool pool;
+
+  explicit Impl(int workers) : pool(workers) {}
+};
+
+ParallelArena::ParallelArena(int budget) : budget_(clamp_threads(budget)) {
+  if (budget_ > 1) impl_ = std::make_unique<Impl>(budget_ - 1);
+}
+
+ParallelArena::~ParallelArena() = default;
+
+/// Runs one region on the arena's own pool (friend of ParallelArena).
+void arena_run_region(ParallelArena& arena, std::int64_t n,
+                      const std::function<void(std::int64_t)>& fn) {
+  arena.impl_->pool.run(n, fn);
+}
+
+ParallelArena* current_arena() { return tls_arena; }
+
+ScopedArenaBinding::ScopedArenaBinding(ParallelArena* arena) : prev_(tls_arena) {
+  tls_arena = arena;
+}
+
+ScopedArenaBinding::~ScopedArenaBinding() { tls_arena = prev_; }
+
 namespace {
 
 void run_region(std::int64_t n, const std::function<void(std::int64_t)>& fn) {
   if (n == 1 || num_threads() == 1 || tls_in_region) {
     for (std::int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // num_threads() > 1 here, so a bound arena has budget > 1 and owns a pool.
+  if (ParallelArena* arena = tls_arena) {
+    arena_run_region(*arena, n, fn);
     return;
   }
   ThreadPool::global().run(n, fn);

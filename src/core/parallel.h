@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -59,9 +60,10 @@ inline constexpr std::int64_t kParallelGrainFlops = 65536;
 [[nodiscard]] int hardware_threads();
 
 /// The number of threads (pool workers + the calling thread) parallel
-/// regions may use. Resolution order: the last set_num_threads() value,
-/// else FP8Q_NUM_THREADS (read once, on first use), else
-/// hardware_threads(). Always >= 1.
+/// regions may use. A thread bound to a ParallelArena (below) reports the
+/// arena's budget; otherwise resolution order is the last
+/// set_num_threads() value, else FP8Q_NUM_THREADS (read once, on first
+/// use), else hardware_threads(). Always >= 1.
 [[nodiscard]] int num_threads();
 
 /// Overrides the thread count for all subsequent parallel regions.
@@ -74,6 +76,59 @@ void set_num_threads(int n);
 /// region (pool worker, or the caller participating in its own region).
 /// Such threads execute nested parallel calls serially inline.
 [[nodiscard]] bool in_parallel_region();
+
+/// A private, fixed-budget slice of the parallel runtime
+/// (docs/THREADING.md, "Nested-parallelism budget"). While a thread is
+/// bound to an arena (ScopedArenaBinding), num_threads() reports the
+/// arena's budget and parallel regions dispatched from that thread run on
+/// the arena's own workers instead of the shared global pool -- so
+/// concurrent top-level dispatchers (fp8qd's executor workers) neither
+/// serialize on the global pool's one-region-at-a-time lock nor
+/// oversubscribe the machine: N executors with budget max(1, threads/N)
+/// each use their slice. A budget-1 arena owns no threads at all; every
+/// region runs inline on the binding thread. The deterministic partition
+/// contract is unchanged: parallel_for under an arena chunks exactly as
+/// it would with num_threads() == budget.
+class ParallelArena {
+ public:
+  /// Budget counts the binding thread itself: budget 1 = serial, budget k
+  /// = the binding thread plus k-1 arena workers (spawned lazily at the
+  /// first parallel region). Clamped to >= 1.
+  explicit ParallelArena(int budget);
+  ~ParallelArena();
+
+  ParallelArena(const ParallelArena&) = delete;
+  ParallelArena& operator=(const ParallelArena&) = delete;
+
+  [[nodiscard]] int budget() const { return budget_; }
+
+ private:
+  friend void arena_run_region(ParallelArena& arena, std::int64_t n,
+                               const std::function<void(std::int64_t)>& fn);
+  int budget_;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// The calling thread's bound arena, or nullptr (global pool).
+[[nodiscard]] ParallelArena* current_arena();
+
+/// RAII arena binding: parallel regions (and num_threads()) on this
+/// thread use `arena` for the scope's lifetime; nullptr pins the global
+/// pool. Bindings nest; the previous binding is restored on destruction.
+/// The arena must outlive the binding, and at most one thread may be
+/// bound to a given arena at a time (its pool runs one region at a time).
+class ScopedArenaBinding {
+ public:
+  explicit ScopedArenaBinding(ParallelArena* arena);
+  ~ScopedArenaBinding();
+
+  ScopedArenaBinding(const ScopedArenaBinding&) = delete;
+  ScopedArenaBinding& operator=(const ScopedArenaBinding&) = delete;
+
+ private:
+  ParallelArena* prev_;
+};
 
 /// Splits [begin, end) into min(num_threads(), ceil(n / grain)) near-equal
 /// contiguous chunks (grain < 1 behaves as 1) and invokes

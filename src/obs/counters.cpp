@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/thread_annotations.h"
+#include "obs/domain.h"
 
 namespace fp8q {
 
@@ -111,6 +112,10 @@ void set_counters_enabled(bool enabled) {
 
 void counter_add(ObsFormat fmt, ObsEvent event, std::uint64_t n) {
   if (n == 0) return;
+  if (CounterDomain* domain = current_counter_domain()) {
+    domain->add(fmt, event, n);
+    return;
+  }
   local_shard()
       .counts[static_cast<int>(fmt)][static_cast<int>(event)]
       .fetch_add(n, std::memory_order_relaxed);
@@ -152,6 +157,7 @@ bool operator==(const CounterSnapshot& a, const CounterSnapshot& b) {
 }
 
 CounterSnapshot counters_snapshot() {
+  if (const CounterDomain* domain = current_counter_domain()) return domain->counters();
   Registry& reg = registry();
   std::lock_guard<std::mutex> lock(reg.mutex);
   CounterSnapshot snap = reg.retired;
@@ -166,6 +172,10 @@ CounterSnapshot counters_snapshot() {
 }
 
 void counters_reset() {
+  if (CounterDomain* domain = current_counter_domain()) {
+    domain->reset_counters();
+    return;
+  }
   Registry& reg = registry();
   std::lock_guard<std::mutex> lock(reg.mutex);
   reg.retired = CounterSnapshot{};
@@ -194,6 +204,10 @@ const char* to_string(ObsCacheEvent event) {
 
 void cache_counter_add(ObsCacheEvent event, std::uint64_t n) {
   if (n == 0) return;
+  if (CounterDomain* domain = current_counter_domain()) {
+    domain->add_cache(event, n);
+    return;
+  }
   g_cache_counts[static_cast<int>(event)].fetch_add(n, std::memory_order_relaxed);
 }
 
@@ -213,6 +227,7 @@ CacheCounterSnapshot CacheCounterSnapshot::since(const CacheCounterSnapshot& ear
 }
 
 CacheCounterSnapshot cache_counters_snapshot() {
+  if (const CounterDomain* domain = current_counter_domain()) return domain->cache_counters();
   CacheCounterSnapshot snap;
   for (int e = 0; e < kObsCacheEventCount; ++e) {
     snap.counts[e] = g_cache_counts[e].load(std::memory_order_relaxed);
@@ -221,6 +236,10 @@ CacheCounterSnapshot cache_counters_snapshot() {
 }
 
 void cache_counters_reset() {
+  if (CounterDomain* domain = current_counter_domain()) {
+    domain->reset_cache_counters();
+    return;
+  }
   for (auto& c : g_cache_counts) c.store(0, std::memory_order_relaxed);
 }
 
@@ -243,6 +262,10 @@ const char* to_string(ObsKernelPath path) {
 
 void kernel_counter_add(ObsKernelPath path, std::uint64_t n) {
   if (n == 0) return;
+  if (CounterDomain* domain = current_counter_domain()) {
+    domain->add_kernel(path, n);
+    return;
+  }
   g_kernel_counts[static_cast<int>(path)].fetch_add(n, std::memory_order_relaxed);
 }
 
@@ -262,6 +285,7 @@ KernelCounterSnapshot KernelCounterSnapshot::since(const KernelCounterSnapshot& 
 }
 
 KernelCounterSnapshot kernel_counters_snapshot() {
+  if (const CounterDomain* domain = current_counter_domain()) return domain->kernel_counters();
   KernelCounterSnapshot snap;
   for (int e = 0; e < kObsKernelPathCount; ++e) {
     snap.counts[e] = g_kernel_counts[e].load(std::memory_order_relaxed);
@@ -270,6 +294,10 @@ KernelCounterSnapshot kernel_counters_snapshot() {
 }
 
 void kernel_counters_reset() {
+  if (CounterDomain* domain = current_counter_domain()) {
+    domain->reset_kernel_counters();
+    return;
+  }
   for (auto& c : g_kernel_counts) c.store(0, std::memory_order_relaxed);
 }
 

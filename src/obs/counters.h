@@ -26,6 +26,12 @@
 // *bulk call* (one relaxed atomic load), never per element, and run their
 // original uninstrumented loops. Enable with FP8Q_TRACE=1, by setting
 // FP8Q_REPORT, or programmatically via set_counters_enabled(true).
+//
+// Scoped routing: a thread bound to a CounterDomain (obs/domain.h,
+// ScopedCounterDomain) redirects every add/snapshot/reset in this header
+// to that domain instead of the shards/globals -- how fp8qd isolates one
+// job's events under concurrent execution. Unbound threads (every
+// non-daemon caller) behave exactly as documented above.
 #pragma once
 
 #include <cstdint>

@@ -9,6 +9,7 @@
 #include <mutex>
 
 #include "core/thread_annotations.h"
+#include "obs/domain.h"
 
 namespace fp8q {
 
@@ -155,15 +156,23 @@ void set_histograms_enabled(bool enabled) {
 }
 
 void hist_record(HistChannel channel, double v) {
-  HistShard& shard = local_shard();
-  std::lock_guard<std::mutex> lock(shard.mutex);
   LocalHistogram one;
   one.record(v);
+  if (CounterDomain* domain = current_counter_domain()) {
+    domain->merge_histogram(channel, one.snap);
+    return;
+  }
+  HistShard& shard = local_shard();
+  std::lock_guard<std::mutex> lock(shard.mutex);
   shard.channels[static_cast<int>(channel)].merge_from(one.snap);
 }
 
 void hist_merge(HistChannel channel, const LocalHistogram& local) {
   if (local.snap.total == 0) return;
+  if (CounterDomain* domain = current_counter_domain()) {
+    domain->merge_histogram(channel, local.snap);
+    return;
+  }
   HistShard& shard = local_shard();
   std::lock_guard<std::mutex> lock(shard.mutex);
   shard.channels[static_cast<int>(channel)].merge_from(local.snap);
@@ -180,6 +189,7 @@ void hist_record_named(std::string_view name, double v) {
 }
 
 HistogramSnapshot histogram_snapshot(HistChannel channel) {
+  if (const CounterDomain* domain = current_counter_domain()) return domain->histogram(channel);
   Registry& reg = registry();
   std::vector<std::shared_ptr<HistShard>> shards;
   {
@@ -219,6 +229,10 @@ std::vector<NamedHistogram> all_histograms_snapshot() {
 }
 
 void histograms_reset() {
+  if (CounterDomain* domain = current_counter_domain()) {
+    domain->reset_histograms();
+    return;
+  }
   Registry& reg = registry();
   std::vector<std::shared_ptr<HistShard>> shards;
   {

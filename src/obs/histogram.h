@@ -33,6 +33,11 @@
 // global named-histogram table. Channels (HistChannel) are the fixed,
 // hot instrumentation points; named histograms cover open-ended keys
 // (per-stage latencies) at map-lookup cost.
+//
+// Scoped routing: a thread bound to a CounterDomain (obs/domain.h)
+// redirects the *channel* record/merge/snapshot/reset functions to the
+// domain. The named table stays process-global -- open-ended telemetry,
+// not part of a job's deterministic result surface.
 #pragma once
 
 #include <bit>

@@ -17,6 +17,10 @@ namespace {
 
 std::atomic<RunReport*> g_active_report{nullptr};
 
+/// Per-thread shadow of the global report (ScopedThreadReport). The flag
+/// distinguishes "bound to nullptr" from "not bound at all".
+thread_local ThreadReportBinding tls_report;
+
 /// Guards appends to the active report's stage list. The report pointer
 /// itself is the atomic above (lock-free null check on the hot path); the
 /// *pointed-to* stages vector is only mutated under this mutex.
@@ -190,10 +194,32 @@ std::string RunReport::to_json() const {
   return os.str();
 }
 
-RunReport* active_report() { return g_active_report.load(std::memory_order_acquire); }
+RunReport* active_report() {
+  if (tls_report.bound) return tls_report.report;
+  return g_active_report.load(std::memory_order_acquire);
+}
 
 void set_active_report(RunReport* report) {
   g_active_report.store(report, std::memory_order_release);
+}
+
+ThreadReportBinding current_thread_report() { return tls_report; }
+
+ThreadReportBinding set_thread_report(ThreadReportBinding binding) {
+  const ThreadReportBinding previous = tls_report;
+  tls_report = binding;
+  return previous;
+}
+
+ScopedThreadReport::ScopedThreadReport(RunReport* report)
+    : prev_(tls_report.report), prev_bound_(tls_report.bound) {
+  tls_report.report = report;
+  tls_report.bound = true;
+}
+
+ScopedThreadReport::~ScopedThreadReport() {
+  tls_report.report = prev_;
+  tls_report.bound = prev_bound_;
 }
 
 ScopedStage::ScopedStage(std::string_view name) : span_(name) {

@@ -93,9 +93,13 @@ struct Entry {
   /// the FP32 bytes. Null when the decode check failed at insert (NaN
   /// payloads), in which case `data` holds the FP32 payload instead.
   std::shared_ptr<const PackedFp8Tensor> packed;
-  std::vector<float> data;  ///< FP32 fallback payload (packed == nullptr)
-  Shape shape;              ///< collision guard, compared on every hit
-  CastTally tally;          ///< events the miss computation produced
+  /// FP32 fallback payload (packed == nullptr). shared_ptr so a hit can
+  /// pin the payload and deliver it *outside* the cache mutex -- under
+  /// concurrent fp8qd jobs the mutex covers only map/LRU bookkeeping, and
+  /// a concurrent eviction cannot free bytes a hit is still copying.
+  std::shared_ptr<const std::vector<float>> data;
+  Shape shape;     ///< collision guard, compared on every hit
+  CastTally tally; ///< events the miss computation produced
   ObsFormat fmt = ObsFormat::kOther;
   std::list<Key>::iterator lru_it;
 };
@@ -133,7 +137,7 @@ Cache& cache() {
 std::int64_t entry_bytes(const Entry& e) {
   const std::int64_t payload =
       e.packed ? static_cast<std::int64_t>(e.packed->storage_bytes())
-               : static_cast<std::int64_t>(e.data.size() * sizeof(float));
+               : static_cast<std::int64_t>((e.data ? e.data->size() : 0) * sizeof(float));
   return payload + 64;
 }
 
@@ -217,11 +221,15 @@ void replay_tally(const CastTally& tally, ObsFormat fmt) {
 /// entries decode each channel through the dispatched kernel. Every tier
 /// decodes bit-identically (docs/KERNELS.md), so the delivered payload --
 /// already verified equal to the miss-time bits at insert -- does not
-/// depend on FP8Q_ISA.
-void deliver_payload(const Entry& e, Tensor& w) {
+/// depend on FP8Q_ISA. Called WITHOUT the cache mutex: both payload forms
+/// are shared_ptr-pinned by the caller, so delivery races nothing -- the
+/// mutex stays a pure bookkeeping lock, the only cross-job serialization
+/// point the fp8qd scheduler has (docs/THREADING.md).
+void deliver_payload(const std::shared_ptr<const PackedFp8Tensor>& packed,
+                     const std::shared_ptr<const std::vector<float>>& fp32, Tensor& w) {
   float* dst = w.flat().data();
-  if (e.packed) {
-    const PackedFp8Tensor& p = *e.packed;
+  if (packed) {
+    const PackedFp8Tensor& p = *packed;
     const auto channels = static_cast<std::int64_t>(p.scales().size());
     const std::int64_t block = static_cast<std::int64_t>(p.codes().size()) / channels;
     const PackedKernelTable& kt = packed_kernels(isa_tier());
@@ -232,7 +240,7 @@ void deliver_payload(const Entry& e, Tensor& w) {
     }
     kernel_counter_add(ObsKernelPath::kCacheDecode, 1);
   } else {
-    std::memcpy(dst, e.data.data(), e.data.size() * sizeof(float));
+    std::memcpy(dst, fp32->data(), fp32->size() * sizeof(float));
   }
 }
 
@@ -303,21 +311,40 @@ std::shared_ptr<const PackedFp8Tensor> quantize_weight_impl(Tensor& w, DType dty
   }
   const Key key{content, dtype};
   {
-    std::lock_guard<std::mutex> lock(c.mutex);
-    auto it = c.map.find(key);
-    if (it != c.map.end() && it->second.shape == w.shape()) {
-      Entry& e = it->second;
-      c.lru.splice(c.lru.begin(), c.lru, e.lru_it);
-      ++c.stats.hits;
-      cache_counter_add(ObsCacheEvent::kHit, 1);
+    // Hit path: the lock covers only the lookup and LRU/stat bookkeeping.
+    // Payload delivery and tally replay happen after release, against the
+    // pinned shared_ptrs -- with N concurrent jobs, decode work (the
+    // expensive part of a hit) overlaps freely, and the replayed counters
+    // land in the *calling* job's observation domain (obs/domain.h).
+    std::shared_ptr<const PackedFp8Tensor> hit_packed;
+    std::shared_ptr<const std::vector<float>> hit_fp32;
+    CastTally hit_tally;
+    ObsFormat hit_fmt = ObsFormat::kOther;
+    bool hit = false;
+    {
+      std::lock_guard<std::mutex> lock(c.mutex);
+      auto it = c.map.find(key);
+      if (it != c.map.end() && it->second.shape == w.shape()) {
+        Entry& e = it->second;
+        c.lru.splice(c.lru.begin(), c.lru, e.lru_it);
+        ++c.stats.hits;
+        cache_counter_add(ObsCacheEvent::kHit, 1);
+        hit_packed = e.packed;
+        hit_fp32 = e.data;
+        hit_tally = e.tally;
+        hit_fmt = e.fmt;
+        hit = true;
+      }
+    }
+    if (hit) {
       // Writing through flat() re-dirties w -- correct: its contents
       // change from the hashed state to the quantized state.
-      deliver_payload(e, w);
-      replay_tally(e.tally, e.fmt);
+      deliver_payload(hit_packed, hit_fp32, w);
+      replay_tally(hit_tally, hit_fmt);
       if (histed) {
         hist_record(HistChannel::kCacheHitNs, static_cast<double>(obs_now_ns() - t0));
       }
-      return e.packed;
+      return hit_packed;
     }
   }
 
@@ -336,7 +363,7 @@ std::shared_ptr<const PackedFp8Tensor> quantize_weight_impl(Tensor& w, DType dty
       fresh.packed = packed;
     } else {
       const auto data = std::as_const(w).flat();
-      fresh.data.assign(data.begin(), data.end());
+      fresh.data = std::make_shared<const std::vector<float>>(data.begin(), data.end());
     }
   }
   replay_tally(fresh.tally, fresh.fmt);

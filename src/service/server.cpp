@@ -8,6 +8,7 @@
 #include "core/parallel.h"
 #include "fp8/format.h"
 #include "obs/counters.h"
+#include "obs/domain.h"
 #include "obs/memory.h"
 #include "obs/trace.h"
 #include "quant/qconfig.h"
@@ -87,6 +88,11 @@ ServerOptions options_from_env() {
     const int n = std::atoi(qmax);
     if (n > 0) opts.queue_max = static_cast<std::size_t>(n);
   }
+  if (const char* workers = std::getenv("FP8QD_WORKERS");
+      workers != nullptr && workers[0] != '\0') {
+    const int n = std::atoi(workers);
+    if (n > 0) opts.workers = n;
+  }
   return opts;
 }
 
@@ -99,18 +105,22 @@ RunReport run_job_oneshot(const std::vector<Workload>& suite, const JobSpec& spe
   report.num_threads = num_threads();
   report.isa = isa_label();
 
-  // Snapshot the process-global tallies so the report carries this job's
-  // *delta*. Because counter totals are deterministic and the weight
-  // cache replays miss tallies on hits, the delta matches what a fresh
-  // one-shot process would report as its cumulative counters.
-  const CounterSnapshot counters0 = counters_snapshot();
-  const CacheCounterSnapshot cache0 = cache_counters_snapshot();
-  const KernelCounterSnapshot kernels0 = kernel_counters_snapshot();
-  const AllocCounterSnapshot allocs0 = alloc_counters_snapshot();
-
-  RunReport* previous = active_report();
-  set_active_report(&report);
-  try {
+  // The whole job body runs under a fresh observation domain: every
+  // counter, cache/kernel event, allocation and histogram channel the job
+  // (and its parallel fan-out) produces lands in `domain`, so the
+  // report's counter blocks are this job's exact events -- no global
+  // before/after snapshots, hence exact even with other jobs running
+  // concurrently. The fold guard moves the tallies into the caller's
+  // enclosing sink (normally the process globals) on every exit path, so
+  // cumulative process-wide totals are unchanged by the detour.
+  CounterDomain domain;
+  struct FoldGuard {
+    CounterDomain& domain;
+    ~FoldGuard() { domain.fold_into_global(); }
+  } fold_guard{domain};
+  {
+    ScopedCounterDomain domain_scope(&domain);
+    ScopedThreadReport report_scope(&report);
     switch (spec.kind) {
       case JobKind::kEval: {
         report.records.push_back(evaluate_workload(w, scheme_for_spec(spec), protocol));
@@ -143,16 +153,12 @@ RunReport run_job_oneshot(const std::vector<Workload>& suite, const JobSpec& spe
         break;
       }
     }
-  } catch (...) {
-    set_active_report(previous);
-    throw;
   }
-  set_active_report(previous);
 
-  report.counters = counters_snapshot().since(counters0);
-  report.weight_cache = cache_counters_snapshot().since(cache0);
-  report.kernel_paths = kernel_counters_snapshot().since(kernels0);
-  const AllocCounterSnapshot alloc_delta = alloc_counters_snapshot().since(allocs0);
+  report.counters = domain.counters();
+  report.weight_cache = domain.cache_counters();
+  report.kernel_paths = domain.kernel_counters();
+  const AllocCounterSnapshot alloc_delta = domain.alloc_counters();
   report.memory.alloc_bytes = alloc_delta.bytes;
   report.memory.allocs = alloc_delta.allocs;
   report.memory.peak_rss_bytes = peak_rss_bytes();
@@ -173,6 +179,14 @@ Server::Server(ServerOptions options)
     tcp_listener_ = listen_tcp_loopback(options.tcp_port);
     tcp_port_ = tcp_listener_.tcp_port();
   }
+  workers_ = options.workers < 1 ? 1 : (options.workers > 64 ? 64 : options.workers);
+  // Split the machine across the executor workers: each job's parallel
+  // arena gets num_threads()/workers threads (at least 1), so full
+  // occupancy never oversubscribes. Sampled once here -- the budget is
+  // part of the server's configuration, not a per-job lookup.
+  const int base_threads = num_threads();
+  job_threads_ = base_threads / workers_ < 1 ? 1 : base_threads / workers_;
+  slots_.resize(static_cast<std::size_t>(workers_));
   // The daemon always counts: per-job reports are the product it serves.
   set_counters_enabled(true);
   suite_ = build_suite();
@@ -180,14 +194,16 @@ Server::Server(ServerOptions options)
 }
 
 Server::~Server() {
-  // run() joins the executor on the normal path; this covers a Server
+  // run() joins the executors on the normal path; this covers a Server
   // that was constructed but whose run() threw or was never called.
   {
     std::lock_guard<std::mutex> lock(mutex_);
     drain_mode_ = true;
   }
   executor_cv_.notify_all();
-  if (executor_.joinable()) executor_.join();
+  for (std::thread& t : executors_) {
+    if (t.joinable()) t.join();
+  }
 }
 
 void Server::request_shutdown() noexcept {
@@ -196,9 +212,10 @@ void Server::request_shutdown() noexcept {
 }
 
 ServiceStats Server::stats_snapshot() const {
+  const std::uint64_t now = obs_now_ns();
   std::lock_guard<std::mutex> lock(mutex_);
   ServiceStats s;
-  s.uptime_ns = obs_now_ns() - start_ns_;
+  s.uptime_ns = now - start_ns_;
   s.submitted = submitted_;
   s.completed = completed_;
   s.failed = failed_;
@@ -207,44 +224,62 @@ ServiceStats Server::stats_snapshot() const {
   s.rejected = rejected_;
   s.queue_depth = queue_.size();
   s.queue_capacity = queue_.capacity();
-  s.job_running = running_ != nullptr;
+  s.workers = workers_;
+  s.job_threads = job_threads_;
+  s.active_jobs = active_jobs_;
+  s.job_running = active_jobs_ != 0;
   s.draining = drain_mode_;
+  s.per_worker.reserve(slots_.size());
+  for (const WorkerSlot& slot : slots_) {
+    WorkerStats w;
+    w.jobs = slot.jobs;
+    std::uint64_t busy = slot.busy_ns;
+    if (slot.busy_since_ns != 0 && now > slot.busy_since_ns) busy += now - slot.busy_since_ns;
+    w.busy_fraction = s.uptime_ns != 0
+                          ? static_cast<double>(busy) / static_cast<double>(s.uptime_ns)
+                          : 0.0;
+    if (w.busy_fraction > 1.0) w.busy_fraction = 1.0;
+    s.per_worker.push_back(w);
+  }
   s.job_wall_ns = job_wall_ns_.snap;
   s.queue_wait_ns = queue_wait_ns_.snap;
   return s;
 }
 
-void Server::executor_loop() {
+void Server::executor_loop(int slot) {
+  // This worker's slice of the parallel runtime: every job it runs fans
+  // out over its own arena (budget job_threads_), so full occupancy uses
+  // workers x job_threads_ <= num_threads() threads and jobs never
+  // serialize on the global pool's region lock (core/parallel.h).
+  ParallelArena arena(job_threads_);
+  ScopedArenaBinding arena_binding(&arena);
+  WorkerSlot& mine = slots_[static_cast<std::size_t>(slot)];
   for (;;) {
     std::shared_ptr<Job> job;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       executor_cv_.wait(lock, [this] { return drain_mode_ || !queue_.empty(); });
       if (queue_.empty()) {
-        // Drain mode with nothing left: the executor is done for good.
-        executor_done_ = true;
+        // Drain mode with nothing left: this worker is done for good.
+        ++executors_done_;
         wake_.signal();
         return;
       }
       job = queue_.pop_best();
-      const std::uint64_t now = obs_now_ns();
-      if (job->spec.deadline_ms > 0.0 &&
-          static_cast<double>(now - job->submit_ns) > job->spec.deadline_ms * 1e6) {
-        job->state = JobState::kExpired;
-        job->finish_ns = now;
-        job->error = "deadline of " + std::to_string(job->spec.deadline_ms) +
-                     " ms elapsed while queued";
-        ++expired_;
+      if (expire_if_overdue_locked(*job, /*already_popped=*/true)) {
         wake_.signal();
         continue;
       }
       job->state = JobState::kRunning;
-      job->start_ns = now;
-      running_ = job;
+      job->start_ns = obs_now_ns();
+      ++active_jobs_;
+      ++mine.jobs;
+      mine.busy_since_ns = job->start_ns;
     }
 
     // Run the job body outside the lock: submits/status/stats stay
-    // responsive while the executor works.
+    // responsive, and the other workers run their own jobs concurrently
+    // -- each under its own observation domain (run_job_oneshot).
     std::string report_json;
     std::string error;
     try {
@@ -269,7 +304,9 @@ void Server::executor_loop() {
       }
       job_wall_ns_.record(static_cast<double>(job->finish_ns - job->start_ns));
       queue_wait_ns_.record(static_cast<double>(job->start_ns - job->submit_ns));
-      running_.reset();
+      mine.busy_ns += job->finish_ns - job->start_ns;
+      mine.busy_since_ns = 0;
+      --active_jobs_;
     }
     if (histograms_enabled()) {
       hist_record_named("service:job_wall_ns",
@@ -279,6 +316,23 @@ void Server::executor_loop() {
     }
     wake_.signal();
   }
+}
+
+bool Server::expire_if_overdue_locked(Job& job, bool already_popped) {
+  if (job.spec.deadline_ms <= 0.0 || job.state != JobState::kQueued) return false;
+  const std::uint64_t now = obs_now_ns();
+  if (static_cast<double>(now - job.submit_ns) <= job.spec.deadline_ms * 1e6) return false;
+  // Dequeue path: the worker already popped the job, nothing to remove.
+  // Observation path (status/result): the job must still be removable --
+  // losing the remove race means a worker claimed it, and a claimed job
+  // runs to completion.
+  if (!already_popped && queue_.remove(job.id) == nullptr) return false;
+  job.state = JobState::kExpired;
+  job.finish_ns = now;
+  job.error = "deadline of " + std::to_string(job.spec.deadline_ms) +
+              " ms elapsed while queued";
+  ++expired_;
+  return true;
 }
 
 void Server::begin_drain(bool cancel_queued) {
@@ -344,10 +398,33 @@ std::string Server::stats_response_locked() {
   out += ",\"capacity\":";
   out += std::to_string(queue_.capacity());
   out += ",\"running\":";
-  out += running_ != nullptr ? "1" : "0";
+  out += std::to_string(active_jobs_);
   out += ",\"draining\":";
   out += drain_mode_ ? "true" : "false";
-  out += "},\"weight_cache\":{\"hits\":";
+  out += "},\"scheduler\":{\"workers\":";
+  out += std::to_string(workers_);
+  out += ",\"job_threads\":";
+  out += std::to_string(job_threads_);
+  out += ",\"active_jobs\":";
+  out += std::to_string(active_jobs_);
+  out += ",\"per_worker\":[";
+  const std::uint64_t now = obs_now_ns();
+  const std::uint64_t uptime = now - start_ns_;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const WorkerSlot& slot = slots_[i];
+    std::uint64_t busy = slot.busy_ns;
+    if (slot.busy_since_ns != 0 && now > slot.busy_since_ns) busy += now - slot.busy_since_ns;
+    double fraction =
+        uptime != 0 ? static_cast<double>(busy) / static_cast<double>(uptime) : 0.0;
+    if (fraction > 1.0) fraction = 1.0;
+    out += i == 0 ? "{" : ",{";
+    out += "\"jobs\":";
+    out += std::to_string(slot.jobs);
+    out += ",\"busy_fraction\":";
+    out += std::to_string(fraction);
+    out += "}";
+  }
+  out += "]},\"weight_cache\":{\"hits\":";
   out += std::to_string(cache.hits);
   out += ",\"misses\":";
   out += std::to_string(cache.misses);
@@ -421,6 +498,9 @@ std::optional<std::string> Server::handle_frame(const std::string& payload,
       if (it == jobs_.end()) {
         return error_response("unknown_job", "no job " + std::to_string(req.job_id));
       }
+      // A past-deadline job expires the moment anyone observes it, not
+      // only when a worker would have dequeued it.
+      if (expire_if_overdue_locked(*it->second)) wake_.signal();
       std::string out = "{\"ok\":true,\"job_id\":";
       out += std::to_string(req.job_id);
       out += ",\"state\":";
@@ -436,6 +516,7 @@ std::optional<std::string> Server::handle_frame(const std::string& payload,
       if (it == jobs_.end()) {
         return error_response("unknown_job", "no job " + std::to_string(req.job_id));
       }
+      if (expire_if_overdue_locked(*it->second)) wake_.signal();
       if (is_terminal(it->second->state)) return result_response_locked(*it->second);
       if (req.wait) {
         client.waiting.push_back(req.job_id);
@@ -521,7 +602,10 @@ void Server::flush_waiters(std::vector<Client>& clients) {
 }
 
 void Server::run() {
-  executor_ = std::thread([this] { executor_loop(); });
+  executors_.reserve(static_cast<std::size_t>(workers_));
+  for (int i = 0; i < workers_; ++i) {
+    executors_.emplace_back([this, i] { executor_loop(i); });
+  }
   std::vector<Client> clients;
 
   for (;;) {
@@ -534,7 +618,7 @@ void Server::run() {
     // emptied the waiting lists).
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (drain_mode_ && executor_done_) break;
+      if (drain_mode_ && executors_done_ == static_cast<std::size_t>(workers_)) break;
     }
 
     std::vector<PollFd> fds;
@@ -590,9 +674,10 @@ void Server::run() {
   }
 
   // Final flush: answer waiters whose jobs finished in the last executor
-  // round before the loop observed executor_done_.
+  // round before the loop observed the last executors_done_ increment.
   flush_waiters(clients);
-  executor_.join();
+  for (std::thread& t : executors_) t.join();
+  executors_.clear();
 }
 
 }  // namespace fp8q::service

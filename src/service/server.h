@@ -8,16 +8,25 @@
 // and the warmed thread pool carry over between requests.
 //
 // Concurrency model: one poll(2) I/O thread (the caller of run())
-// multiplexes every connection and owns all protocol state, and one
-// executor thread runs jobs strictly one at a time, each job fanning out
-// internally over the core/parallel pool. Serializing job *execution* is
-// what makes per-job reports exact: the executor snapshots the
-// process-global counters before and after a job and stores the delta,
-// which -- because counter totals are deterministic and thread-count-
-// invariant (docs/THREADING.md), and the weight cache replays miss
-// tallies on hits -- equals the counters a fresh one-shot run of the same
-// job would report. Concurrency for clients comes from the bounded
-// priority queue in front of the executor, not from overlapping jobs.
+// multiplexes every connection and owns all protocol state, and a pool of
+// FP8QD_WORKERS executor threads pulls jobs from the bounded priority
+// queue and runs them CONCURRENTLY. Two mechanisms make that correct:
+//
+//   * Scoped observation domains (obs/domain.h): every job runs under a
+//     fresh CounterDomain, bound on its executor and propagated to the
+//     core/parallel threads it fans out to, so its report-v4 counter
+//     blocks are exact per-job deltas by construction -- bit-identical to
+//     a one-shot run of the same spec at any worker count and any
+//     interleaving (the weight cache replays miss tallies on hits into
+//     the calling job's domain). The domain folds into the process
+//     globals when the job finishes, so cumulative totals still add up.
+//   * Per-worker arenas (core/parallel.h, ParallelArena): each executor
+//     owns a max(1, num_threads()/workers)-budget slice of the parallel
+//     runtime, so N workers x M pool threads never oversubscribe the
+//     machine and jobs never serialize on the global pool's region lock.
+//
+// The weight-cache mutex (bookkeeping only; payload delivery happens
+// outside it) is the one remaining cross-job serialization point.
 #pragma once
 
 #include <atomic>
@@ -49,13 +58,23 @@ struct ServerOptions {
   std::string unix_path;
   /// Loopback TCP port: -1 disables, 0 picks an ephemeral port.
   int tcp_port = -1;
-  /// Admission-queue capacity (jobs queued beyond the one running).
+  /// Admission-queue capacity (jobs queued beyond the ones running).
   std::size_t queue_max = 64;
+  /// Executor worker count: jobs running concurrently, each under its own
+  /// observation domain and a num_threads()/workers parallel arena.
+  /// Clamped to [1, 64].
+  int workers = 1;
 };
 
 /// ServerOptions from the environment: FP8QD_SOCKET (default
-/// "fp8qd.sock"), FP8QD_TCP_PORT, FP8QD_QUEUE_MAX.
+/// "fp8qd.sock"), FP8QD_TCP_PORT, FP8QD_QUEUE_MAX, FP8QD_WORKERS.
 [[nodiscard]] ServerOptions options_from_env();
+
+/// One executor worker's utilization (the stats endpoint's per_worker row).
+struct WorkerStats {
+  std::uint64_t jobs = 0;      ///< jobs this worker picked up
+  double busy_fraction = 0.0;  ///< busy wall time / server uptime, [0, 1]
+};
 
 /// Point-in-time service statistics (the stats endpoint's source).
 struct ServiceStats {
@@ -68,16 +87,24 @@ struct ServiceStats {
   std::uint64_t rejected = 0;  ///< queue_full submit rejections
   std::size_t queue_depth = 0;
   std::size_t queue_capacity = 0;
-  bool job_running = false;
+  int workers = 1;              ///< executor worker count
+  int job_threads = 1;          ///< per-job parallel arena budget
+  std::size_t active_jobs = 0;  ///< jobs running right now (<= workers)
+  bool job_running = false;     ///< active_jobs != 0 (pre-scheduler field)
   bool draining = false;
+  std::vector<WorkerStats> per_worker;  ///< one row per executor worker
   HistogramSnapshot job_wall_ns;    ///< executor wall time per finished job
   HistogramSnapshot queue_wait_ns;  ///< admission -> executor pickup
 };
 
 /// Executes one job spec end to end and returns its report -- exactly the
-/// code path the daemon's executor runs, minus the queueing. Public so the
-/// end-to-end test (and any embedder) can compare a served job's report
-/// against a direct one-shot run of the same spec. Throws on unknown
+/// code path the daemon's executors run, minus the queueing. The job body
+/// runs under a fresh CounterDomain (obs/domain.h) that folds into the
+/// caller's enclosing sink on return, so the report's counter blocks are
+/// the job's exact events whether the caller is an executor worker, a
+/// test, or an embedder -- served and one-shot runs are the same code by
+/// construction. Public so the end-to-end tests can compare a served
+/// job's report against a direct run of the same spec. Throws on unknown
 /// workloads/formats and on job-body failures.
 [[nodiscard]] RunReport run_job_oneshot(const std::vector<Workload>& suite,
                                         const JobSpec& spec);
@@ -114,7 +141,15 @@ class Server {
     std::vector<std::uint64_t> waiting;  ///< deferred result-wait job ids
   };
 
-  void executor_loop();
+  void executor_loop(int slot);
+  /// Expires a queued, past-deadline job. Called at dequeue (the worker
+  /// just popped it: already_popped) AND when a status/result request
+  /// observes a pending job -- so expiry does not wait for a worker to
+  /// come free. In the observation path the job must still be removable
+  /// from the queue; losing that race means a worker claimed it, and a
+  /// claimed job runs. Returns true when the job was expired. Caller
+  /// holds mutex_.
+  bool expire_if_overdue_locked(Job& job, bool already_popped = false);
   /// Handles one request frame; nullopt when the response is deferred
   /// (result with wait=true on a non-terminal job).
   [[nodiscard]] std::optional<std::string> handle_frame(const std::string& payload,
@@ -130,6 +165,15 @@ class Server {
   [[nodiscard]] std::string result_response_locked(const Job& job);
   [[nodiscard]] std::string stats_response_locked();
 
+  /// One executor worker's utilization ledger. busy_since_ns != 0 marks a
+  /// job in flight; the stats endpoint adds the open interval so
+  /// busy_fraction is live, not end-of-job.
+  struct WorkerSlot {
+    std::uint64_t jobs = 0;
+    std::uint64_t busy_ns = 0;
+    std::uint64_t busy_since_ns = 0;  ///< 0 = idle
+  };
+
   // Immutable after construction.
   Listener unix_listener_;
   Listener tcp_listener_;
@@ -137,6 +181,8 @@ class Server {
   int tcp_port_ = -1;
   std::vector<Workload> suite_;
   std::uint64_t start_ns_ = 0;
+  int workers_ = 1;       ///< executor worker count
+  int job_threads_ = 1;   ///< per-job parallel arena budget
 
   WakePipe wake_;
   std::atomic<bool> shutdown_requested_{false};
@@ -146,9 +192,10 @@ class Server {
   JobQueue queue_ FP8Q_GUARDED_BY(mutex_);
   std::unordered_map<std::uint64_t, std::shared_ptr<Job>> jobs_ FP8Q_GUARDED_BY(mutex_);
   std::uint64_t next_job_id_ FP8Q_GUARDED_BY(mutex_) = 1;
-  std::shared_ptr<Job> running_ FP8Q_GUARDED_BY(mutex_);
+  std::size_t active_jobs_ FP8Q_GUARDED_BY(mutex_) = 0;
   bool drain_mode_ FP8Q_GUARDED_BY(mutex_) = false;
-  bool executor_done_ FP8Q_GUARDED_BY(mutex_) = false;
+  std::size_t executors_done_ FP8Q_GUARDED_BY(mutex_) = 0;
+  std::vector<WorkerSlot> slots_ FP8Q_GUARDED_BY(mutex_);
   std::uint64_t submitted_ FP8Q_GUARDED_BY(mutex_) = 0;
   std::uint64_t completed_ FP8Q_GUARDED_BY(mutex_) = 0;
   std::uint64_t failed_ FP8Q_GUARDED_BY(mutex_) = 0;
@@ -158,7 +205,7 @@ class Server {
   LocalHistogram job_wall_ns_ FP8Q_GUARDED_BY(mutex_);
   LocalHistogram queue_wait_ns_ FP8Q_GUARDED_BY(mutex_);
 
-  std::thread executor_;
+  std::vector<std::thread> executors_;
 };
 
 }  // namespace fp8q::service

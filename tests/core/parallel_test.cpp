@@ -211,5 +211,137 @@ TEST(Parallel, ConcurrentTopLevelRegionsSerializeSafely) {
   EXPECT_EQ(b.load(), 20 * 100);
 }
 
+TEST(ParallelArena, BudgetGovernsNumThreadsWhileBound) {
+  ThreadCountGuard guard;
+  set_num_threads(8);
+  ParallelArena arena(3);
+  EXPECT_EQ(arena.budget(), 3);
+  EXPECT_EQ(current_arena(), nullptr);
+  {
+    ScopedArenaBinding binding(&arena);
+    EXPECT_EQ(current_arena(), &arena);
+    EXPECT_EQ(num_threads(), 3);
+  }
+  EXPECT_EQ(current_arena(), nullptr);
+  EXPECT_EQ(num_threads(), 8);
+}
+
+TEST(ParallelArena, BudgetOneRunsEverythingInlineOnTheBindingThread) {
+  ThreadCountGuard guard;
+  set_num_threads(8);
+  ParallelArena arena(1);
+  ScopedArenaBinding binding(&arena);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<int> calls{0};
+  parallel_run(16, [&](std::int64_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 16);
+}
+
+TEST(ParallelArena, RegionsRunOnTheArenaNotTheGlobalPool) {
+  ThreadCountGuard guard;
+  set_num_threads(8);
+  ParallelArena arena(4);
+  ScopedArenaBinding binding(&arena);
+  constexpr std::int64_t kN = 4003;  // prime: uneven chunks
+  std::vector<std::atomic<int>> hits(kN);
+  std::mutex mutex;
+  std::set<std::thread::id> workers;
+  parallel_for(0, kN, 1, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) hits[static_cast<size_t>(i)].fetch_add(1);
+    std::lock_guard<std::mutex> lock(mutex);
+    workers.insert(std::this_thread::get_id());
+  });
+  for (std::int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+  // Never more threads than the arena budget, whatever the global count.
+  EXPECT_LE(workers.size(), 4u);
+}
+
+TEST(ParallelArena, ChunkPartitionMatchesAnEqualGlobalThreadCount) {
+  // The determinism contract: parallel_for under a budget-k arena chunks
+  // exactly as it would with num_threads() == k, so a job's results do
+  // not depend on whether it ran under fp8qd's scheduler or standalone.
+  ThreadCountGuard guard;
+  auto boundaries = [](std::int64_t n) {
+    std::mutex mutex;
+    std::set<std::pair<std::int64_t, std::int64_t>> chunks;
+    parallel_for(0, n, 1, [&](std::int64_t b, std::int64_t e) {
+      std::lock_guard<std::mutex> lock(mutex);
+      chunks.insert({b, e});
+    });
+    return chunks;
+  };
+  set_num_threads(3);
+  const auto global3 = boundaries(1001);
+  set_num_threads(8);
+  ParallelArena arena(3);
+  {
+    ScopedArenaBinding binding(&arena);
+    EXPECT_EQ(boundaries(1001), global3);
+  }
+}
+
+TEST(ParallelArena, ConcurrentArenasDoNotSerializeOrInterfere) {
+  // Two threads, each bound to its own arena, each running regions: both
+  // must complete with full coverage (the fp8qd executor-pool shape; on
+  // the global pool these would serialize on the region lock).
+  ThreadCountGuard guard;
+  set_num_threads(4);
+  constexpr std::int64_t kN = 2048;
+  std::vector<std::atomic<int>> hits_a(kN), hits_b(kN);
+  auto body = [kN](ParallelArena& arena, std::vector<std::atomic<int>>& hits) {
+    ScopedArenaBinding binding(&arena);
+    for (int round = 0; round < 8; ++round) {
+      parallel_for(0, kN, 1, [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i) hits[static_cast<size_t>(i)].fetch_add(1);
+      });
+    }
+  };
+  ParallelArena arena_a(2), arena_b(2);
+  std::thread ta([&] { body(arena_a, hits_a); });
+  std::thread tb([&] { body(arena_b, hits_b); });
+  ta.join();
+  tb.join();
+  for (std::int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits_a[static_cast<size_t>(i)].load(), 8) << "arena A index " << i;
+    ASSERT_EQ(hits_b[static_cast<size_t>(i)].load(), 8) << "arena B index " << i;
+  }
+}
+
+TEST(ParallelArena, NestedRegionsUnderAnArenaRunInline) {
+  ThreadCountGuard guard;
+  set_num_threads(8);
+  ParallelArena arena(4);
+  ScopedArenaBinding binding(&arena);
+  std::atomic<int> outer{0}, inner{0};
+  parallel_run(4, [&](std::int64_t) {
+    outer.fetch_add(1);
+    parallel_run(4, [&](std::int64_t) { inner.fetch_add(1); });
+  });
+  EXPECT_EQ(outer.load(), 4);
+  EXPECT_EQ(inner.load(), 16);
+}
+
+TEST(ParallelArena, ExceptionsPropagateFromArenaWorkers) {
+  ThreadCountGuard guard;
+  set_num_threads(8);
+  ParallelArena arena(4);
+  ScopedArenaBinding binding(&arena);
+  EXPECT_THROW(
+      parallel_run(64,
+                   [](std::int64_t i) {
+                     if (i == 13) throw std::runtime_error("arena boom");
+                   }),
+      std::runtime_error);
+  // The arena pool survives the exception and runs the next region.
+  std::atomic<int> calls{0};
+  parallel_run(8, [&](std::int64_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 8);
+}
+
 }  // namespace
 }  // namespace fp8q

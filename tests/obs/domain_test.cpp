@@ -1,0 +1,198 @@
+// Scoped observation domains (obs/domain.h): the routing contract.
+//
+// While a thread is bound to a CounterDomain, every obs write primitive
+// lands in the domain and every snapshot reads the domain's view; the
+// process globals are untouched until fold_into_global() moves the
+// tallies over. The suite pins: isolation from globals, isolation
+// BETWEEN domains (the fp8qd concurrent-jobs property), nesting, the
+// conservation law (sum over domains + globals is invariant under
+// folds), propagation across parallel regions, and the unbound fallback.
+#include "obs/domain.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/parallel.h"
+#include "obs/counters.h"
+#include "obs/histogram.h"
+#include "obs/memory.h"
+
+namespace fp8q {
+namespace {
+
+/// Fresh global state; counters on, histograms on.
+void reset_globals() {
+  set_counters_enabled(true);
+  set_histograms_enabled(true);
+  counters_reset();
+  cache_counters_reset();
+  kernel_counters_reset();
+  histograms_reset();
+  alloc_counters_reset();
+}
+
+TEST(CounterDomain, BoundThreadRoutesWritesAndReadsToTheDomain) {
+  reset_globals();
+  const CounterSnapshot global_before = counters_snapshot();
+
+  CounterDomain domain;
+  {
+    ScopedCounterDomain scope(&domain);
+    counter_add(ObsFormat::kE4M3, ObsEvent::kQuantized, 40);
+    counter_add(ObsFormat::kE4M3, ObsEvent::kSaturated, 2);
+    cache_counter_add(ObsCacheEvent::kMiss, 1);
+    kernel_counter_add(ObsKernelPath::kLinearPacked, 3);
+    alloc_counter_add(512);
+    hist_record(HistChannel::kCastMagE4M3, 1.5);
+
+    // The bound thread's snapshots ARE the domain's view.
+    EXPECT_EQ(counters_snapshot().get(ObsFormat::kE4M3, ObsEvent::kQuantized), 40u);
+    EXPECT_EQ(cache_counters_snapshot().get(ObsCacheEvent::kMiss), 1u);
+    EXPECT_EQ(kernel_counters_snapshot().get(ObsKernelPath::kLinearPacked), 3u);
+    EXPECT_EQ(alloc_counters_snapshot().bytes, 512u);
+    EXPECT_EQ(alloc_counters_snapshot().allocs, 1u);
+    EXPECT_EQ(histogram_snapshot(HistChannel::kCastMagE4M3).total, 1u);
+  }
+
+  // Unbound again: globals never saw any of it.
+  EXPECT_TRUE(counters_snapshot() == global_before);
+  EXPECT_EQ(cache_counters_snapshot().get(ObsCacheEvent::kMiss), 0u);
+  EXPECT_EQ(kernel_counters_snapshot().get(ObsKernelPath::kLinearPacked), 0u);
+  EXPECT_EQ(alloc_counters_snapshot().bytes, 0u);
+  EXPECT_EQ(histogram_snapshot(HistChannel::kCastMagE4M3).total, 0u);
+  // The domain still holds the tallies.
+  EXPECT_EQ(domain.counters().get(ObsFormat::kE4M3, ObsEvent::kQuantized), 40u);
+  EXPECT_EQ(domain.cache_counters().get(ObsCacheEvent::kMiss), 1u);
+  EXPECT_EQ(domain.kernel_counters().get(ObsKernelPath::kLinearPacked), 3u);
+  EXPECT_EQ(domain.alloc_counters().bytes, 512u);
+  EXPECT_EQ(domain.histogram(HistChannel::kCastMagE4M3).total, 1u);
+}
+
+TEST(CounterDomain, ConcurrentDomainsIsolatePerfectly) {
+  reset_globals();
+  // N threads, each bound to its own domain, each counting its own
+  // signature amount -- the fp8qd executor-pool shape. Every domain must
+  // end with exactly its own tally, regardless of interleaving.
+  constexpr int kThreads = 8;
+  std::vector<CounterDomain> domains(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&domains, t] {
+      ScopedCounterDomain scope(&domains[static_cast<std::size_t>(t)]);
+      for (int i = 0; i < 1000; ++i) {
+        counter_add(ObsFormat::kE5M2, ObsEvent::kQuantized, static_cast<std::uint64_t>(t) + 1);
+        hist_record(HistChannel::kCastMagE5M2, static_cast<double>(t));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(domains[static_cast<std::size_t>(t)].counters().get(ObsFormat::kE5M2,
+                                                                  ObsEvent::kQuantized),
+              1000u * (static_cast<std::uint64_t>(t) + 1));
+    const HistogramSnapshot h =
+        domains[static_cast<std::size_t>(t)].histogram(HistChannel::kCastMagE5M2);
+    EXPECT_EQ(h.total, 1000u);
+    EXPECT_EQ(h.max_value, static_cast<double>(t));
+  }
+  EXPECT_FALSE(counters_snapshot().any());
+}
+
+TEST(CounterDomain, FoldMovesTalliesIntoGlobalsExactlyOnce) {
+  reset_globals();
+  CounterDomain domain;
+  {
+    ScopedCounterDomain scope(&domain);
+    counter_add(ObsFormat::kE3M4, ObsEvent::kFlushedToZero, 7);
+    cache_counter_add(ObsCacheEvent::kHit, 2);
+    alloc_counter_add(64);
+    hist_record(HistChannel::kCastMagE3M4, 0.25);
+  }
+  domain.fold_into_global();
+
+  // Conservation: the fold moved every tally into the globals...
+  EXPECT_EQ(counters_snapshot().get(ObsFormat::kE3M4, ObsEvent::kFlushedToZero), 7u);
+  EXPECT_EQ(cache_counters_snapshot().get(ObsCacheEvent::kHit), 2u);
+  EXPECT_EQ(alloc_counters_snapshot().bytes, 64u);
+  EXPECT_EQ(histogram_snapshot(HistChannel::kCastMagE3M4).total, 1u);
+  // ...and left the domain empty, so a second fold adds nothing.
+  EXPECT_FALSE(domain.counters().any());
+  domain.fold_into_global();
+  EXPECT_EQ(counters_snapshot().get(ObsFormat::kE3M4, ObsEvent::kFlushedToZero), 7u);
+}
+
+TEST(CounterDomain, NestedDomainsFoldIntoTheEnclosingDomain) {
+  reset_globals();
+  CounterDomain outer;
+  {
+    ScopedCounterDomain outer_scope(&outer);
+    counter_add(ObsFormat::kE4M3, ObsEvent::kQuantized, 10);
+    CounterDomain inner;
+    {
+      ScopedCounterDomain inner_scope(&inner);
+      counter_add(ObsFormat::kE4M3, ObsEvent::kQuantized, 5);
+    }
+    // Folding while the OUTER binding is live lands in outer, not the
+    // globals -- the nesting rule run_job_oneshot relies on when an
+    // embedder calls it under a domain of its own.
+    inner.fold_into_global();
+    EXPECT_EQ(counters_snapshot().get(ObsFormat::kE4M3, ObsEvent::kQuantized), 15u);
+  }
+  EXPECT_EQ(outer.counters().get(ObsFormat::kE4M3, ObsEvent::kQuantized), 15u);
+  EXPECT_FALSE(counters_snapshot().any());
+}
+
+TEST(CounterDomain, ResetRoutesToTheDomainAndSparesGlobals) {
+  reset_globals();
+  counter_add(ObsFormat::kInt8, ObsEvent::kQuantized, 99);  // global
+  CounterDomain domain;
+  {
+    ScopedCounterDomain scope(&domain);
+    counter_add(ObsFormat::kInt8, ObsEvent::kQuantized, 3);
+    counters_reset();
+    EXPECT_FALSE(counters_snapshot().any());
+  }
+  EXPECT_FALSE(domain.counters().any());
+  // The global tally survived the bound thread's reset.
+  EXPECT_EQ(counters_snapshot().get(ObsFormat::kInt8, ObsEvent::kQuantized), 99u);
+  counters_reset();
+}
+
+TEST(CounterDomain, ParallelRegionsInheritTheDispatchersDomain) {
+  reset_globals();
+  set_num_threads(4);
+  CounterDomain domain;
+  {
+    ScopedCounterDomain scope(&domain);
+    // Pool workers must adopt the dispatcher's binding: every per-chunk
+    // add lands in the domain no matter which thread ran the chunk.
+    parallel_run(64, [](std::int64_t) {
+      counter_add(ObsFormat::kE4M3, ObsEvent::kQuantized, 1);
+    });
+  }
+  set_num_threads(0);
+  EXPECT_EQ(domain.counters().get(ObsFormat::kE4M3, ObsEvent::kQuantized), 64u);
+  EXPECT_FALSE(counters_snapshot().any());
+}
+
+TEST(CounterDomain, BindingNullptrPinsGlobalRouting) {
+  reset_globals();
+  CounterDomain domain;
+  {
+    ScopedCounterDomain scope(&domain);
+    {
+      ScopedCounterDomain opt_out(nullptr);
+      counter_add(ObsFormat::kE5M2, ObsEvent::kQuantized, 4);
+    }
+    counter_add(ObsFormat::kE5M2, ObsEvent::kSaturated, 1);
+  }
+  EXPECT_EQ(counters_snapshot().get(ObsFormat::kE5M2, ObsEvent::kQuantized), 4u);
+  EXPECT_EQ(domain.counters().get(ObsFormat::kE5M2, ObsEvent::kSaturated), 1u);
+  counters_reset();
+}
+
+}  // namespace
+}  // namespace fp8q

@@ -15,10 +15,14 @@
 #      thresholds (docs/PERFORMANCE.md, docs/OBSERVABILITY.md). A third
 #      bench run pinned to FP8Q_ISA=scalar re-checks counter determinism
 #      across dispatch tiers (the packed kernels' bit-exactness contract).
-#   4. service smoke: boot fp8qd on a private socket, drive a concurrent
-#      load with fp8qd_bench, and gate the BENCH_service.json snapshot on
-#      a sustained jobs/sec floor via `fp8q_report check-bench
-#      --min-jobs-per-sec` (docs/SERVICE.md)
+#   4. service smoke: boot fp8qd at 1 worker and again at 2 workers on a
+#      private socket, drive both with fp8qd_bench (--append folds the two
+#      runs into one BENCH_service.json scaling curve), gate the snapshot
+#      on a sustained jobs/sec floor via `fp8q_report check-bench
+#      --min-jobs-per-sec`, and diff a canonical job's report between the
+#      two worker counts at --max-counter-drift-pct=0 -- the scoped
+#      observation domains' bit-identity contract (docs/SERVICE.md,
+#      docs/THREADING.md)
 #   5. AddressSanitizer build + full ctest suite (`check_asan`)
 #   6. UndefinedBehaviorSanitizer build + full ctest suite (`check_ubsan`)
 #   7. ThreadSanitizer build + concurrency suite (`check_tsan`)
@@ -93,25 +97,39 @@ FP8Q_ISA=scalar FP8Q_REPORT="$PREFIX/report_smoke_scalar.json" \
   --max-counter-drift-pct=0 --max-wall-regress-pct=400 \
   --max-alloc-growth-pct=50 --max-rss-growth-pct=100
 
-step "service smoke (fp8qd + fp8qd_bench through fp8q_report)"
-# Boot the resident daemon on a private socket, drive a small concurrent
-# load through the load generator, and gate the resulting
-# BENCH_service.json on a deliberately low sustained-throughput floor --
-# the point is "the daemon serves concurrent jobs at all", not a perf
-# race on shared CI hardware (docs/SERVICE.md).
+step "service smoke (fp8qd at 1 and 2 workers + fp8qd_bench through fp8q_report)"
+# Boot the resident daemon twice -- one executor worker, then two -- and
+# drive both with the load generator. --append folds the runs into one
+# BENCH_service.json scaling curve; the throughput floor stays
+# deliberately low (the point is "the daemon serves concurrent jobs at
+# all", not a perf race on shared CI hardware, docs/SERVICE.md). The real
+# concurrency gate is the report diff: the SAME canonical job, run under
+# 1 worker and under 2, must produce bit-identical quantization-event
+# counters (--max-counter-drift-pct=0) -- the scoped observation domains'
+# isolation contract (docs/THREADING.md).
 SERVICE_SOCK="$(mktemp -u /tmp/fp8qd_ci_XXXXXX.sock)"
-"$PREFIX/tools/fp8qd" --socket="$SERVICE_SOCK" --queue-max=16 &
-FP8QD_PID=$!
-for _ in $(seq 1 100); do
-  [[ -S "$SERVICE_SOCK" ]] && break
-  sleep 0.1
-done
-[[ -S "$SERVICE_SOCK" ]] || { echo "ci: fp8qd never bound $SERVICE_SOCK" >&2; exit 1; }
-"$PREFIX/tools/fp8qd_bench" --socket="$SERVICE_SOCK" --connections=2 --jobs=8 \
-  --quick --shutdown --out="$PREFIX/BENCH_service.json"
-wait "$FP8QD_PID"
+service_bench() {
+  local workers=$1
+  shift
+  rm -f "$SERVICE_SOCK"
+  "$PREFIX/tools/fp8qd" --socket="$SERVICE_SOCK" --queue-max=16 --workers="$workers" &
+  local daemon_pid=$!
+  for _ in $(seq 1 100); do
+    [[ -S "$SERVICE_SOCK" ]] && break
+    sleep 0.1
+  done
+  [[ -S "$SERVICE_SOCK" ]] || { echo "ci: fp8qd never bound $SERVICE_SOCK" >&2; exit 1; }
+  "$PREFIX/tools/fp8qd_bench" --socket="$SERVICE_SOCK" --connections=2 --jobs=8 \
+    --quick --shutdown --out="$PREFIX/BENCH_service.json" \
+    --report-out="$PREFIX/report_service_w$workers.json" "$@"
+  wait "$daemon_pid"
+}
+service_bench 1
+service_bench 2 --append
 "$PREFIX/tools/fp8q_report" check-bench "$PREFIX/BENCH_service.json" \
-  --min-jobs-per-sec=0.2
+  --min-jobs-per-sec=0.4
+"$PREFIX/tools/fp8q_report" diff "$PREFIX/report_service_w1.json" \
+  "$PREFIX/report_service_w2.json" --max-counter-drift-pct=0
 
 if [[ "${FP8Q_CI_SKIP_SANITIZERS:-0}" != "1" ]]; then
   step "AddressSanitizer build + full suite (check_asan)"

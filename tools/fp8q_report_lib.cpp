@@ -408,6 +408,22 @@ int check_bench(const json::Value& bench, double min_speedup, double min_packed_
            << static_cast<std::uint64_t>(latency->number_or("count")) << " jobs";
       gate.note(tail.str());
     }
+    // Worker-count scaling rows (fp8qd_bench --append across daemon
+    // restarts): surface the whole curve so a CI log shows how jobs/sec
+    // moved with FP8QD_WORKERS, not just the gated final run.
+    if (const json::Value* runs = bench.find("runs");
+        runs != nullptr && runs->is_array() && runs->array.size() > 1) {
+      for (const json::Value& row : runs->array) {
+        if (!row.is_object()) continue;
+        std::ostringstream run_note;
+        run_note << "service run: workers=" << static_cast<int>(row.number_or("workers", 1.0))
+                 << " sustained " << std::fixed << std::setprecision(2)
+                 << row.number_or("jobs_per_sec") << " jobs/sec ("
+                 << static_cast<int>(row.number_or("completed")) << " jobs, "
+                 << static_cast<int>(row.number_or("queue_full_retries")) << " retries)";
+        gate.note(run_note.str());
+      }
+    }
   }
   return gate.breaches;
 }

@@ -60,8 +60,10 @@ int diff_reports(const RunReport& base, const RunReport& candidate,
 /// Service snapshots (fp8qd_bench, docs/SERVICE.md): when
 /// min_jobs_per_sec > 0, the "service" section's sustained jobs_per_sec
 /// must be >= that floor (a missing service section is then a breach;
-/// <= 0 skips the service gate). A snapshot with neither a cast nor a
-/// service section is always a breach. Returns breach count.
+/// <= 0 skips the service gate), and a multi-row "runs" array (the
+/// --append worker-scaling curve) is echoed one note per row. A snapshot
+/// with neither a cast nor a service section is always a breach. Returns
+/// breach count.
 int check_bench(const json::Value& bench, double min_speedup, double min_packed_speedup,
                 double min_jobs_per_sec, std::ostream& out);
 

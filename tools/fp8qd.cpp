@@ -1,13 +1,16 @@
 // fp8qd: the resident quantization daemon (docs/SERVICE.md).
 //
-//   fp8qd [--socket=PATH] [--tcp-port=N] [--queue-max=N]
+//   fp8qd [--socket=PATH] [--tcp-port=N] [--queue-max=N] [--workers=N]
 //
 // Listens on a Unix-domain socket (and optionally loopback TCP), accepts
 // quantize/eval/tune jobs over the length-prefixed line-JSON protocol,
-// and serves back per-job report-v4 JSON. Flags override the FP8QD_*
-// environment knobs (FP8QD_SOCKET, FP8QD_TCP_PORT, FP8QD_QUEUE_MAX).
-// SIGINT/SIGTERM trigger a draining shutdown: queued jobs finish, new
-// submits are rejected with code "draining", then the process exits.
+// and serves back per-job report-v4 JSON. --workers executor threads run
+// jobs concurrently, each under its own observation domain and a
+// num_threads()/workers parallel arena (docs/SERVICE.md, "Scheduler").
+// Flags override the FP8QD_* environment knobs (FP8QD_SOCKET,
+// FP8QD_TCP_PORT, FP8QD_QUEUE_MAX, FP8QD_WORKERS). SIGINT/SIGTERM
+// trigger a draining shutdown: queued jobs finish, new submits are
+// rejected with code "draining", then the process exits.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -26,13 +29,16 @@ void on_signal(int) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: fp8qd [--socket=PATH] [--tcp-port=N] [--queue-max=N]\n"
+               "usage: fp8qd [--socket=PATH] [--tcp-port=N] [--queue-max=N] "
+               "[--workers=N]\n"
                "  --socket=PATH    Unix-domain socket path (FP8QD_SOCKET; default "
                "fp8qd.sock)\n"
                "  --tcp-port=N     also listen on 127.0.0.1:N; 0 = ephemeral "
                "(FP8QD_TCP_PORT)\n"
                "  --queue-max=N    admission-queue capacity (FP8QD_QUEUE_MAX; default "
-               "64)\n");
+               "64)\n"
+               "  --workers=N      concurrent executor workers, 1-64 (FP8QD_WORKERS; "
+               "default 1)\n");
   return 2;
 }
 
@@ -62,6 +68,13 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.queue_max = static_cast<std::size_t>(n);
+    } else if (parse_flag(argv[i], "--workers", &value)) {
+      const int n = std::atoi(value);
+      if (n <= 0) {
+        std::fprintf(stderr, "fp8qd: --workers must be positive\n");
+        return 2;
+      }
+      options.workers = n;
     } else {
       return usage();
     }
@@ -77,8 +90,9 @@ int main(int argc, char** argv) {
     if (server.tcp_port() >= 0) {
       std::fprintf(stderr, " and 127.0.0.1:%d", server.tcp_port());
     }
-    std::fprintf(stderr, " (queue capacity %zu)\n",
-                 static_cast<std::size_t>(options.queue_max));
+    std::fprintf(stderr, " (queue capacity %zu, %d worker%s)\n",
+                 static_cast<std::size_t>(options.queue_max), options.workers,
+                 options.workers == 1 ? "" : "s");
 
     server.run();
 

@@ -2,15 +2,23 @@
 //
 //   fp8qd_bench --socket=PATH [--connections=N] [--jobs=M] [--workload=W]
 //               [--mix=eval,quantize] [--format=F] [--quick]
-//               [--out=BENCH_service.json] [--shutdown]
+//               [--out=BENCH_service.json] [--append] [--shutdown]
 //
 // Drives N concurrent connections against a running daemon: each
 // connection loops submit -> result(wait) over a shared job counter, so
 // the daemon sees a sustained closed-loop load at concurrency N. Measures
 // sustained jobs/sec and the p50/p95/p99 tail of the per-job round-trip
-// latency (submit sent -> result received), embeds the server's own stats
-// endpoint snapshot, and writes a BENCH_service.json that
-// `fp8q_report check-bench --min-jobs-per-sec=J` gates in CI.
+// latency (submit sent -> result received) plus the per-job queue-full
+// retry distribution (merged across connections like the latency
+// histogram, not just a total), embeds the server's own stats endpoint
+// snapshot, and writes a BENCH_service.json that `fp8q_report check-bench
+// --min-jobs-per-sec=J` gates in CI.
+//
+// Worker-count scaling rows: every run appends one row to the snapshot's
+// "runs" array tagged with the daemon's executor worker count (read off
+// the stats endpoint's scheduler block), so a script that restarts the
+// daemon at FP8QD_WORKERS=1/2/4 and re-runs the bench with --append gets
+// the whole jobs/sec scaling curve in ONE BENCH_service.json.
 //
 // Lint exemptions (docs/STATIC_ANALYSIS.md): the load generator is a
 // standalone client, so it owns its own threads instead of depending on
@@ -24,6 +32,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <thread>
 #include <vector>
@@ -48,11 +57,21 @@ struct BenchOptions {
   std::string format = "E4M3";
   bool quick = false;
   bool shutdown = false;
+  bool append = false;
   std::string out_path = "BENCH_service.json";
+  /// When set, one canonical job (first mix kind, same workload/format)
+  /// runs after the timed load and its report-v4 JSON lands here -- the
+  /// artifact `fp8q_report diff --max-counter-drift-pct=0` compares
+  /// across daemon worker counts.
+  std::string report_out_path;
 };
 
 struct WorkerResult {
   LocalHistogram latency_ns;
+  /// Queue-full retries PER JOB -- a distribution merged across the
+  /// connections exactly like latency_ns, so admission-control pressure
+  /// shows up as quantiles instead of vanishing into one total.
+  LocalHistogram retries_per_job;
   int completed = 0;
   int failed = 0;
   int queue_full_retries = 0;
@@ -101,6 +120,7 @@ void worker(const BenchOptions& opts, const std::vector<std::string>& kinds,
 
     const std::uint64_t t0 = obs_now_ns();
     std::uint64_t job_id = 0;
+    int job_retries = 0;
     for (;;) {
       conn.send_frame(submit_payload(opts, kind));
       const auto reply = conn.recv_frame();
@@ -112,12 +132,14 @@ void worker(const BenchOptions& opts, const std::vector<std::string>& kinds,
         break;
       }
       if (v.string_or("code") == "queue_full") {
+        ++job_retries;
         ++result.queue_full_retries;
         std::this_thread::sleep_for(std::chrono::milliseconds(2));
         continue;
       }
       throw std::runtime_error("submit rejected: " + *reply);
     }
+    result.retries_per_job.record(static_cast<double>(job_retries));
 
     std::string payload = "{\"cmd\":\"result\",\"job_id\":";
     payload += std::to_string(job_id);
@@ -139,15 +161,112 @@ void worker(const BenchOptions& opts, const std::vector<std::string>& kinds,
   }
 }
 
-void append_quantiles_ms(std::string& out, const HistogramSnapshot& h) {
+void append_quantiles(std::string& out, const HistogramSnapshot& h, double scale) {
   out += "{\"count\":";
   out += std::to_string(h.total);
-  const double to_ms = 1.0 / 1e6;
-  out += ",\"p50\":" + std::to_string(h.quantile(0.50) * to_ms);
-  out += ",\"p95\":" + std::to_string(h.quantile(0.95) * to_ms);
-  out += ",\"p99\":" + std::to_string(h.quantile(0.99) * to_ms);
-  out += ",\"max\":" + std::to_string((h.total != 0 ? h.max_value : 0.0) * to_ms);
+  out += ",\"p50\":" + std::to_string(h.quantile(0.50) * scale);
+  out += ",\"p95\":" + std::to_string(h.quantile(0.95) * scale);
+  out += ",\"p99\":" + std::to_string(h.quantile(0.99) * scale);
+  out += ",\"max\":" + std::to_string((h.total != 0 ? h.max_value : 0.0) * scale);
   out += "}";
+}
+
+void append_quantiles_ms(std::string& out, const HistogramSnapshot& h) {
+  append_quantiles(out, h, 1.0 / 1e6);
+}
+
+/// Re-serializes one quantile block parsed back out of a prior snapshot.
+void append_parsed_quantiles(std::string& out, const json::Value* q) {
+  out += "{\"count\":";
+  out += std::to_string(
+      q != nullptr ? static_cast<std::uint64_t>(q->number_or("count")) : 0);
+  for (const char* key : {"p50", "p95", "p99", "max"}) {
+    out += ",\"";
+    out += key;
+    out += "\":" + std::to_string(q != nullptr ? q->number_or(key) : 0.0);
+  }
+  out += "}";
+}
+
+/// Re-serializes one "runs" row from a prior --append snapshot. The row
+/// schema is fixed, so a field-by-field round-trip is exact enough for
+/// the scaling-curve comparison the rows exist for.
+void append_parsed_run_row(std::string& out, const json::Value& row) {
+  out += "{\"workers\":";
+  out += std::to_string(static_cast<int>(row.number_or("workers", 1.0)));
+  out += ",\"connections\":" + std::to_string(static_cast<int>(row.number_or("connections")));
+  out += ",\"jobs\":" + std::to_string(static_cast<int>(row.number_or("jobs")));
+  out += ",\"completed\":" + std::to_string(static_cast<int>(row.number_or("completed")));
+  out += ",\"failed\":" + std::to_string(static_cast<int>(row.number_or("failed")));
+  out += ",\"queue_full_retries\":" +
+         std::to_string(static_cast<int>(row.number_or("queue_full_retries")));
+  out += ",\"wall_s\":" + std::to_string(row.number_or("wall_s"));
+  out += ",\"jobs_per_sec\":" + std::to_string(row.number_or("jobs_per_sec"));
+  out += ",\"latency_ms\":";
+  append_parsed_quantiles(out, row.find("latency_ms"));
+  out += ",\"retries_per_job\":";
+  append_parsed_quantiles(out, row.find("retries_per_job"));
+  out += "}";
+}
+
+/// Prior rows from an existing snapshot when --append is on; a missing or
+/// unparseable file just starts a fresh curve.
+std::vector<std::string> load_prior_runs(const BenchOptions& opts) {
+  std::vector<std::string> rows;
+  if (!opts.append) return rows;
+  std::ifstream in(opts.out_path);
+  if (!in) return rows;
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  try {
+    const json::Value prior = json::parse(text);
+    if (const json::Value* runs = prior.find("runs");
+        runs != nullptr && runs->is_array()) {
+      for (const json::Value& row : runs->array) {
+        if (!row.is_object()) continue;
+        std::string serialized;
+        append_parsed_run_row(serialized, row);
+        rows.push_back(std::move(serialized));
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[fp8qd_bench] --append: ignoring unreadable %s (%s)\n",
+                 opts.out_path.c_str(), e.what());
+    rows.clear();
+  }
+  return rows;
+}
+
+/// Submits one canonical job over `conn`, waits for its result, and
+/// returns the embedded report-v4 JSON object. The result frame ends
+/// ...,"report":{...}} with nothing after the report, so the object is
+/// the substring from the key to the frame's closing brace.
+std::string fetch_canonical_report(service::Connection& conn, const BenchOptions& opts,
+                                   const std::string& kind) {
+  conn.send_frame(submit_payload(opts, kind));
+  const auto submitted = conn.recv_frame();
+  if (!submitted) throw std::runtime_error("daemon closed the connection on submit");
+  const json::Value v = json::parse(*submitted);
+  const json::Value* ok = v.find("ok");
+  if (ok == nullptr || !ok->boolean) {
+    throw std::runtime_error("--report-out submit rejected: " + *submitted);
+  }
+  std::string payload = "{\"cmd\":\"result\",\"job_id\":";
+  payload += std::to_string(static_cast<std::uint64_t>(v.number_or("job_id")));
+  payload += ",\"wait\":true}";
+  conn.send_frame(payload);
+  const auto reply = conn.recv_frame();
+  if (!reply) throw std::runtime_error("daemon closed the connection on result");
+  const json::Value result = json::parse(*reply);
+  if (result.string_or("state") != "done") {
+    throw std::runtime_error("--report-out job ended " + result.string_or("state") + ": " +
+                             result.string_or("error"));
+  }
+  const std::string key = "\"report\":";
+  const std::size_t at = reply->find(key);
+  if (at == std::string::npos || reply->back() != '}') {
+    throw std::runtime_error("--report-out result carries no report: " + *reply);
+  }
+  return reply->substr(at + key.size(), reply->size() - 1 - (at + key.size()));
 }
 
 int usage() {
@@ -161,6 +280,11 @@ int usage() {
       "  [--format=F]        E5M2|E4M3|E3M4|INT8|mixed (default E4M3)\n"
       "  [--quick]           smoke-sized evaluation protocol per job\n"
       "  [--out=PATH]        snapshot path (default BENCH_service.json)\n"
+      "  [--append]          keep prior runs' rows in the snapshot's \"runs\"\n"
+      "                      array (one scaling curve across daemon restarts)\n"
+      "  [--report-out=PATH] run one canonical job after the load and save its\n"
+      "                      report-v4 JSON (for fp8q_report diff across worker\n"
+      "                      counts)\n"
       "  [--shutdown]        ask the daemon to drain and exit afterwards\n");
   return 2;
 }
@@ -200,8 +324,12 @@ int main(int argc, char** argv) {
       opts.format = value;
     } else if (flag_value(argv[i], "--out", &value)) {
       opts.out_path = value;
+    } else if (flag_value(argv[i], "--report-out", &value)) {
+      opts.report_out_path = value;
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       opts.quick = true;
+    } else if (std::strcmp(argv[i], "--append") == 0) {
+      opts.append = true;
     } else if (std::strcmp(argv[i], "--shutdown") == 0) {
       opts.shutdown = true;
     } else {
@@ -230,9 +358,11 @@ int main(int argc, char** argv) {
     const double wall_s = static_cast<double>(obs_now_ns() - bench_start) / 1e9;
 
     HistogramSnapshot latency;
+    HistogramSnapshot retries_per_job;
     int completed = 0, failed = 0, retries = 0;
     for (const WorkerResult& r : results) {
       latency.merge_from(r.latency_ns.snap);
+      retries_per_job.merge_from(r.retries_per_job.snap);
       completed += r.completed;
       failed += r.failed;
       retries += r.queue_full_retries;
@@ -240,10 +370,22 @@ int main(int argc, char** argv) {
     const double jobs_per_sec = wall_s > 0.0 ? completed / wall_s : 0.0;
 
     // Fetch the daemon's own stats snapshot over a fresh control
-    // connection, then optionally ask it to drain.
+    // connection, then optionally ask it to drain. The scheduler block
+    // tags this run's row with the daemon's worker count.
     std::string server_stats = "{}";
     {
       service::Connection control = connect_to_daemon(opts);
+      if (!opts.report_out_path.empty()) {
+        const std::string report = fetch_canonical_report(control, opts, kinds[0]);
+        std::ofstream report_file(opts.report_out_path);
+        if (!report_file) {
+          throw std::runtime_error("cannot write " + opts.report_out_path);
+        }
+        report_file << report << "\n";
+        report_file.close();
+        std::printf("canonical %s report written to %s\n", kinds[0].c_str(),
+                    opts.report_out_path.c_str());
+      }
       control.send_frame("{\"cmd\":\"stats\"}");
       if (const auto reply = control.recv_frame()) server_stats = *reply;
       if (opts.shutdown) {
@@ -251,9 +393,37 @@ int main(int argc, char** argv) {
         (void)control.recv_frame();
       }
     }
+    int server_workers = 1;
+    try {
+      const json::Value stats = json::parse(server_stats);
+      if (const json::Value* scheduler = stats.find("scheduler")) {
+        server_workers = static_cast<int>(scheduler->number_or("workers", 1.0));
+      }
+    } catch (const std::exception&) {
+      // stats endpoint unreadable: the row keeps workers=1
+    }
 
-    std::string json = "{\n  \"service\": {\n    \"connections\": ";
-    json += std::to_string(opts.connections);
+    std::string row = "{\"workers\":";
+    row += std::to_string(server_workers);
+    row += ",\"connections\":" + std::to_string(opts.connections);
+    row += ",\"jobs\":" + std::to_string(opts.jobs);
+    row += ",\"completed\":" + std::to_string(completed);
+    row += ",\"failed\":" + std::to_string(failed);
+    row += ",\"queue_full_retries\":" + std::to_string(retries);
+    row += ",\"wall_s\":" + std::to_string(wall_s);
+    row += ",\"jobs_per_sec\":" + std::to_string(jobs_per_sec);
+    row += ",\"latency_ms\":";
+    append_quantiles_ms(row, latency);
+    row += ",\"retries_per_job\":";
+    append_quantiles(row, retries_per_job, 1.0);
+    row += "}";
+
+    std::vector<std::string> runs = load_prior_runs(opts);
+    runs.push_back(row);
+
+    std::string json = "{\n  \"service\": {\n    \"workers\": ";
+    json += std::to_string(server_workers);
+    json += ",\n    \"connections\": " + std::to_string(opts.connections);
     json += ",\n    \"jobs\": " + std::to_string(opts.jobs);
     json += ",\n    \"completed\": " + std::to_string(completed);
     json += ",\n    \"failed\": " + std::to_string(failed);
@@ -270,21 +440,35 @@ int main(int argc, char** argv) {
     json += ",\n    \"jobs_per_sec\": " + std::to_string(jobs_per_sec);
     json += ",\n    \"latency_ms\": ";
     append_quantiles_ms(json, latency);
-    json += "\n  },\n  \"server_stats\": " + server_stats + "\n}\n";
+    json += ",\n    \"retries_per_job\": ";
+    append_quantiles(json, retries_per_job, 1.0);
+    json += "\n  },\n  \"runs\": [\n";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      json += "    " + runs[i];
+      json += i + 1 < runs.size() ? ",\n" : "\n";
+    }
+    json += "  ],\n  \"server_stats\": " + server_stats + "\n}\n";
 
     std::ofstream out(opts.out_path);
     if (!out) throw std::runtime_error("cannot write " + opts.out_path);
     out << json;
     out.close();
 
-    std::printf("connections: %d  jobs: %d (%d completed, %d failed, %d retries)\n",
-                opts.connections, opts.jobs, completed, failed, retries);
+    std::printf("workers: %d  connections: %d  jobs: %d (%d completed, %d failed, "
+                "%d retries)\n",
+                server_workers, opts.connections, opts.jobs, completed, failed, retries);
     std::printf("wall: %.2f s  sustained: %.2f jobs/sec\n", wall_s, jobs_per_sec);
     std::printf("latency: p50 %.1f ms  p95 %.1f ms  p99 %.1f ms  max %.1f ms\n",
                 latency.quantile(0.50) / 1e6, latency.quantile(0.95) / 1e6,
                 latency.quantile(0.99) / 1e6,
                 (latency.total != 0 ? latency.max_value : 0.0) / 1e6);
-    std::printf("snapshot written to %s\n", opts.out_path.c_str());
+    if (retries > 0) {
+      std::printf("queue-full retries/job: p50 %.0f  p95 %.0f  max %.0f\n",
+                  retries_per_job.quantile(0.50), retries_per_job.quantile(0.95),
+                  retries_per_job.max_value);
+    }
+    std::printf("snapshot written to %s (%zu run row%s)\n", opts.out_path.c_str(),
+                runs.size(), runs.size() == 1 ? "" : "s");
     return failed == 0 ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "fp8qd_bench: %s\n", e.what());
